@@ -1,0 +1,69 @@
+// Ablation: greedy member selection vs fixed/naive selections (DESIGN.md
+// ablation #3) on the ConvNet benchmark.
+//
+//   greedy        — Section III-G procedure (what PGMR ships with)
+//   first-k       — ORG + the first three pool entries alphabetically
+//   flips-only    — ORG + FlipX + FlipY + another flip-like cheap choice
+//   random-k      — ORG + three seeded-random pool entries
+//
+// Every selection is threshold-profiled identically, so the difference is
+// purely which members were picked.
+#include "bench_util.h"
+#include "polygraph/builder.h"
+
+namespace {
+
+using namespace pgmr;
+
+double fp_detected(const zoo::Benchmark& bm,
+                   const std::vector<std::string>& members,
+                   const data::DatasetSplits& splits, double tp_floor,
+                   double base_fp) {
+  mr::MemberVotes val_votes, test_votes;
+  for (const std::string& spec : members) {
+    val_votes.push_back(bench::member_votes_on(bm, spec, splits.val));
+    test_votes.push_back(bench::member_votes_on(bm, spec, splits.test));
+  }
+  const auto chosen = mr::select_by_tp_floor(
+      mr::pareto_frontier(mr::sweep_thresholds(val_votes, splits.val.labels,
+                                               mr::default_conf_grid())),
+      tp_floor);
+  const mr::Outcome o =
+      mr::evaluate(test_votes, splits.test.labels, chosen->thresholds);
+  return 1.0 - o.fp_rate() / base_fp;
+}
+
+}  // namespace
+
+int main() {
+  bench::use_repo_cache();
+
+  const zoo::Benchmark& bm = zoo::find_benchmark("convnet");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+
+  nn::Network base_net = zoo::trained_network(bm, "ORG");
+  const double tp_floor = zoo::accuracy(base_net, splits.val);
+  const double base_fp = 1.0 - zoo::accuracy(base_net, splits.test);
+
+  const polygraph::GreedyResult greedy =
+      polygraph::greedy_build(bm, zoo::candidate_pool(bm), 4);
+
+  bench::rule("Ablation: member selection strategies (4-member ConvNet)");
+  std::printf("%-14s %-52s %12s\n", "strategy", "members", "FP detected");
+
+  const std::vector<std::pair<std::string, std::vector<std::string>>> cases = {
+      {"greedy", greedy.selected},
+      {"first-k", {"ORG", "AdHist", "ConNorm", "FlipX"}},
+      {"flips-only", {"ORG", "FlipX", "FlipY", "Scale(0.80)"}},
+      {"random-k", {"ORG", "Hist", "Gamma(2.00)", "ImAdj"}},
+  };
+  for (const auto& [name, members] : cases) {
+    std::string desc;
+    for (const std::string& m : members) desc += m + " ";
+    std::printf("%-14s %-52s %11.1f%%\n", name.c_str(), desc.c_str(),
+                100.0 * fp_detected(bm, members, splits, tp_floor, base_fp));
+  }
+  std::printf("\n(greedy should match or beat every fixed selection — it "
+              "optimizes exactly the\n reported metric on validation)\n");
+  return 0;
+}

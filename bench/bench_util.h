@@ -1,0 +1,41 @@
+// Shared helpers for the figure/table benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "mr/evaluate.h"
+#include "prep/preprocessor.h"
+#include "zoo/zoo.h"
+
+namespace pgmr::bench {
+
+/// Points the zoo at the repository-level cache (prewarmed by
+/// tools/prewarm_cache) unless the user already set PGMR_CACHE_DIR.
+inline void use_repo_cache() {
+#ifdef PGMR_REPO_CACHE_DIR
+  ::setenv("PGMR_CACHE_DIR", PGMR_REPO_CACHE_DIR, /*overwrite=*/0);
+#endif
+}
+
+/// Validation votes of one (benchmark, preprocessor, variant) member on a
+/// dataset, computed by preprocessing then running the cached network.
+inline std::vector<mr::Vote> member_votes_on(const zoo::Benchmark& bm,
+                                             const std::string& spec,
+                                             const data::Dataset& ds,
+                                             int variant = 0) {
+  nn::Network net = zoo::trained_network(bm, spec, variant);
+  data::Dataset transformed = ds;
+  transformed.images = prep::make_preprocessor(spec)->apply(transformed.images);
+  return mr::votes_from_probabilities(zoo::probabilities_on(net, transformed));
+}
+
+/// Prints a separator line for readability in the bench transcripts.
+inline void rule(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+}  // namespace pgmr::bench

@@ -1,0 +1,71 @@
+// Discussion (Section IV-C): reliability-per-cost of "buy a bigger
+// network" vs "wrap the small network in PolygraphMR".
+//
+// Paper: DenseNet40 cuts ResNet20's FP by 18 % at >6x the MACs, while
+// 4_PGMR on ResNet20 cuts FP by 49 % at 4x (1.6x after optimizations) —
+// the MR route is the better reliability-per-FLOP trade.
+#include "bench_util.h"
+#include "mr/pareto.h"
+#include "mr/rade.h"
+#include "perf/cost_model.h"
+
+int main() {
+  using namespace pgmr;
+  bench::use_repo_cache();
+
+  const zoo::Benchmark& r20 = zoo::find_benchmark("resnet20");
+  const zoo::Benchmark& d40 = zoo::find_benchmark("densenet40");
+  const data::DatasetSplits splits = zoo::benchmark_splits(r20);
+  const Shape input{1, 3, 16, 16};
+  const perf::CostModel model;
+
+  nn::Network resnet = zoo::trained_network(r20, "ORG");
+  nn::Network densenet = zoo::trained_network(d40, "ORG");
+  const double r20_fp = 1.0 - zoo::accuracy(resnet, splits.test);
+  const double d40_fp = 1.0 - zoo::accuracy(densenet, splits.test);
+  const double r20_macs = static_cast<double>(resnet.cost(input).macs);
+  const double d40_macs = static_cast<double>(densenet.cost(input).macs);
+
+  // 4_PGMR on ResNet20, profiled at the TP floor; cost at full precision
+  // and with RAMR(16b)+RADE.
+  const std::vector<std::string> members = {"ORG", "FlipX", "FlipY",
+                                            "Gamma(1.50)"};
+  mr::MemberVotes val_votes, test_votes;
+  for (const std::string& spec : members) {
+    val_votes.push_back(bench::member_votes_on(r20, spec, splits.val));
+    test_votes.push_back(bench::member_votes_on(r20, spec, splits.test));
+  }
+  const double tp_floor = zoo::accuracy(resnet, splits.val);
+  const auto chosen = mr::select_by_tp_floor(
+      mr::pareto_frontier(mr::sweep_thresholds(val_votes, splits.val.labels,
+                                               mr::default_conf_grid())),
+      tp_floor);
+  const mr::Outcome pgmr =
+      mr::evaluate(test_votes, splits.test.labels, chosen->thresholds);
+
+  // Staged cost with 16-bit members.
+  const auto priority = mr::contribution_priority(val_votes, splits.val.labels);
+  const mr::StagedOutcome staged = mr::evaluate_staged(
+      test_votes, splits.test.labels, priority, chosen->thresholds);
+  const perf::InferenceCost base_cost = model.network_cost(resnet.cost(input), 32);
+  std::vector<perf::InferenceCost> member_costs(
+      4, model.network_cost(resnet.cost(input), 16));
+  const perf::InferenceCost staged_cost =
+      model.system_staged(member_costs, staged.activation_histogram);
+
+  bench::rule("Discussion: reliability per unit of compute (ResNet20 tier)");
+  std::printf("%-28s %12s %14s\n", "design", "FP reduced", "relative cost");
+  std::printf("%-28s %11.1f%% %13.1fx   (MACs)\n", "upgrade to DenseNet40",
+              100.0 * (1.0 - d40_fp / r20_fp), d40_macs / r20_macs);
+  std::printf("%-28s %11.1f%% %13.1fx   (energy, full precision)\n",
+              "4_PGMR on ResNet20",
+              100.0 * (1.0 - pgmr.fp_rate() / r20_fp), 4.0);
+  std::printf("%-28s %11.1f%% %13.2fx   (energy, RAMR 16b + RADE)\n",
+              "4_PGMR + RAMR + RADE",
+              100.0 * (1.0 - staged.outcome.fp_rate() / r20_fp),
+              staged_cost.energy_j / base_cost.energy_j);
+  std::printf("\n(paper: DenseNet40 buys an 18%% FP cut for >6x compute; "
+              "4_PGMR buys 46-49%% for\n 1.6-4x — wrapping beats upgrading, "
+              "and the two compose)\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Extension: transient-fault campaigns (the classic DSN failure mode the
+// paper contrasts with in Section V) — does PolygraphMR's redundancy also
+// mask hardware bit flips?
+//
+// Campaign: random weight-bit flips in ONE member of the 4-member ConvNet
+// system vs the same flips in the standalone network. Reported per bit
+// class: masked / degraded / corrupted rates for the standalone network,
+// and the system-level misprediction change for PGMR.
+#include "bench_util.h"
+#include "fault/injector.h"
+#include "mr/decision.h"
+
+namespace {
+
+using namespace pgmr;
+
+double system_error_rate(std::vector<nn::Network>& nets,
+                         const std::vector<std::unique_ptr<prep::Preprocessor>>& preps,
+                         const data::Dataset& ds) {
+  mr::MemberVotes votes;
+  for (std::size_t m = 0; m < nets.size(); ++m) {
+    data::Dataset transformed = ds;
+    transformed.images = preps[m]->apply(transformed.images);
+    votes.push_back(mr::votes_from_probabilities(
+        zoo::probabilities_on(nets[m], transformed)));
+  }
+  std::int64_t wrong = 0;
+  for (std::size_t n = 0; n < ds.labels.size(); ++n) {
+    const mr::Decision d = mr::decide(
+        mr::sample_votes(votes, static_cast<std::int64_t>(n)), {0.0F, 1});
+    if (d.label != ds.labels[n]) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(ds.labels.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::use_repo_cache();
+
+  const zoo::Benchmark& bm = zoo::find_benchmark("convnet");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+  const data::Dataset probe = splits.test.slice(0, 300);
+  const std::vector<std::string> specs = {"ORG", "AdHist", "FlipX", "FlipY"};
+
+  // Standalone campaigns per bit class.
+  bench::rule("Extension: transient weight-fault campaigns (ConvNet)");
+  nn::Network solo = zoo::trained_network(bm, "ORG");
+  struct BitClass {
+    const char* name;
+    int lo, hi;
+  };
+  const BitClass classes[] = {{"mantissa low (0-11)", 0, 11},
+                              {"mantissa high (12-22)", 12, 22},
+                              {"exponent (23-30)", 23, 30},
+                              {"sign (31)", 31, 31}};
+  std::printf("standalone network, 120 single-bit flips per class:\n");
+  std::printf("%-24s %9s %10s %11s\n", "bit class", "masked", "degraded",
+              "corrupted");
+  Rng rng(404);
+  for (const BitClass& c : classes) {
+    std::vector<fault::FaultSite> sites;
+    while (sites.size() < 120) {
+      auto s = fault::sample_sites(solo, 1, rng, 31);
+      if (s[0].bit >= c.lo && s[0].bit <= c.hi) sites.push_back(s[0]);
+    }
+    const fault::CampaignResult r =
+        fault::run_campaign(solo, probe.images, probe.labels, sites);
+    std::printf("%-24s %8.1f%% %9.1f%% %10.1f%%\n", c.name,
+                100.0 * r.masked_rate(),
+                100.0 * static_cast<double>(r.degraded) /
+                    static_cast<double>(r.trials),
+                100.0 * r.corrupted_rate());
+  }
+
+  // System-level: flip exponent bits in one member; measure the plurality
+  // system's error-rate movement vs the standalone network's.
+  std::vector<nn::Network> nets;
+  std::vector<std::unique_ptr<prep::Preprocessor>> preps;
+  for (const std::string& spec : specs) {
+    nets.push_back(zoo::trained_network(bm, spec));
+    preps.push_back(prep::make_preprocessor(spec));
+  }
+  const double clean_system = system_error_rate(nets, preps, probe);
+  const Tensor solo_probs = zoo::probabilities_on(nets[0], probe);
+  std::int64_t solo_wrong = 0;
+  for (std::size_t n = 0; n < probe.labels.size(); ++n) {
+    if (solo_probs.argmax_row(static_cast<std::int64_t>(n)) !=
+        probe.labels[n]) {
+      ++solo_wrong;
+    }
+  }
+  const double clean_solo = static_cast<double>(solo_wrong) /
+                            static_cast<double>(probe.labels.size());
+
+  std::printf("\nexponent-bit flips injected into ONE member (20 trials):\n");
+  std::printf("%-28s %12s %12s\n", "", "solo error", "system error");
+  std::printf("%-28s %11.2f%% %11.2f%%\n", "clean", 100.0 * clean_solo,
+              100.0 * clean_system);
+  double worst_solo = clean_solo, worst_system = clean_system;
+  Rng rng2(505);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto sites = fault::sample_sites(nets[0], 1, rng2, 31);
+    sites[0].bit = 23 + static_cast<int>(rng2.randint(0, 7));
+    const float original = fault::inject(nets[0], sites[0]);
+
+    const Tensor faulty_probs = zoo::probabilities_on(nets[0], probe);
+    std::int64_t wrong = 0;
+    for (std::size_t n = 0; n < probe.labels.size(); ++n) {
+      if (faulty_probs.argmax_row(static_cast<std::int64_t>(n)) !=
+          probe.labels[n]) {
+        ++wrong;
+      }
+    }
+    worst_solo = std::max(worst_solo,
+                          static_cast<double>(wrong) /
+                              static_cast<double>(probe.labels.size()));
+    worst_system =
+        std::max(worst_system, system_error_rate(nets, preps, probe));
+    fault::restore(nets[0], sites[0], original);
+  }
+  std::printf("%-28s %11.2f%% %11.2f%%\n", "worst case under fault",
+              100.0 * worst_solo, 100.0 * worst_system);
+  std::printf("\n(redundancy bounds the system-level damage of a fault in "
+              "one member: the other\n three members outvote it)\n");
+  return 0;
+}

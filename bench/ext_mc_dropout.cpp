@@ -1,0 +1,82 @@
+// Extension: MC-dropout uncertainty (Gal & Ghahramani) vs PolygraphMR on
+// the AlexNet tier — the paper's Section V positions dropout sampling as a
+// high-overhead alternative; this bench puts both on the same TP-floor
+// footing and also compares modeled cost.
+//
+// MC-dropout gate: mean softmax over K stochastic passes, threshold the
+// top-1 mean probability (profiled on validation). Cost: K forward passes
+// of one network vs PGMR's 4 members.
+#include "bench_util.h"
+#include "calib/mc_dropout.h"
+#include "mr/pareto.h"
+#include "perf/cost_model.h"
+
+int main() {
+  using namespace pgmr;
+  bench::use_repo_cache();
+
+  constexpr int kPasses = 8;
+  const zoo::Benchmark& bm = zoo::find_benchmark("alexnet");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+  const std::vector<std::string> members = {"ORG", "FlipX", "FlipY",
+                                            "Gamma(2.00)"};
+
+  nn::Network net = zoo::trained_network(bm, "ORG");
+  const double tp_floor = zoo::accuracy(net, splits.val);
+  const double base_fp = 1.0 - zoo::accuracy(net, splits.test);
+
+  // --- MC-dropout gate, profiled on validation. ---
+  const Tensor val_mc =
+      calib::mc_dropout_probabilities(net, splits.val.images, kPasses);
+  const auto mc_frontier = mr::pareto_frontier(
+      mr::sweep_single(val_mc, splits.val.labels, mr::default_conf_grid()));
+  const auto mc_point = mr::select_by_tp_floor(mc_frontier, tp_floor);
+  const Tensor test_mc =
+      calib::mc_dropout_probabilities(net, splits.test.images, kPasses);
+  const mr::Outcome mc_outcome = mr::evaluate_single(
+      test_mc, splits.test.labels, mc_point->thresholds.conf);
+
+  // --- PGMR 4-member system, same profiling. ---
+  mr::MemberVotes val_votes, test_votes;
+  for (const std::string& spec : members) {
+    val_votes.push_back(bench::member_votes_on(bm, spec, splits.val));
+    test_votes.push_back(bench::member_votes_on(bm, spec, splits.test));
+  }
+  const auto pg_point = mr::select_by_tp_floor(
+      mr::pareto_frontier(mr::sweep_thresholds(val_votes, splits.val.labels,
+                                               mr::default_conf_grid())),
+      tp_floor);
+  const mr::Outcome pg_outcome =
+      mr::evaluate(test_votes, splits.test.labels, pg_point->thresholds);
+
+  // --- plain max-softmax gate for reference. ---
+  const Tensor val_probs = zoo::probabilities_on(net, splits.val);
+  const auto sm_point = mr::select_by_tp_floor(
+      mr::pareto_frontier(mr::sweep_single(val_probs, splits.val.labels,
+                                           mr::default_conf_grid())),
+      tp_floor);
+  const mr::Outcome sm_outcome =
+      mr::evaluate_single(zoo::probabilities_on(net, splits.test),
+                          splits.test.labels, sm_point->thresholds.conf);
+
+  const perf::CostModel model;
+  const Shape input{1, bm.input.channels, bm.input.size, bm.input.size};
+  const double unit = model.network_cost(net.cost(input), 32).energy_j;
+
+  bench::rule("Extension: MC-dropout vs PolygraphMR (AlexNet tier)");
+  std::printf("%-24s %10s %10s %13s %12s\n", "method", "test TP", "test FP",
+              "FP detected", "energy cost");
+  auto row = [&](const char* name, const mr::Outcome& o, double cost) {
+    std::printf("%-24s %9.2f%% %9.2f%% %12.1f%% %11.1fx\n", name,
+                100.0 * o.tp_rate(), 100.0 * o.fp_rate(),
+                100.0 * (1.0 - o.fp_rate() / base_fp), cost);
+  };
+  row("max-softmax gate", sm_outcome, 1.0);
+  row("MC-dropout (8 passes)", mc_outcome, static_cast<double>(kPasses));
+  row("4_PGMR", pg_outcome, 4.0);
+  std::printf("\n(paper's Section V critique: dropout sampling needs many "
+              "stochastic passes of the\n full network; PGMR reaches similar "
+              "or better FP detection at lower multiplicity,\n and RAMR+RADE "
+              "shrink its 4x further — see fig10)\n");
+  return 0;
+}

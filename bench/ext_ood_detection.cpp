@@ -1,0 +1,121 @@
+// Extension: out-of-distribution flagging (the related-work family the
+// paper cites: Hendrycks & Gimpel '16, ODIN '17). PolygraphMR's
+// "unreliable" verdict doubles as an OOD detector: members trained on the
+// in-distribution corpus disagree on alien inputs.
+//
+// Probes: (a) a shifted-generator corpus (same classes, different render
+// seed statistics — near-OOD), (b) pure noise (far-OOD), (c) a different
+// tier's images resized — all scored by how often the system flags them,
+// compared against the single-network max-softmax baseline at the same
+// in-distribution acceptance rate.
+#include "bench_util.h"
+#include "mr/pareto.h"
+
+namespace {
+
+using namespace pgmr;
+
+double flagged_fraction(const mr::MemberVotes& votes, const mr::Thresholds& t) {
+  std::int64_t flagged = 0;
+  const std::int64_t n = static_cast<std::int64_t>(votes.front().size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!mr::decide(mr::sample_votes(votes, i), t).reliable) ++flagged;
+  }
+  return static_cast<double>(flagged) / static_cast<double>(n);
+}
+
+double flagged_single(const std::vector<mr::Vote>& votes, float conf) {
+  std::int64_t flagged = 0;
+  for (const mr::Vote& v : votes) {
+    if (v.confidence < conf) ++flagged;
+  }
+  return static_cast<double>(flagged) / static_cast<double>(votes.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::use_repo_cache();
+
+  const zoo::Benchmark& bm = zoo::find_benchmark("convnet");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+  const std::vector<std::string> members = {"ORG", "AdHist", "FlipX", "FlipY"};
+
+  // Build probes.
+  data::SyntheticSpec shifted = data::scifar_spec(1000, /*seed=*/9999);
+  shifted.jitter *= 1.8F;
+  shifted.brightness_jitter = 0.45F;
+  const data::Dataset near_ood = data::generate_synthetic(shifted);
+
+  data::Dataset noise;
+  {
+    Rng rng(77);
+    noise.name = "noise";
+    noise.num_classes = 10;
+    noise.images = Tensor(Shape{1000, 3, 16, 16});
+    for (std::int64_t i = 0; i < noise.images.numel(); ++i) {
+      noise.images[i] = rng.uniform(0.0F, 1.0F);
+    }
+    noise.labels.assign(1000, 0);
+  }
+
+  data::SyntheticSpec alien_spec = data::smnist_spec(1000, /*seed=*/4242);
+  alien_spec.channels = 3;  // render the MNIST-tier glyphs in color at 16px
+  const data::Dataset alien = data::generate_synthetic(alien_spec);
+
+  // Member votes on each corpus.
+  auto votes_on = [&](const data::Dataset& ds) {
+    mr::MemberVotes votes;
+    for (const std::string& spec : members) {
+      votes.push_back(bench::member_votes_on(bm, spec, ds));
+    }
+    return votes;
+  };
+  const mr::MemberVotes in_dist = votes_on(splits.test);
+  const mr::MemberVotes probes[] = {votes_on(near_ood), votes_on(noise),
+                                    votes_on(alien)};
+  // The third probe shares the renderer family with the training tier at
+  // easier settings — a negative control that should NOT be flagged.
+  const char* probe_names[] = {"near-OOD (shifted generator)",
+                               "far-OOD (uniform noise)",
+                               "negative control (easy glyphs)"};
+
+  // Operating point: flag at most ~10 % of in-distribution inputs.
+  constexpr double kBudget = 0.10;
+  mr::Thresholds best{0.0F, 1};
+  double best_flagged = 0.0;
+  for (float conf : mr::default_conf_grid()) {
+    for (int freq = 1; freq <= 4; ++freq) {
+      const double f = flagged_fraction(in_dist, {conf, freq});
+      if (f <= kBudget && f >= best_flagged) {
+        best_flagged = f;
+        best = {conf, freq};
+      }
+    }
+  }
+  // Matched single-network baseline: pick the max-softmax threshold with
+  // the same in-distribution flag budget.
+  float single_conf = 0.0F;
+  for (float conf : mr::default_conf_grid()) {
+    if (flagged_single(in_dist[0], conf) <= kBudget) single_conf = conf;
+  }
+
+  bench::rule("Extension: OOD flagging at a 10% in-distribution budget");
+  std::printf("system operating point: Thr_Conf=%.2f Thr_Freq=%d "
+              "(flags %.1f%% in-dist)\n",
+              static_cast<double>(best.conf), best.freq, 100.0 * best_flagged);
+  std::printf("baseline max-softmax threshold: %.2f (flags %.1f%% in-dist)\n\n",
+              static_cast<double>(single_conf),
+              100.0 * flagged_single(in_dist[0], single_conf));
+  std::printf("%-30s %14s %18s\n", "probe corpus", "PGMR flags",
+              "max-softmax flags");
+  for (int p = 0; p < 3; ++p) {
+    std::printf("%-30s %13.1f%% %17.1f%%\n", probe_names[p],
+                100.0 * flagged_fraction(probes[p], best),
+                100.0 * flagged_single(probes[p][0], single_conf));
+  }
+  std::printf("\n(a higher flag rate on OOD probes at the same in-dist budget "
+              "means better OOD\n separation; PGMR's disagreement signal adds "
+              "to pure confidence)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 1: histogram of wrong answers grouped by prediction confidence
+// (low 0-30 %, medium 30-60 %, high 60-90 %, very high 90-100 %),
+// normalized by the number of evaluation samples, for every benchmark.
+//
+// Paper claims to reproduce: (a) ~10 % of all answers are high/very-high
+// confidence wrong answers; (b) more accurate CNNs have a *larger share*
+// of their errors at high confidence.
+#include "bench_util.h"
+#include "zoo/zoo.h"
+
+int main() {
+  using namespace pgmr;
+  bench::use_repo_cache();
+
+  bench::rule("Figure 1: wrong answers by confidence bin (fraction of test set)");
+  std::printf("%-12s %-9s %8s %8s %8s %8s %14s\n", "CNN", "Accuracy",
+              "low", "medium", "high", "v.high", "hi-conf share");
+
+  for (const zoo::Benchmark& bm : zoo::all_benchmarks()) {
+    nn::Network net = zoo::trained_network(bm, "ORG");
+    const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+    const Tensor probs = zoo::probabilities_on(net, splits.test);
+
+    std::int64_t bins[4] = {0, 0, 0, 0};
+    std::int64_t correct = 0;
+    const std::int64_t n = splits.test.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (probs.argmax_row(i) == splits.test.labels[static_cast<std::size_t>(i)]) {
+        ++correct;
+        continue;
+      }
+      const float conf = probs.max_row(i);
+      const int bin = conf < 0.3F ? 0 : conf < 0.6F ? 1 : conf < 0.9F ? 2 : 3;
+      ++bins[bin];
+    }
+    const double total = static_cast<double>(n);
+    const std::int64_t wrong = n - correct;
+    const double hi_share =
+        wrong ? static_cast<double>(bins[2] + bins[3]) /
+                    static_cast<double>(wrong)
+              : 0.0;
+    std::printf("%-12s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% %12.1f%%\n",
+                bm.id.c_str(), 100.0 * static_cast<double>(correct) / total,
+                100.0 * static_cast<double>(bins[0]) / total,
+                100.0 * static_cast<double>(bins[1]) / total,
+                100.0 * static_cast<double>(bins[2]) / total,
+                100.0 * static_cast<double>(bins[3]) / total,
+                100.0 * hi_share);
+  }
+  std::printf("\n(paper: every ImageNet CNN shows ~10%% high/very-high "
+              "confidence wrong answers,\n and the high-confidence share of "
+              "errors grows with model accuracy)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 3: misclassification-characteristics analysis.
+//
+// The paper manually inspected AlexNet's highest-confidence ImageNet errors
+// and found three characteristics: poor image detail (occlusion/blur),
+// multiple objects, and class similarity. Our generator exposes those as
+// knobs, so the analysis becomes an ablation: evaluate the trained ConvNet
+// on probe corpora in which exactly one characteristic is forced on, and
+// report the error rate and the *high-confidence* (>= 90 %) error rate.
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+namespace {
+
+struct Probe {
+  const char* name;
+  pgmr::data::SyntheticSpec spec;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pgmr;
+  bench::use_repo_cache();
+
+  const zoo::Benchmark& bm = zoo::find_benchmark("convnet");
+  nn::Network net = zoo::trained_network(bm, "ORG");
+
+  // A clean control spec: same class structure as scifar, hard inputs off.
+  data::SyntheticSpec control = data::scifar_spec(2000, /*seed=*/555);
+  control.occlusion_prob = 0.0F;
+  control.second_object_prob = 0.0F;
+  control.class_similarity = 0.0F;
+
+  std::vector<Probe> probes;
+  probes.push_back({"control (all off)", control});
+
+  data::SyntheticSpec occluded = control;
+  occluded.occlusion_prob = 1.0F;
+  occluded.occlusion_size = 0.4F;
+  probes.push_back({"poor detail (occlusion)", occluded});
+
+  data::SyntheticSpec multi = control;
+  multi.second_object_prob = 1.0F;
+  probes.push_back({"multiple objects", multi});
+
+  data::SyntheticSpec similar = control;
+  similar.class_similarity = 1.0F;
+  probes.push_back({"class similarity", similar});
+
+  bench::rule("Figure 3: error anatomy by misclassification characteristic");
+  std::printf("%-26s %10s %16s %18s\n", "probe corpus", "error", "errors@conf>=90%",
+              "share of errors hi-conf");
+  for (const Probe& probe : probes) {
+    const data::Dataset ds = data::generate_synthetic(probe.spec);
+    const Tensor probs = zoo::probabilities_on(net, ds);
+    std::int64_t wrong = 0, wrong_hi = 0;
+    for (std::int64_t i = 0; i < ds.size(); ++i) {
+      if (probs.argmax_row(i) != ds.labels[static_cast<std::size_t>(i)]) {
+        ++wrong;
+        if (probs.max_row(i) >= 0.9F) ++wrong_hi;
+      }
+    }
+    const double n = static_cast<double>(ds.size());
+    std::printf("%-26s %9.2f%% %15.2f%% %17.1f%%\n", probe.name,
+                100.0 * static_cast<double>(wrong) / n,
+                100.0 * static_cast<double>(wrong_hi) / n,
+                wrong ? 100.0 * static_cast<double>(wrong_hi) /
+                            static_cast<double>(wrong)
+                      : 0.0);
+  }
+  std::printf("\n(paper: occlusion, multi-object scenes and similar classes "
+              "account for the\n highest-confidence AlexNet errors — each probe "
+              "must raise error and hi-conf error\n rates above the control)\n");
+  return 0;
+}

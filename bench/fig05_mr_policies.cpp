@@ -1,0 +1,54 @@
+// Figure 5: traditional modular redundancy on ConvNet/CIFAR-tier, degree 2
+// to 30, under three decision policies:
+//   Majority Vote            — Thr_Freq = n/2 + 1, no confidence gate
+//   All Identical            — Thr_Freq = n
+//   All Identical + Thr_Conf — Thr_Freq = n, Thr_Conf = 75 %
+//
+// Paper claims to reproduce: majority voting's FP rate flattens around a
+// modest reduction regardless of degree; all-identical slashes FP by orders
+// of magnitude but destroys TP.
+#include "bench_util.h"
+#include "mr/decision.h"
+
+int main() {
+  using namespace pgmr;
+  bench::use_repo_cache();
+
+  const zoo::Benchmark& bm = zoo::find_benchmark("convnet");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+
+  constexpr int kMaxDegree = 30;
+  std::printf("precomputing votes of %d random-init ConvNets on the test set...\n",
+              kMaxDegree);
+  mr::MemberVotes votes;
+  for (int v = 0; v < kMaxDegree; ++v) {
+    votes.push_back(bench::member_votes_on(bm, "ORG", splits.test, v));
+  }
+
+  bench::rule("Figure 5: FP/TP rate vs redundancy degree (ConvNet)");
+  std::printf("%7s | %21s | %21s | %21s\n", "", "Majority Vote",
+              "All identical", "All ident.+Conf 75%");
+  std::printf("%7s | %10s %10s | %10s %10s | %10s %10s\n", "degree", "FP", "TP",
+              "FP", "TP", "FP", "TP");
+
+  for (int degree = 1; degree <= kMaxDegree;
+       degree += (degree < 10 ? 1 : 2)) {
+    const mr::MemberVotes prefix(votes.begin(), votes.begin() + degree);
+    const mr::Outcome majority =
+        evaluate(prefix, splits.test.labels,
+                 {0.0F, mr::majority_threshold(degree)});
+    const mr::Outcome identical =
+        evaluate(prefix, splits.test.labels, {0.0F, degree});
+    const mr::Outcome identical_conf =
+        evaluate(prefix, splits.test.labels, {0.75F, degree});
+    std::printf("%7d | %9.2f%% %9.2f%% | %9.2f%% %9.2f%% | %9.2f%% %9.2f%%\n",
+                degree, 100.0 * majority.fp_rate(), 100.0 * majority.tp_rate(),
+                100.0 * identical.fp_rate(), 100.0 * identical.tp_rate(),
+                100.0 * identical_conf.fp_rate(),
+                100.0 * identical_conf.tp_rate());
+  }
+  std::printf("\n(paper: majority-vote FP flattens ~20%% from a 25.2%% "
+              "baseline; all-identical reaches\n ~1%% FP but TP collapses from "
+              "74.7%% to ~40%%; adding Thr_Conf 75%% reaches 0.18%% FP)\n");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Figure 10: energy, latency and FP-rate trajectory of the cost-oriented
+// optimizations — 4_PGMR (full precision) -> +RAMR (reduced precision) ->
+// +RADE (staged activation) — plus the 2-GPU latency scenario.
+//
+// Paper claims to reproduce: the ~4x multiplicative overhead of 4_PGMR
+// drops below ~2x with RAMR+RADE while the normalized FP rate rises only a
+// few percent; on a 2-GPU platform average latency approaches the baseline.
+#include "bench_util.h"
+#include "mr/rade.h"
+#include "polygraph/system.h"
+
+namespace {
+
+using namespace pgmr;
+
+// Table III member configurations (paper's selected 4_PGMR systems).
+const std::vector<std::pair<std::string, std::vector<std::string>>> kConfigs = {
+    {"lenet5", {"ORG", "ConNorm", "FlipX", "Gamma(2.00)"}},
+    {"convnet", {"ORG", "AdHist", "FlipX", "FlipY"}},
+    {"resnet20", {"ORG", "FlipX", "FlipY", "Gamma(1.50)"}},
+    {"densenet40", {"ORG", "ImAdj", "Gamma(1.50)", "Gamma(2.00)"}},
+    {"alexnet", {"ORG", "FlipX", "FlipY", "Gamma(2.00)"}},
+    {"resnet34", {"ORG", "FlipX", "FlipY", "Gamma(2.00)"}},
+};
+
+double plurality_accuracy(const mr::MemberVotes& votes,
+                          const std::vector<std::int64_t>& labels) {
+  std::int64_t correct = 0;
+  for (std::size_t n = 0; n < labels.size(); ++n) {
+    const mr::Decision d =
+        mr::decide(mr::sample_votes(votes, static_cast<std::int64_t>(n)),
+                   {0.0F, 1});
+    if (d.label == labels[n]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::use_repo_cache();
+  const perf::CostModel model;
+
+  bench::rule("Figure 10: energy / latency / FP through RAMR and RADE");
+  std::printf("%-12s %5s | %8s %8s %7s | %8s %8s %7s | %8s %8s %7s | %8s\n",
+              "benchmark", "bits", "E 4PGMR", "L 4PGMR", "nFP", "E +RAMR",
+              "L +RAMR", "nFP", "E +RADE", "L +RADE", "nFP", "L 2GPU");
+
+  double sum_energy[3] = {0, 0, 0};
+  double sum_latency[3] = {0, 0, 0};
+  double sum_fp[3] = {0, 0, 0};
+  double sum_latency_2gpu = 0.0;
+  int count = 0;
+
+  for (const auto& [id, members] : kConfigs) {
+    const zoo::Benchmark& bm = zoo::find_benchmark(id);
+    const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+    const Shape input{1, bm.input.channels, bm.input.size, bm.input.size};
+
+    // Baseline cost and rates.
+    nn::Network base_net = zoo::trained_network(bm, "ORG");
+    const perf::InferenceCost base_cost =
+        model.network_cost(base_net.cost(input), 32);
+    const double base_val_acc = zoo::accuracy(base_net, splits.val);
+    const double base_test_fp = 1.0 - zoo::accuracy(base_net, splits.test);
+
+    auto evaluate_at_bits = [&](int bits) {
+      mr::Ensemble e = zoo::make_ensemble(bm, members, bits);
+      struct Result {
+        mr::MemberVotes val, test;
+        std::vector<perf::InferenceCost> costs;
+      } r;
+      r.val = e.member_votes(splits.val.images);
+      r.test = e.member_votes(splits.test.images);
+      r.costs = e.member_costs(input, model);
+      return r;
+    };
+
+    // Stage 1: full-precision 4_PGMR. Profiling is restricted to
+    // Thr_Freq >= 2: a 1-vote "agreement" carries no redundancy, and the
+    // paper's RADE design activates the top Thr_Freq >= 2 networks first.
+    auto full = evaluate_at_bits(32);
+    auto profile = [&](const mr::MemberVotes& val_votes) {
+      auto points = mr::sweep_thresholds(val_votes, splits.val.labels,
+                                         mr::default_conf_grid());
+      std::erase_if(points, [](const mr::SweepPoint& p) {
+        return p.thresholds.freq < 2;
+      });
+      return *mr::select_by_tp_floor(mr::pareto_frontier(points),
+                                     base_val_acc);
+    };
+    const mr::SweepPoint full_point = profile(full.val);
+    const mr::Outcome full_outcome =
+        mr::evaluate(full.test, splits.test.labels, full_point.thresholds);
+    const perf::InferenceCost full_cost = model.system_sequential(full.costs);
+
+    // Stage 2: RAMR — lowest precision that preserves both the ensemble's
+    // plurality accuracy and its profiled validation FP at the TP floor
+    // (the paper reduces precision "with no accuracy loss", which for a
+    // reliability system must include the FP metric).
+    const double full_acc = plurality_accuracy(full.val, splits.val.labels);
+    const double full_val_fp = full_point.fp_rate;
+    int bits = 32;
+    auto reduced = evaluate_at_bits(32);
+    for (int candidate : {20, 17, 16, 15, 14, 13, 12}) {
+      auto trial = evaluate_at_bits(candidate);
+      if (plurality_accuracy(trial.val, splits.val.labels) <
+          full_acc - 0.005) {
+        break;
+      }
+      const mr::SweepPoint trial_point = profile(trial.val);
+      if (trial_point.fp_rate > full_val_fp * 1.2 + 0.002) break;
+      bits = candidate;
+      reduced = std::move(trial);
+    }
+    const mr::SweepPoint ramr_point = profile(reduced.val);
+    const mr::Outcome ramr_outcome =
+        mr::evaluate(reduced.test, splits.test.labels, ramr_point.thresholds);
+    const perf::InferenceCost ramr_cost =
+        model.system_sequential(reduced.costs);
+
+    // Stage 3: RADE — staged activation on the reduced-precision system.
+    const auto priority =
+        mr::contribution_priority(reduced.val, splits.val.labels);
+    const mr::StagedOutcome staged = mr::evaluate_staged(
+        reduced.test, splits.test.labels, priority, ramr_point.thresholds);
+    std::vector<perf::InferenceCost> priority_costs;
+    for (std::size_t m : priority) priority_costs.push_back(reduced.costs[m]);
+    const perf::InferenceCost rade_cost =
+        model.system_staged(priority_costs, staged.activation_histogram);
+
+    // 2-GPU scenario: staged activation dispatched in batches of two.
+    double latency_2gpu = 0.0;
+    {
+      std::int64_t total_samples = 0;
+      for (std::size_t k = 0; k < staged.activation_histogram.size(); ++k) {
+        const std::vector<perf::InferenceCost> prefix(
+            priority_costs.begin(),
+            priority_costs.begin() + static_cast<std::ptrdiff_t>(k + 1));
+        latency_2gpu += static_cast<double>(staged.activation_histogram[k]) *
+                        model.system_batched(prefix, 2).latency_s;
+        total_samples += staged.activation_histogram[k];
+      }
+      latency_2gpu /= static_cast<double>(total_samples);
+    }
+
+    const double fp_norm[3] = {full_outcome.fp_rate() / base_test_fp,
+                               ramr_outcome.fp_rate() / base_test_fp,
+                               staged.outcome.fp_rate() / base_test_fp};
+    const perf::InferenceCost* costs[3] = {&full_cost, &ramr_cost, &rade_cost};
+
+    std::printf("%-12s %5d |", id.c_str(), bits);
+    for (int s = 0; s < 3; ++s) {
+      const double e = costs[s]->energy_j / base_cost.energy_j;
+      const double l = costs[s]->latency_s / base_cost.latency_s;
+      sum_energy[s] += e;
+      sum_latency[s] += l;
+      sum_fp[s] += fp_norm[s];
+      std::printf(" %7.2fx %7.2fx %6.1f%% |", e, l, 100.0 * fp_norm[s]);
+    }
+    sum_latency_2gpu += latency_2gpu / base_cost.latency_s;
+    std::printf(" %7.2fx\n", latency_2gpu / base_cost.latency_s);
+    ++count;
+  }
+
+  std::printf("%-12s %5s |", "average", "");
+  for (int s = 0; s < 3; ++s) {
+    std::printf(" %7.2fx %7.2fx %6.1f%% |", sum_energy[s] / count,
+                sum_latency[s] / count, 100.0 * sum_fp[s] / count);
+  }
+  std::printf(" %7.2fx\n", sum_latency_2gpu / count);
+  std::printf("\n(paper: 4_PGMR starts >4x; RAMR+RADE land at ~1.86x energy "
+              "and ~1.86x latency with\n FP detection dropping only ~7%%; "
+              "2-GPU staged latency approaches baseline)\n");
+  return 0;
+}

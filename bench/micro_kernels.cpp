@@ -1,0 +1,95 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: GEMM, im2col,
+// convolution forward, preprocessors, and float truncation. Not a paper
+// figure — used to track the substrate's performance.
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.h"
+#include "nn/gemm.h"
+#include "nn/im2col.h"
+#include "prep/preprocessor.h"
+#include "quant/precision.h"
+#include "tensor/random.h"
+
+namespace {
+
+using namespace pgmr;
+
+void BM_GemmAccumulate(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = rng.uniform(-1.0F, 1.0F);
+  for (auto& v : b) v = rng.uniform(-1.0F, 1.0F);
+  for (auto _ : state) {
+    nn::gemm_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmAccumulate)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  nn::ConvGeometry geo{3, 24, 24, 3, 1, 1};
+  Rng rng(2);
+  std::vector<float> img(static_cast<std::size_t>(3 * 24 * 24));
+  for (auto& v : img) v = rng.uniform(0.0F, 1.0F);
+  std::vector<float> col(
+      static_cast<std::size_t>(geo.patch_size() * geo.out_h() * geo.out_w()));
+  for (auto _ : state) {
+    nn::im2col(img.data(), geo, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2D conv(3, 16, 3, 1, 1);
+  conv.init(rng);
+  Tensor x(Shape{8, 3, 24, 24});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0F, 1.0F);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          conv.cost(x.shape()).macs);
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_Preprocessor(benchmark::State& state, const char* spec) {
+  const auto prep = prep::make_preprocessor(spec);
+  Rng rng(4);
+  Tensor batch(Shape{16, 3, 24, 24});
+  for (std::int64_t i = 0; i < batch.numel(); ++i) {
+    batch[i] = rng.uniform(0.0F, 1.0F);
+  }
+  for (auto _ : state) {
+    Tensor out = prep->apply(batch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_Preprocessor, flipx, "FlipX");
+BENCHMARK_CAPTURE(BM_Preprocessor, gamma, "Gamma(2.00)");
+BENCHMARK_CAPTURE(BM_Preprocessor, adhist, "AdHist");
+BENCHMARK_CAPTURE(BM_Preprocessor, connorm, "ConNorm");
+BENCHMARK_CAPTURE(BM_Preprocessor, scale, "Scale(0.80)");
+
+void BM_Truncate(benchmark::State& state) {
+  Rng rng(5);
+  Tensor t(Shape{1 << 16});
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(-2.0F, 2.0F);
+  for (auto _ : state) {
+    Tensor copy = t;
+    quant::truncate_tensor(copy, 14);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_Truncate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

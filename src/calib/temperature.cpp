@@ -1,0 +1,87 @@
+#include "calib/temperature.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.h"
+
+namespace pgmr::calib {
+
+double negative_log_likelihood(const Tensor& logits,
+                               const std::vector<std::int64_t>& labels,
+                               float temperature) {
+  const Tensor probs = nn::softmax_with_temperature(logits, temperature);
+  if (static_cast<std::int64_t>(labels.size()) != probs.shape()[0]) {
+    throw std::invalid_argument("negative_log_likelihood: label mismatch");
+  }
+  double total = 0.0;
+  for (std::int64_t n = 0; n < probs.shape()[0]; ++n) {
+    const float p = probs.at(n, labels[static_cast<std::size_t>(n)]);
+    total += -std::log(std::max(p, 1e-12F));
+  }
+  return total / static_cast<double>(labels.size());
+}
+
+float fit_temperature(const Tensor& logits,
+                      const std::vector<std::int64_t>& labels) {
+  // Golden-section search: NLL(T) is unimodal in T for fixed logits.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 0.25, hi = 10.0;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = negative_log_likelihood(logits, labels, static_cast<float>(x1));
+  double f2 = negative_log_likelihood(logits, labels, static_cast<float>(x2));
+  for (int iter = 0; iter < 60 && hi - lo > 1e-4; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = negative_log_likelihood(logits, labels, static_cast<float>(x1));
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = negative_log_likelihood(logits, labels, static_cast<float>(x2));
+    }
+  }
+  return static_cast<float>((lo + hi) / 2.0);
+}
+
+double expected_calibration_error(const Tensor& probs,
+                                  const std::vector<std::int64_t>& labels,
+                                  int bins) {
+  if (bins < 1) throw std::invalid_argument("ECE: bins must be >= 1");
+  const std::int64_t n_samples = probs.shape()[0];
+  if (static_cast<std::int64_t>(labels.size()) != n_samples) {
+    throw std::invalid_argument("ECE: label count mismatch");
+  }
+  std::vector<std::int64_t> count(static_cast<std::size_t>(bins), 0);
+  std::vector<double> conf_sum(static_cast<std::size_t>(bins), 0.0);
+  std::vector<std::int64_t> correct(static_cast<std::size_t>(bins), 0);
+  for (std::int64_t n = 0; n < n_samples; ++n) {
+    const float conf = probs.max_row(n);
+    const std::int64_t pred = probs.argmax_row(n);
+    int b = static_cast<int>(conf * static_cast<float>(bins));
+    b = std::min(b, bins - 1);
+    ++count[static_cast<std::size_t>(b)];
+    conf_sum[static_cast<std::size_t>(b)] += conf;
+    if (pred == labels[static_cast<std::size_t>(n)]) {
+      ++correct[static_cast<std::size_t>(b)];
+    }
+  }
+  double ece = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    const auto idx = static_cast<std::size_t>(b);
+    if (count[idx] == 0) continue;
+    const double acc = static_cast<double>(correct[idx]) /
+                       static_cast<double>(count[idx]);
+    const double conf = conf_sum[idx] / static_cast<double>(count[idx]);
+    ece += static_cast<double>(count[idx]) / static_cast<double>(n_samples) *
+           std::fabs(acc - conf);
+  }
+  return ece;
+}
+
+}  // namespace pgmr::calib

@@ -1,0 +1,33 @@
+// Network calibration via temperature scaling (paper Section IV-E,
+// following Guo et al., ICML 2017).
+//
+// A single scalar T rescales the logits before the softmax; T is fit by
+// minimizing validation NLL. The paper's point — reproduced by bench
+// fig14 — is that this shifts confidences but cannot move the TP/FP Pareto
+// frontier, so it does not fix the reliability problem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgmr::calib {
+
+/// Mean negative log-likelihood of softmax(logits / temperature).
+double negative_log_likelihood(const Tensor& logits,
+                               const std::vector<std::int64_t>& labels,
+                               float temperature);
+
+/// Fits the temperature by golden-section search of the NLL over
+/// [0.25, 10]. Returns the minimizing T (1.0 means already calibrated).
+float fit_temperature(const Tensor& logits,
+                      const std::vector<std::int64_t>& labels);
+
+/// Expected calibration error of [N, C] probabilities with equal-width
+/// confidence bins: sum_b (n_b / N) * |acc_b - conf_b|.
+double expected_calibration_error(const Tensor& probs,
+                                  const std::vector<std::int64_t>& labels,
+                                  int bins = 10);
+
+}  // namespace pgmr::calib

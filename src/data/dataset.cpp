@@ -1,0 +1,60 @@
+#include "data/dataset.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace pgmr::data {
+
+Dataset Dataset::slice(std::int64_t begin, std::int64_t end) const {
+  if (begin < 0 || end > size() || begin > end) {
+    throw std::out_of_range("Dataset::slice: bad range");
+  }
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(end - begin));
+  std::iota(idx.begin(), idx.end(), begin);
+  return gather(idx);
+}
+
+Dataset Dataset::gather(const std::vector<std::int64_t>& indices) const {
+  const std::int64_t per_sample =
+      images.numel() / std::max<std::int64_t>(size(), 1);
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.labels.reserve(indices.size());
+  std::vector<float> data;
+  data.reserve(indices.size() * static_cast<std::size_t>(per_sample));
+  for (std::int64_t i : indices) {
+    if (i < 0 || i >= size()) {
+      throw std::out_of_range("Dataset::gather: index out of range");
+    }
+    const float* src = images.data() + i * per_sample;
+    data.insert(data.end(), src, src + per_sample);
+    out.labels.push_back(labels[static_cast<std::size_t>(i)]);
+  }
+  out.images = Tensor(Shape{static_cast<std::int64_t>(indices.size()),
+                            images.shape()[1], images.shape()[2],
+                            images.shape()[3]},
+                      std::move(data));
+  return out;
+}
+
+std::vector<std::int64_t> shuffled_indices(std::int64_t n, Rng& rng) {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  return idx;
+}
+
+DatasetSplits split_dataset(const Dataset& full, std::int64_t train_n,
+                            std::int64_t val_n, std::int64_t test_n) {
+  if (train_n + val_n + test_n > full.size()) {
+    throw std::invalid_argument("split_dataset: splits exceed dataset size");
+  }
+  DatasetSplits s;
+  s.train = full.slice(0, train_n);
+  s.val = full.slice(train_n, train_n + val_n);
+  s.test = full.slice(train_n + val_n, train_n + val_n + test_n);
+  return s;
+}
+
+}  // namespace pgmr::data

@@ -1,0 +1,50 @@
+// Dataset: labeled image collection plus split/shuffle utilities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace pgmr::data {
+
+/// A labeled image set. `images` is [N, C, H, W] in [0, 1]; `labels` holds
+/// N class indices. Value type; copies are deep.
+struct Dataset {
+  std::string name;
+  Tensor images;
+  std::vector<std::int64_t> labels;
+  std::int64_t num_classes = 0;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.shape()[0]; }
+  std::int64_t channels() const { return images.shape()[1]; }
+  std::int64_t height() const { return images.shape()[2]; }
+  std::int64_t width() const { return images.shape()[3]; }
+
+  /// Extracts samples [begin, end) as a new dataset.
+  Dataset slice(std::int64_t begin, std::int64_t end) const;
+
+  /// Extracts an arbitrary subset by index list.
+  Dataset gather(const std::vector<std::int64_t>& indices) const;
+
+  /// Single sample as a [1, C, H, W] tensor.
+  Tensor sample(std::int64_t i) const { return images.slice_sample(i); }
+};
+
+/// Train/validation/test partition of one generated corpus.
+struct DatasetSplits {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+
+/// Returns a random permutation of [0, n).
+std::vector<std::int64_t> shuffled_indices(std::int64_t n, Rng& rng);
+
+/// Cuts `full` into train/val/test of the given sizes (must sum to <= size).
+DatasetSplits split_dataset(const Dataset& full, std::int64_t train_n,
+                            std::int64_t val_n, std::int64_t test_n);
+
+}  // namespace pgmr::data

@@ -1,0 +1,67 @@
+#include "data/ppm.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace pgmr::data {
+namespace {
+
+struct Geometry {
+  std::int64_t channels, h, w;
+  std::int64_t offset;  // leading batch axis handled via offset 0
+};
+
+Geometry geometry_of(const Shape& s) {
+  if (s.rank() == 4 && s[0] == 1) return {s[1], s[2], s[3], 0};
+  if (s.rank() == 3) return {s[0], s[1], s[2], 0};
+  throw std::invalid_argument("write_pnm: expected [1,C,H,W] or [C,H,W], got " +
+                              s.to_string());
+}
+
+unsigned char to_byte(float v) {
+  return static_cast<unsigned char>(
+      std::clamp(v, 0.0F, 1.0F) * 255.0F + 0.5F);
+}
+
+}  // namespace
+
+void write_pnm(const Tensor& image, const std::string& path) {
+  const Geometry g = geometry_of(image.shape());
+  if (g.channels != 1 && g.channels != 3) {
+    throw std::invalid_argument("write_pnm: expected 1 or 3 channels");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_pnm: cannot open " + path);
+  out << (g.channels == 3 ? "P6" : "P5") << "\n"
+      << g.w << " " << g.h << "\n255\n";
+  const std::int64_t plane = g.h * g.w;
+  for (std::int64_t y = 0; y < g.h; ++y) {
+    for (std::int64_t x = 0; x < g.w; ++x) {
+      for (std::int64_t c = 0; c < g.channels; ++c) {
+        const unsigned char byte = to_byte(image[c * plane + y * g.w + x]);
+        out.write(reinterpret_cast<const char*>(&byte), 1);
+      }
+    }
+  }
+  if (!out) throw std::runtime_error("write_pnm: write failed for " + path);
+}
+
+Tensor upscale_nearest(const Tensor& image, int factor) {
+  if (factor < 1) throw std::invalid_argument("upscale_nearest: factor < 1");
+  const Geometry g = geometry_of(image.shape());
+  Tensor out(Shape{1, g.channels, g.h * factor, g.w * factor});
+  const std::int64_t plane = g.h * g.w;
+  const std::int64_t out_plane = plane * factor * factor;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    for (std::int64_t y = 0; y < g.h * factor; ++y) {
+      for (std::int64_t x = 0; x < g.w * factor; ++x) {
+        out[c * out_plane + y * g.w * factor + x] =
+            image[c * plane + (y / factor) * g.w + (x / factor)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pgmr::data

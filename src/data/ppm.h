@@ -1,0 +1,20 @@
+// PPM/PGM image export for inspecting the synthetic corpora — the visual
+// counterpart of the paper's Fig 3 example images.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace pgmr::data {
+
+/// Writes one image to a binary PPM (3-channel) or PGM (1-channel) file.
+/// `image` is [1, C, H, W] or [C, H, W]-shaped data from Dataset::sample;
+/// values are clamped from [0, 1] to 8-bit. Throws std::runtime_error on
+/// I/O failure, std::invalid_argument on unsupported shapes.
+void write_pnm(const Tensor& image, const std::string& path);
+
+/// Nearest-neighbour upscale (factor >= 1) so 16x16 corpora are viewable.
+Tensor upscale_nearest(const Tensor& image, int factor);
+
+}  // namespace pgmr::data

@@ -1,0 +1,108 @@
+#include "fault/injector.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pgmr::fault {
+namespace {
+
+Tensor* param_at(nn::Network& net, std::size_t index) {
+  const auto params = net.params();
+  if (index >= params.size()) {
+    throw std::out_of_range("fault: parameter index out of range");
+  }
+  return params[index];
+}
+
+}  // namespace
+
+float inject(nn::Network& net, const FaultSite& site) {
+  Tensor* p = param_at(net, site.param_index);
+  if (site.element < 0 || site.element >= p->numel()) {
+    throw std::out_of_range("fault: element out of range");
+  }
+  if (site.bit < 0 || site.bit > 31) {
+    throw std::out_of_range("fault: bit out of range");
+  }
+  float& slot = (*p)[site.element];
+  const float original = slot;
+  const auto raw = std::bit_cast<std::uint32_t>(slot);
+  slot = std::bit_cast<float>(raw ^ (1U << site.bit));
+  return original;
+}
+
+void restore(nn::Network& net, const FaultSite& site, float original) {
+  Tensor* p = param_at(net, site.param_index);
+  (*p)[site.element] = original;
+}
+
+std::vector<FaultSite> sample_sites(nn::Network& net, int count, Rng& rng,
+                                    int max_bit) {
+  const auto params = net.params();
+  if (params.empty()) throw std::invalid_argument("fault: no parameters");
+  if (max_bit < 0 || max_bit > 31) {
+    throw std::invalid_argument("fault: max_bit out of range");
+  }
+  std::vector<FaultSite> sites;
+  sites.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FaultSite site;
+    site.param_index =
+        static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(params.size()) - 1));
+    site.element = rng.randint(0, params[site.param_index]->numel() - 1);
+    site.bit = static_cast<int>(rng.randint(0, max_bit));
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+CampaignResult run_campaign(nn::Network& net, const Tensor& images,
+                            const std::vector<std::int64_t>& labels,
+                            const std::vector<FaultSite>& sites,
+                            double threshold) {
+  if (static_cast<std::int64_t>(labels.size()) != images.shape()[0]) {
+    throw std::invalid_argument("fault: label count mismatch");
+  }
+  // Golden run.
+  const Tensor golden = net.forward(images, /*train=*/false);
+  const std::int64_t n = golden.shape()[0];
+  std::vector<std::int64_t> golden_pred(static_cast<std::size_t>(n));
+  std::int64_t golden_correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    golden_pred[static_cast<std::size_t>(i)] = golden.argmax_row(i);
+    if (golden_pred[static_cast<std::size_t>(i)] ==
+        labels[static_cast<std::size_t>(i)]) {
+      ++golden_correct;
+    }
+  }
+  const double golden_acc =
+      static_cast<double>(golden_correct) / static_cast<double>(n);
+
+  CampaignResult result;
+  for (const FaultSite& site : sites) {
+    const float original = inject(net, site);
+    const Tensor out = net.forward(images, /*train=*/false);
+    restore(net, site, original);
+
+    bool changed = false;
+    std::int64_t correct = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t pred = out.argmax_row(i);
+      changed |= pred != golden_pred[static_cast<std::size_t>(i)];
+      if (pred == labels[static_cast<std::size_t>(i)]) ++correct;
+    }
+    const double acc = static_cast<double>(correct) / static_cast<double>(n);
+
+    ++result.trials;
+    if (!changed) {
+      ++result.masked;
+    } else if (golden_acc - acc > threshold) {
+      ++result.corrupted;
+    } else {
+      ++result.degraded;
+    }
+  }
+  return result;
+}
+
+}  // namespace pgmr::fault

@@ -1,0 +1,65 @@
+// Transient-fault injection into network parameters.
+//
+// The paper (Section V) distinguishes PolygraphMR's target — the model's
+// *inherent* mispredictions — from the classic dependability literature on
+// transient faults/soft errors in DNN accelerators (Li et al., SC'17).
+// This module provides the classic side so the two failure modes can be
+// studied together: single/multi bit flips in stored weights, with MR's
+// masking ability measured by the same TP/FP machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+#include "tensor/random.h"
+
+namespace pgmr::fault {
+
+/// One injected fault: which parameter tensor, which element, which bit.
+struct FaultSite {
+  std::size_t param_index = 0;
+  std::int64_t element = 0;
+  int bit = 0;  ///< 0 = LSB of the IEEE-754 mantissa ... 31 = sign
+};
+
+/// Flips the chosen bit of the chosen weight in place; returns the site's
+/// original value so it can be restored.
+float inject(nn::Network& net, const FaultSite& site);
+
+/// Undoes an inject() using the saved original value.
+void restore(nn::Network& net, const FaultSite& site, float original);
+
+/// Samples `count` uniformly random fault sites over all parameters.
+/// `max_bit` bounds the flipped bit position (31 allows sign flips;
+/// high-exponent bits (23..30) are the catastrophic ones).
+std::vector<FaultSite> sample_sites(nn::Network& net, int count, Rng& rng,
+                                    int max_bit = 31);
+
+/// Outcome of a fault-injection campaign on a fixed evaluation set.
+struct CampaignResult {
+  std::int64_t trials = 0;
+  std::int64_t masked = 0;      ///< prediction vector unchanged
+  std::int64_t degraded = 0;    ///< some predictions changed
+  std::int64_t corrupted = 0;   ///< accuracy dropped by > threshold
+
+  double masked_rate() const {
+    return trials ? static_cast<double>(masked) / static_cast<double>(trials)
+                  : 0.0;
+  }
+  double corrupted_rate() const {
+    return trials
+               ? static_cast<double>(corrupted) / static_cast<double>(trials)
+               : 0.0;
+  }
+};
+
+/// Runs one fault per trial: flip, evaluate predictions on `images`, undo.
+/// A trial is `corrupted` when accuracy drops by more than `threshold`
+/// (absolute), `degraded` when any prediction changed, `masked` otherwise.
+CampaignResult run_campaign(nn::Network& net, const Tensor& images,
+                            const std::vector<std::int64_t>& labels,
+                            const std::vector<FaultSite>& sites,
+                            double threshold = 0.01);
+
+}  // namespace pgmr::fault

@@ -1,0 +1,57 @@
+#include "mr/decision.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace pgmr::mr {
+
+std::vector<Vote> votes_from_probabilities(const Tensor& probs) {
+  if (probs.shape().rank() != 2) {
+    throw std::invalid_argument(
+        "votes_from_probabilities: expected [N, C] probabilities");
+  }
+  const std::int64_t batch = probs.shape()[0];
+  std::vector<Vote> votes(static_cast<std::size_t>(batch));
+  for (std::int64_t n = 0; n < batch; ++n) {
+    votes[static_cast<std::size_t>(n)] = {probs.argmax_row(n),
+                                          probs.max_row(n)};
+  }
+  return votes;
+}
+
+Decision decide(const std::vector<Vote>& votes, const Thresholds& t) {
+  std::map<std::int64_t, int> histogram;
+  for (const Vote& v : votes) {
+    if (v.label >= 0 && v.confidence >= t.conf) ++histogram[v.label];
+  }
+  Decision d;
+  if (histogram.empty()) return d;  // nothing acceptable: unreliable, no label
+
+  int best = 0;
+  bool tie = false;
+  for (const auto& [label, count] : histogram) {
+    if (count > best) {
+      best = count;
+      d.label = label;
+      tie = false;
+    } else if (count == best) {
+      tie = true;
+    }
+  }
+  d.votes_for_label = best;
+  d.reliable = !tie && best >= t.freq;
+  return d;
+}
+
+int majority_threshold(int members) { return members / 2 + 1; }
+
+int max_agreement(const std::vector<Vote>& votes) {
+  std::map<std::int64_t, int> histogram;
+  int best = 0;
+  for (const Vote& v : votes) {
+    if (v.label >= 0) best = std::max(best, ++histogram[v.label]);
+  }
+  return best;
+}
+
+}  // namespace pgmr::mr

@@ -1,0 +1,49 @@
+// Layer 3 of PolygraphMR: the decision engine (paper Section III-E).
+//
+// Each member CNN contributes a top-1 vote (label + softmax confidence).
+// The engine drops votes below Thr_Conf, histograms the rest, predicts the
+// most frequent label, and marks the prediction reliable only when that
+// frequency reaches Thr_Freq. Ties for the most frequent label are
+// unreliable, matching the paper's majority-vote convention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgmr::mr {
+
+/// One member's top-1 prediction.
+struct Vote {
+  std::int64_t label = -1;
+  float confidence = 0.0F;
+};
+
+/// The two decision-engine knobs (paper Section III-C).
+struct Thresholds {
+  float conf = 0.0F;  ///< Thr_Conf: minimum member confidence to count a vote
+  int freq = 1;       ///< Thr_Freq: votes required to call the answer reliable
+};
+
+/// Engine output for one input sample.
+struct Decision {
+  std::int64_t label = -1;  ///< -1 when no vote met Thr_Conf
+  bool reliable = false;
+  int votes_for_label = 0;  ///< acceptable votes behind `label`
+};
+
+/// Extracts per-sample votes from a member's [N, C] probability matrix.
+std::vector<Vote> votes_from_probabilities(const Tensor& probs);
+
+/// Runs the decision engine over one sample's member votes.
+Decision decide(const std::vector<Vote>& votes, const Thresholds& t);
+
+/// Thr_Freq for classic majority voting over `members` networks.
+int majority_threshold(int members);
+
+/// Size of the largest agreeing group among `votes`, ignoring confidences —
+/// the quantity histogrammed in the paper's Fig 7.
+int max_agreement(const std::vector<Vote>& votes);
+
+}  // namespace pgmr::mr

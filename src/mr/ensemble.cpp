@@ -1,0 +1,43 @@
+#include "mr/ensemble.h"
+
+namespace pgmr::mr {
+
+Member::Member(std::unique_ptr<prep::Preprocessor> preprocessor,
+               nn::Network network, int bits)
+    : prep_(std::move(preprocessor)),
+      prep_name_(prep_->name()),
+      net_(std::move(network), bits) {}
+
+std::string Member::description() const {
+  return prep_name_ + "/" + net_.name();
+}
+
+Tensor Member::probabilities(const Tensor& images) {
+  return net_.probabilities(prep_->apply(images));
+}
+
+perf::InferenceCost Member::cost(const Shape& in,
+                                 const perf::CostModel& model) const {
+  return model.network_cost(net_.network().cost(in), net_.bits());
+}
+
+std::vector<Tensor> Ensemble::member_probabilities(const Tensor& images) {
+  std::vector<Tensor> out;
+  out.reserve(members_.size());
+  for (Member& m : members_) out.push_back(m.probabilities(images));
+  return out;
+}
+
+MemberVotes Ensemble::member_votes(const Tensor& images) {
+  return votes_from_members(member_probabilities(images));
+}
+
+std::vector<perf::InferenceCost> Ensemble::member_costs(
+    const Shape& in, const perf::CostModel& model) const {
+  std::vector<perf::InferenceCost> out;
+  out.reserve(members_.size());
+  for (const Member& m : members_) out.push_back(m.cost(in, model));
+  return out;
+}
+
+}  // namespace pgmr::mr

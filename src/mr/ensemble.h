@@ -1,0 +1,65 @@
+// Ensemble: Layers 1+2 bound together — each member pairs a preprocessor
+// with a (possibly precision-reduced) CNN.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/evaluate.h"
+#include "nn/network.h"
+#include "perf/cost_model.h"
+#include "prep/preprocessor.h"
+#include "quant/quantized_network.h"
+
+namespace pgmr::mr {
+
+/// One preprocessor + network pair. bits == 32 runs at full precision.
+class Member {
+ public:
+  Member(std::unique_ptr<prep::Preprocessor> preprocessor, nn::Network network,
+         int bits = quant::kFullBits);
+
+  /// "<prep>/<network>" — e.g. "FlipX/convnet".
+  std::string description() const;
+  const std::string& prep_name() const { return prep_name_; }
+  int bits() const { return net_.bits(); }
+
+  /// Applies the preprocessor then the network; returns [N, C] softmax.
+  Tensor probabilities(const Tensor& images);
+
+  /// Static cost of one inference on inputs of shape `in` at this member's
+  /// precision.
+  perf::InferenceCost cost(const Shape& in, const perf::CostModel& model) const;
+
+ private:
+  std::unique_ptr<prep::Preprocessor> prep_;
+  std::string prep_name_;
+  quant::QuantizedNetwork net_;
+};
+
+/// The heterogeneous modular-redundant group (paper Layer 2).
+class Ensemble {
+ public:
+  Ensemble() = default;
+
+  void add(Member member) { members_.push_back(std::move(member)); }
+  std::size_t size() const { return members_.size(); }
+  const Member& member(std::size_t i) const { return members_[i]; }
+  Member& member(std::size_t i) { return members_[i]; }
+
+  /// Runs every member on `images`; result[m] is member m's [N, C] softmax.
+  std::vector<Tensor> member_probabilities(const Tensor& images);
+
+  /// member_probabilities + vote extraction in one call.
+  MemberVotes member_votes(const Tensor& images);
+
+  /// Per-member inference cost on inputs of shape `in`.
+  std::vector<perf::InferenceCost> member_costs(
+      const Shape& in, const perf::CostModel& model) const;
+
+ private:
+  std::vector<Member> members_;
+};
+
+}  // namespace pgmr::mr

@@ -1,0 +1,72 @@
+#include "mr/evaluate.h"
+
+#include <stdexcept>
+
+namespace pgmr::mr {
+
+MemberVotes votes_from_members(const std::vector<Tensor>& member_probs) {
+  MemberVotes votes;
+  votes.reserve(member_probs.size());
+  for (const Tensor& probs : member_probs) {
+    votes.push_back(votes_from_probabilities(probs));
+  }
+  for (const auto& v : votes) {
+    if (v.size() != votes.front().size()) {
+      throw std::invalid_argument("votes_from_members: ragged member outputs");
+    }
+  }
+  return votes;
+}
+
+std::vector<Vote> sample_votes(const MemberVotes& votes, std::int64_t n) {
+  std::vector<Vote> out;
+  out.reserve(votes.size());
+  for (const auto& member : votes) {
+    out.push_back(member[static_cast<std::size_t>(n)]);
+  }
+  return out;
+}
+
+Outcome evaluate(const MemberVotes& votes,
+                 const std::vector<std::int64_t>& labels,
+                 const Thresholds& t) {
+  if (votes.empty()) throw std::invalid_argument("evaluate: no members");
+  if (votes.front().size() != labels.size()) {
+    throw std::invalid_argument("evaluate: vote/label count mismatch");
+  }
+  Outcome out;
+  out.total = static_cast<std::int64_t>(labels.size());
+  for (std::int64_t n = 0; n < out.total; ++n) {
+    const Decision d = decide(sample_votes(votes, n), t);
+    if (!d.reliable) {
+      ++out.unreliable;
+    } else if (d.label == labels[static_cast<std::size_t>(n)]) {
+      ++out.tp;
+    } else {
+      ++out.fp;
+    }
+  }
+  return out;
+}
+
+Outcome evaluate_single(const Tensor& probs,
+                        const std::vector<std::int64_t>& labels, float conf) {
+  const std::vector<Vote> votes = votes_from_probabilities(probs);
+  if (votes.size() != labels.size()) {
+    throw std::invalid_argument("evaluate_single: vote/label count mismatch");
+  }
+  Outcome out;
+  out.total = static_cast<std::int64_t>(labels.size());
+  for (std::size_t n = 0; n < votes.size(); ++n) {
+    if (votes[n].confidence < conf) {
+      ++out.unreliable;
+    } else if (votes[n].label == labels[n]) {
+      ++out.tp;
+    } else {
+      ++out.fp;
+    }
+  }
+  return out;
+}
+
+}  // namespace pgmr::mr

@@ -1,0 +1,49 @@
+// Reliability accounting over a labeled evaluation set.
+//
+// The paper's outcome taxonomy (Section III-A): TP = correct and reliable,
+// FP = wrong but reported reliable (the failure mode PolygraphMR exists to
+// reduce), and Unreliable = flagged answers (detected wrongs plus correct
+// answers sacrificed to the flagging).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/decision.h"
+
+namespace pgmr::mr {
+
+/// Aggregate outcome counts and rates over an evaluation set.
+struct Outcome {
+  std::int64_t tp = 0;
+  std::int64_t fp = 0;
+  std::int64_t unreliable = 0;
+  std::int64_t total = 0;
+
+  double tp_rate() const {
+    return total ? static_cast<double>(tp) / static_cast<double>(total) : 0.0;
+  }
+  double fp_rate() const {
+    return total ? static_cast<double>(fp) / static_cast<double>(total) : 0.0;
+  }
+};
+
+/// Per-member per-sample votes: votes[m][n] is member m's vote on sample n.
+using MemberVotes = std::vector<std::vector<Vote>>;
+
+/// Converts a list of member probability matrices (each [N, C]) to votes.
+MemberVotes votes_from_members(const std::vector<Tensor>& member_probs);
+
+/// Gathers sample n's vote from every member.
+std::vector<Vote> sample_votes(const MemberVotes& votes, std::int64_t n);
+
+/// Runs the decision engine on every sample and tallies the outcome.
+Outcome evaluate(const MemberVotes& votes,
+                 const std::vector<std::int64_t>& labels, const Thresholds& t);
+
+/// Single-network baseline with a plain confidence threshold: prediction is
+/// reliable iff its confidence >= conf (the paper's Fig 2 / "ORG" Pareto).
+Outcome evaluate_single(const Tensor& probs,
+                        const std::vector<std::int64_t>& labels, float conf);
+
+}  // namespace pgmr::mr

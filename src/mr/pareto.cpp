@@ -1,0 +1,94 @@
+#include "mr/pareto.h"
+
+#include <algorithm>
+
+namespace pgmr::mr {
+
+std::vector<float> default_conf_grid() {
+  std::vector<float> grid;
+  for (int i = 0; i < 20; ++i) grid.push_back(0.05F * static_cast<float>(i));
+  return grid;
+}
+
+std::vector<SweepPoint> sweep_thresholds(
+    const MemberVotes& votes, const std::vector<std::int64_t>& labels,
+    const std::vector<float>& conf_grid) {
+  std::vector<SweepPoint> points;
+  const int members = static_cast<int>(votes.size());
+  points.reserve(conf_grid.size() * static_cast<std::size_t>(members));
+  for (float conf : conf_grid) {
+    for (int freq = 1; freq <= members; ++freq) {
+      const Thresholds t{conf, freq};
+      const Outcome o = evaluate(votes, labels, t);
+      points.push_back({t, o.tp_rate(), o.fp_rate()});
+    }
+  }
+  return points;
+}
+
+std::vector<SweepPoint> sweep_single(const Tensor& probs,
+                                     const std::vector<std::int64_t>& labels,
+                                     const std::vector<float>& conf_grid) {
+  std::vector<SweepPoint> points;
+  points.reserve(conf_grid.size());
+  for (float conf : conf_grid) {
+    const Outcome o = evaluate_single(probs, labels, conf);
+    points.push_back({Thresholds{conf, 1}, o.tp_rate(), o.fp_rate()});
+  }
+  return points;
+}
+
+std::vector<SweepPoint> pareto_frontier(std::vector<SweepPoint> points) {
+  std::vector<SweepPoint> frontier;
+  for (const SweepPoint& p : points) {
+    bool dominated = false;
+    for (const SweepPoint& q : points) {
+      const bool no_worse = q.tp_rate >= p.tp_rate && q.fp_rate <= p.fp_rate;
+      const bool strictly_better =
+          q.tp_rate > p.tp_rate || q.fp_rate < p.fp_rate;
+      if (no_worse && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(p);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const SweepPoint& a, const SweepPoint& b) {
+              if (a.fp_rate != b.fp_rate) return a.fp_rate < b.fp_rate;
+              return a.tp_rate < b.tp_rate;
+            });
+  // Drop duplicate (tp, fp) pairs that differ only in thresholds.
+  frontier.erase(std::unique(frontier.begin(), frontier.end(),
+                             [](const SweepPoint& a, const SweepPoint& b) {
+                               return a.tp_rate == b.tp_rate &&
+                                      a.fp_rate == b.fp_rate;
+                             }),
+                 frontier.end());
+  return frontier;
+}
+
+std::optional<SweepPoint> select_by_tp_floor(
+    const std::vector<SweepPoint>& frontier, double tp_floor) {
+  if (frontier.empty()) return std::nullopt;
+  std::optional<SweepPoint> best;
+  for (const SweepPoint& p : frontier) {
+    if (p.tp_rate >= tp_floor) {
+      if (!best || p.fp_rate < best->fp_rate ||
+          (p.fp_rate == best->fp_rate && p.tp_rate > best->tp_rate)) {
+        best = p;
+      }
+    }
+  }
+  if (!best) {
+    // No point preserves the floor: return the TP-maximizing point so the
+    // caller still gets a usable configuration.
+    best = *std::max_element(frontier.begin(), frontier.end(),
+                             [](const SweepPoint& a, const SweepPoint& b) {
+                               return a.tp_rate < b.tp_rate;
+                             });
+  }
+  return best;
+}
+
+}  // namespace pgmr::mr

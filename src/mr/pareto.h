@@ -1,0 +1,47 @@
+// Offline profiling stage (paper Section III-E): sweep the (Thr_Conf,
+// Thr_Freq) space on the validation set, keep the TP-maximizing /
+// FP-minimizing Pareto frontier, and pick an operating point from user
+// demands (here: a TP floor, usually "100 % of baseline TP").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mr/evaluate.h"
+
+namespace pgmr::mr {
+
+/// One evaluated threshold setting.
+struct SweepPoint {
+  Thresholds thresholds;
+  double tp_rate = 0.0;
+  double fp_rate = 0.0;
+};
+
+/// Default Thr_Conf grid: 0.00, 0.05, ..., 0.95.
+std::vector<float> default_conf_grid();
+
+/// Evaluates every (conf, freq) pair: conf from `conf_grid`, freq from 1 to
+/// the number of members.
+std::vector<SweepPoint> sweep_thresholds(const MemberVotes& votes,
+                                         const std::vector<std::int64_t>& labels,
+                                         const std::vector<float>& conf_grid);
+
+/// Sweeps a single network's confidence threshold over `conf_grid`
+/// (baseline "ORG + Thr_Conf" Pareto in Figs 11 and 13).
+std::vector<SweepPoint> sweep_single(const Tensor& probs,
+                                     const std::vector<std::int64_t>& labels,
+                                     const std::vector<float>& conf_grid);
+
+/// Filters to the non-dominated set: a point survives when no other point
+/// has both tp_rate >= and fp_rate <= (with one strict). Sorted by
+/// ascending fp_rate.
+std::vector<SweepPoint> pareto_frontier(std::vector<SweepPoint> points);
+
+/// Picks the frontier point with minimum FP among those with
+/// tp_rate >= tp_floor; falls back to the highest-TP point when none
+/// qualifies (so callers always get an operating point).
+std::optional<SweepPoint> select_by_tp_floor(
+    const std::vector<SweepPoint>& frontier, double tp_floor);
+
+}  // namespace pgmr::mr

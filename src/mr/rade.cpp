@@ -1,0 +1,110 @@
+#include "mr/rade.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace pgmr::mr {
+
+std::vector<std::size_t> contribution_priority(
+    const MemberVotes& validation_votes,
+    const std::vector<std::int64_t>& validation_labels) {
+  if (validation_votes.empty()) {
+    throw std::invalid_argument("contribution_priority: no members");
+  }
+  std::vector<std::int64_t> correct(validation_votes.size(), 0);
+  for (std::size_t m = 0; m < validation_votes.size(); ++m) {
+    if (validation_votes[m].size() != validation_labels.size()) {
+      throw std::invalid_argument(
+          "contribution_priority: vote/label count mismatch");
+    }
+    for (std::size_t n = 0; n < validation_labels.size(); ++n) {
+      if (validation_votes[m][n].label == validation_labels[n]) ++correct[m];
+    }
+  }
+  std::vector<std::size_t> order(validation_votes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return correct[a] > correct[b];
+                   });
+  return order;
+}
+
+StagedDecision staged_decide(const std::vector<Vote>& ordered_votes,
+                             const Thresholds& t) {
+  const int total = static_cast<int>(ordered_votes.size());
+  if (total == 0) throw std::invalid_argument("staged_decide: no votes");
+
+  std::map<std::int64_t, int> histogram;
+  int active = 0;
+  const int initial = std::min(std::max(t.freq, 1), total);
+
+  auto admit = [&](int upto) {
+    while (active < upto) {
+      const Vote& v = ordered_votes[static_cast<std::size_t>(active)];
+      if (v.label >= 0 && v.confidence >= t.conf) ++histogram[v.label];
+      ++active;
+    }
+  };
+
+  admit(initial);
+  while (true) {
+    int best = 0;
+    for (const auto& [label, count] : histogram) best = std::max(best, count);
+    if (best >= t.freq) break;                       // reliable verdict reached
+    if (best + (total - active) < t.freq) break;     // can never reach Thr_Freq
+    if (active == total) break;
+    admit(active + 1);
+  }
+
+  // Final verdict from the activated prefix, with the same tie handling as
+  // the full engine.
+  StagedDecision result;
+  result.activated = active;
+  std::vector<Vote> prefix(ordered_votes.begin(),
+                           ordered_votes.begin() + active);
+  result.decision = decide(prefix, t);
+  return result;
+}
+
+double StagedOutcome::mean_activated() const {
+  std::int64_t samples = 0;
+  std::int64_t weighted = 0;
+  for (std::size_t k = 0; k < activation_histogram.size(); ++k) {
+    samples += activation_histogram[k];
+    weighted += activation_histogram[k] * static_cast<std::int64_t>(k + 1);
+  }
+  return samples ? static_cast<double>(weighted) / static_cast<double>(samples)
+                 : 0.0;
+}
+
+StagedOutcome evaluate_staged(const MemberVotes& votes,
+                              const std::vector<std::int64_t>& labels,
+                              const std::vector<std::size_t>& priority,
+                              const Thresholds& t) {
+  if (priority.size() != votes.size()) {
+    throw std::invalid_argument("evaluate_staged: bad priority permutation");
+  }
+  StagedOutcome out;
+  out.activation_histogram.assign(votes.size(), 0);
+  out.outcome.total = static_cast<std::int64_t>(labels.size());
+  for (std::size_t n = 0; n < labels.size(); ++n) {
+    std::vector<Vote> ordered;
+    ordered.reserve(votes.size());
+    for (std::size_t m : priority) ordered.push_back(votes[m][n]);
+    const StagedDecision sd = staged_decide(ordered, t);
+    ++out.activation_histogram[static_cast<std::size_t>(sd.activated - 1)];
+    if (!sd.decision.reliable) {
+      ++out.outcome.unreliable;
+    } else if (sd.decision.label == labels[n]) {
+      ++out.outcome.tp;
+    } else {
+      ++out.outcome.fp;
+    }
+  }
+  return out;
+}
+
+}  // namespace pgmr::mr

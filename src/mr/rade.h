@@ -1,0 +1,52 @@
+// Resource-Aware Decision Engine (paper Section III-F).
+//
+// Members are ranked offline by how often each supplies a correct vote on
+// the validation set. At inference the top Thr_Freq members run first; more
+// members are activated one at a time only while the verdict is still
+// undetermined — i.e. no label has reached Thr_Freq votes yet, but one
+// still could given the members that remain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/evaluate.h"
+
+namespace pgmr::mr {
+
+/// Orders member indices by descending correct-vote frequency on a
+/// validation set (ties broken by lower index). votes[m][n] as usual.
+std::vector<std::size_t> contribution_priority(
+    const MemberVotes& validation_votes,
+    const std::vector<std::int64_t>& validation_labels);
+
+/// Decision plus how many members had to be activated to reach it.
+struct StagedDecision {
+  Decision decision;
+  int activated = 0;
+};
+
+/// Runs staged activation for one sample. `ordered_votes` holds the votes
+/// of every member already sorted by priority; only a prefix is "paid for".
+StagedDecision staged_decide(const std::vector<Vote>& ordered_votes,
+                             const Thresholds& t);
+
+/// Evaluation-set outcome of RADE plus the activation histogram
+/// (histogram[k] = samples that needed exactly k+1 members) — the
+/// distribution plotted in the paper's Fig 12.
+struct StagedOutcome {
+  Outcome outcome;
+  std::vector<std::int64_t> activation_histogram;
+
+  /// Mean number of members activated per sample.
+  double mean_activated() const;
+};
+
+/// Applies staged_decide to every sample. `priority` must be a permutation
+/// of member indices (from contribution_priority).
+StagedOutcome evaluate_staged(const MemberVotes& votes,
+                              const std::vector<std::int64_t>& labels,
+                              const std::vector<std::size_t>& priority,
+                              const Thresholds& t);
+
+}  // namespace pgmr::mr

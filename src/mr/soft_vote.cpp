@@ -1,0 +1,35 @@
+#include "mr/soft_vote.h"
+
+#include <stdexcept>
+
+#include "mr/pareto.h"
+
+namespace pgmr::mr {
+
+Tensor average_probabilities(const std::vector<Tensor>& member_probs) {
+  if (member_probs.empty()) {
+    throw std::invalid_argument("average_probabilities: no members");
+  }
+  Tensor mean = member_probs.front();
+  for (std::size_t m = 1; m < member_probs.size(); ++m) {
+    if (member_probs[m].shape() != mean.shape()) {
+      throw std::invalid_argument("average_probabilities: shape mismatch");
+    }
+    mean += member_probs[m];
+  }
+  mean *= 1.0F / static_cast<float>(member_probs.size());
+  return mean;
+}
+
+Outcome evaluate_soft(const std::vector<Tensor>& member_probs,
+                      const std::vector<std::int64_t>& labels, float conf) {
+  return evaluate_single(average_probabilities(member_probs), labels, conf);
+}
+
+std::vector<SweepPoint> sweep_soft(const std::vector<Tensor>& member_probs,
+                                   const std::vector<std::int64_t>& labels,
+                                   const std::vector<float>& conf_grid) {
+  return sweep_single(average_probabilities(member_probs), labels, conf_grid);
+}
+
+}  // namespace pgmr::mr

@@ -1,0 +1,32 @@
+// Soft voting: the deep-ensembles baseline (Lakshminarayanan et al.,
+// NeurIPS 2017 — reference [27] of the paper).
+//
+// Instead of histogramming thresholded top-1 votes, the member softmax
+// vectors are averaged and a single confidence threshold is applied to the
+// averaged distribution. The paper cites this family as accurate but
+// 10-100x more expensive at scale; the ablation bench compares it with
+// PolygraphMR's frequency engine on equal member counts.
+#pragma once
+
+#include <vector>
+
+#include "mr/evaluate.h"
+#include "mr/pareto.h"
+
+namespace pgmr::mr {
+
+/// Elementwise mean of the members' [N, C] probability matrices.
+/// Throws std::invalid_argument when shapes are inconsistent or empty.
+Tensor average_probabilities(const std::vector<Tensor>& member_probs);
+
+/// Evaluates soft voting at one confidence threshold: predict the argmax
+/// of the averaged distribution, reliable iff its probability >= conf.
+Outcome evaluate_soft(const std::vector<Tensor>& member_probs,
+                      const std::vector<std::int64_t>& labels, float conf);
+
+/// Sweeps soft voting over a confidence grid (Pareto input).
+std::vector<SweepPoint> sweep_soft(const std::vector<Tensor>& member_probs,
+                                   const std::vector<std::int64_t>& labels,
+                                   const std::vector<float>& conf_grid);
+
+}  // namespace pgmr::mr

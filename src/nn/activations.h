@@ -1,0 +1,45 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pgmr::nn {
+
+/// Rectified linear unit, y = max(0, x).
+class ReLU final : public Layer {
+ public:
+  std::string kind() const override { return "relu"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& in) const override { return in; }
+  void save(BinaryWriter&) const override {}
+  static std::unique_ptr<ReLU> load(BinaryReader&) {
+    return std::make_unique<ReLU>();
+  }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Inverted dropout: at train time zeroes activations with probability p and
+/// rescales survivors by 1/(1-p); identity at inference.
+class Dropout final : public Layer {
+ public:
+  /// `p` is the drop probability in [0, 1); `seed` makes masks reproducible.
+  Dropout(float p, std::uint64_t seed);
+
+  std::string kind() const override { return "dropout"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& in) const override { return in; }
+  void save(BinaryWriter& w) const override;
+  static std::unique_ptr<Dropout> load(BinaryReader& r);
+
+ private:
+  float p_;
+  std::uint64_t seed_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+}  // namespace pgmr::nn

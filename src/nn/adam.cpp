@@ -1,0 +1,53 @@
+#include "nn/adam.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pgmr::nn {
+
+Adam::Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+           Config config)
+    : params_(std::move(params)), grads_(std::move(grads)), config_(config) {
+  if (params_.size() != grads_.size()) {
+    throw std::invalid_argument("Adam: params/grads size mismatch");
+  }
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->shape() != grads_[i]->shape()) {
+      throw std::invalid_argument("Adam: param/grad shape mismatch at " +
+                                  std::to_string(i));
+    }
+    m_.emplace_back(params_[i]->shape());
+    v_.emplace_back(params_[i]->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 =
+      1.0F - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bias2 =
+      1.0F - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i];
+    const Tensor& g = *grads_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < w.numel(); ++j) {
+      m[j] = config_.beta1 * m[j] + (1.0F - config_.beta1) * g[j];
+      v[j] = config_.beta2 * v[j] + (1.0F - config_.beta2) * g[j] * g[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      w[j] -= config_.learning_rate *
+              (m_hat / (std::sqrt(v_hat) + config_.eps) +
+               config_.weight_decay * w[j]);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Tensor* g : grads_) g->fill(0.0F);
+}
+
+}  // namespace pgmr::nn

@@ -1,0 +1,43 @@
+// Adam optimizer (Kingma & Ba) — an alternative to SGD for users whose
+// members train poorly with momentum SGD; the zoo recipes stay on SGD.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgmr::nn {
+
+/// Adam with bias-corrected first/second moment estimates.
+class Adam {
+ public:
+  struct Config {
+    float learning_rate = 1e-3F;
+    float beta1 = 0.9F;
+    float beta2 = 0.999F;
+    float eps = 1e-8F;
+    float weight_decay = 0.0F;  ///< decoupled (AdamW-style) decay
+  };
+
+  /// `params` and `grads` are parallel lists with matching shapes.
+  Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads, Config config);
+
+  /// One update step using the currently accumulated gradients.
+  void step();
+
+  /// Clears every bound gradient tensor.
+  void zero_grad();
+
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+
+ private:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  Config config_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace pgmr::nn

@@ -1,0 +1,44 @@
+// BatchNorm: per-channel batch normalization (rank-4) or per-feature (rank-2).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pgmr::nn {
+
+/// Batch normalization with learnable affine (gamma, beta) and running
+/// statistics for inference. For rank-4 input normalizes per channel; for
+/// rank-2 per feature.
+class BatchNorm final : public Layer {
+ public:
+  /// `channels` is the normalized axis size; `momentum` weights the running
+  /// statistics update (new = (1-m)*old + m*batch).
+  explicit BatchNorm(std::int64_t channels, float momentum = 0.1F,
+                     float eps = 1e-5F);
+
+  std::string kind() const override { return "batchnorm"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> grads() override { return {&grad_gamma_, &grad_beta_}; }
+  Shape output_shape(const Shape& in) const override;
+  CostStats cost(const Shape& in) const override;
+  void save(BinaryWriter& w) const override;
+  static std::unique_ptr<BatchNorm> load(BinaryReader& r);
+
+ private:
+  /// Number of elements normalized together per channel for shape `s`.
+  std::int64_t group_size(const Shape& s) const;
+
+  std::int64_t channels_;
+  float momentum_, eps_;
+  Tensor gamma_, beta_;
+  Tensor grad_gamma_, grad_beta_;
+  Tensor running_mean_, running_var_;
+
+  // Forward cache for backward.
+  Tensor cached_xhat_;
+  Tensor cached_std_;  // per-channel sqrt(var + eps)
+  Shape cached_in_shape_;
+};
+
+}  // namespace pgmr::nn

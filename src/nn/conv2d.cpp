@@ -1,0 +1,155 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+
+#include "nn/gemm.h"
+#include "nn/init.h"
+
+namespace pgmr::nn {
+
+Conv2D::Conv2D(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Shape{out_channels, in_channels * kernel * kernel}),
+      bias_(Shape{out_channels}),
+      grad_weight_(Shape{out_channels, in_channels * kernel * kernel}),
+      grad_bias_(Shape{out_channels}) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 ||
+      pad < 0) {
+    throw std::invalid_argument("Conv2D: invalid geometry");
+  }
+}
+
+void Conv2D::init(Rng& rng) {
+  he_init(weight_, in_c_ * kernel_ * kernel_, rng);
+  bias_.fill(0.0F);
+}
+
+ConvGeometry Conv2D::geometry(const Shape& in) const {
+  if (in.rank() != 4 || in[1] != in_c_) {
+    throw std::invalid_argument("Conv2D: bad input shape " + in.to_string());
+  }
+  ConvGeometry geo;
+  geo.in_channels = in_c_;
+  geo.in_h = in[2];
+  geo.in_w = in[3];
+  geo.kernel = kernel_;
+  geo.stride = stride_;
+  geo.pad = pad_;
+  if (geo.out_h() <= 0 || geo.out_w() <= 0) {
+    throw std::invalid_argument("Conv2D: kernel larger than padded input");
+  }
+  return geo;
+}
+
+Shape Conv2D::output_shape(const Shape& in) const {
+  const ConvGeometry geo = geometry(in);
+  return Shape{in[0], out_c_, geo.out_h(), geo.out_w()};
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool train) {
+  const ConvGeometry geo = geometry(input.shape());
+  const std::int64_t batch = input.shape()[0];
+  const std::int64_t oh = geo.out_h();
+  const std::int64_t ow = geo.out_w();
+  const std::int64_t spatial = oh * ow;
+  const std::int64_t patch = geo.patch_size();
+
+  Tensor out(Shape{batch, out_c_, oh, ow});
+  std::vector<float> col(static_cast<std::size_t>(patch * spatial));
+
+  if (train) {
+    cached_in_shape_ = input.shape();
+    cached_cols_.assign(static_cast<std::size_t>(batch * patch * spatial), 0.0F);
+  }
+
+  const std::int64_t in_per_sample = in_c_ * geo.in_h * geo.in_w;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    im2col(input.data() + n * in_per_sample, geo, col.data());
+    float* dst = out.data() + n * out_c_ * spatial;
+    // out[oc, y*x] = W[oc, patch] * col[patch, y*x] + bias
+    for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+      float* row = dst + oc * spatial;
+      const float b = bias_[oc];
+      for (std::int64_t s = 0; s < spatial; ++s) row[s] = b;
+    }
+    gemm_accumulate(weight_.data(), col.data(), dst, out_c_, patch, spatial);
+    if (train) {
+      std::copy(col.begin(), col.end(),
+                cached_cols_.begin() + n * patch * spatial);
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  if (cached_cols_.empty()) {
+    throw std::logic_error("Conv2D::backward before forward(train=true)");
+  }
+  const ConvGeometry geo = geometry(cached_in_shape_);
+  const std::int64_t batch = cached_in_shape_[0];
+  const std::int64_t spatial = geo.out_h() * geo.out_w();
+  const std::int64_t patch = geo.patch_size();
+  const std::int64_t in_per_sample = in_c_ * geo.in_h * geo.in_w;
+
+  Tensor grad_in(cached_in_shape_);
+  std::vector<float> grad_col(static_cast<std::size_t>(patch * spatial));
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* dy = grad_output.data() + n * out_c_ * spatial;
+    const float* col = cached_cols_.data() + n * patch * spatial;
+
+    // grad_bias[oc] += sum over spatial of dy[oc, :]
+    for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+      float acc = 0.0F;
+      for (std::int64_t s = 0; s < spatial; ++s) acc += dy[oc * spatial + s];
+      grad_bias_[oc] += acc;
+    }
+    // grad_W[oc, patch] += dy[oc, spatial] * col^T[spatial, patch]
+    gemm_a_bt(dy, col, grad_weight_.data(), out_c_, spatial, patch);
+    // grad_col[patch, spatial] = W^T[patch, oc] * dy[oc, spatial]
+    std::fill(grad_col.begin(), grad_col.end(), 0.0F);
+    gemm_at_b(weight_.data(), dy, grad_col.data(), patch, out_c_, spatial);
+    col2im(grad_col.data(), geo, grad_in.data() + n * in_per_sample);
+  }
+  return grad_in;
+}
+
+CostStats Conv2D::cost(const Shape& in) const {
+  const ConvGeometry geo = geometry(in);
+  CostStats s;
+  const std::int64_t spatial = geo.out_h() * geo.out_w();
+  s.macs = in[0] * out_c_ * spatial * geo.patch_size();
+  s.param_count = weight_.numel() + bias_.numel();
+  s.weight_bytes = s.param_count * 4;
+  s.activation_bytes = (in.numel() + in[0] * out_c_ * spatial) * 4;
+  return s;
+}
+
+void Conv2D::save(BinaryWriter& w) const {
+  w.write_i64(in_c_);
+  w.write_i64(out_c_);
+  w.write_i64(kernel_);
+  w.write_i64(stride_);
+  w.write_i64(pad_);
+  w.write_tensor(weight_);
+  w.write_tensor(bias_);
+}
+
+std::unique_ptr<Conv2D> Conv2D::load(BinaryReader& r) {
+  const std::int64_t in_c = r.read_i64();
+  const std::int64_t out_c = r.read_i64();
+  const std::int64_t kernel = r.read_i64();
+  const std::int64_t stride = r.read_i64();
+  const std::int64_t pad = r.read_i64();
+  auto layer = std::make_unique<Conv2D>(in_c, out_c, kernel, stride, pad);
+  layer->weight_ = r.read_tensor();
+  layer->bias_ = r.read_tensor();
+  return layer;
+}
+
+}  // namespace pgmr::nn

@@ -1,0 +1,28 @@
+// CostStats: static compute/traffic accounting per layer.
+//
+// The perf module (Section IV-C of the paper: GPGPUsim + GPUWattch) is
+// replaced by an analytic roofline; this struct is what every layer reports
+// so the model can price an inference at any numeric precision.
+#pragma once
+
+#include <cstdint>
+
+namespace pgmr::nn {
+
+/// Work and traffic for one forward pass at a given input shape.
+struct CostStats {
+  std::int64_t macs = 0;              ///< multiply-accumulate operations
+  std::int64_t param_count = 0;       ///< trainable scalars
+  std::int64_t weight_bytes = 0;      ///< parameter traffic at fp32
+  std::int64_t activation_bytes = 0;  ///< input+output activation traffic at fp32
+
+  CostStats& operator+=(const CostStats& o) {
+    macs += o.macs;
+    param_count += o.param_count;
+    weight_bytes += o.weight_bytes;
+    activation_bytes += o.activation_bytes;
+    return *this;
+  }
+};
+
+}  // namespace pgmr::nn

@@ -1,0 +1,35 @@
+// Dense: fully-connected layer, y = x W^T + b.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pgmr::nn {
+
+/// Fully-connected layer over rank-2 [N, in_features] inputs.
+class Dense final : public Layer {
+ public:
+  Dense(std::int64_t in_features, std::int64_t out_features);
+
+  /// He-initializes weights and zeroes biases.
+  void init(Rng& rng);
+
+  std::string kind() const override { return "dense"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  Shape output_shape(const Shape& in) const override;
+  CostStats cost(const Shape& in) const override;
+  void save(BinaryWriter& w) const override;
+  static std::unique_ptr<Dense> load(BinaryReader& r);
+
+ private:
+  std::int64_t in_f_, out_f_;
+  Tensor weight_;  // [out_f, in_f]
+  Tensor bias_;    // [out_f]
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace pgmr::nn

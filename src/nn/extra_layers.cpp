@@ -1,0 +1,130 @@
+#include "nn/extra_layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pgmr::nn {
+
+AvgPool2D::AvgPool2D(std::int64_t window) : window_(window) {
+  if (window <= 0) throw std::invalid_argument("AvgPool2D: invalid window");
+}
+
+Shape AvgPool2D::output_shape(const Shape& in) const {
+  if (in.rank() != 4 || in[2] % window_ != 0 || in[3] % window_ != 0) {
+    throw std::invalid_argument("AvgPool2D: input " + in.to_string() +
+                                " not divisible by window");
+  }
+  return Shape{in[0], in[1], in[2] / window_, in[3] / window_};
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool train) {
+  const Shape out_shape = output_shape(input.shape());
+  if (train) cached_in_shape_ = input.shape();
+  Tensor out(out_shape);
+  const std::int64_t in_h = input.shape()[2];
+  const std::int64_t in_w = input.shape()[3];
+  const std::int64_t oh = out_shape[2];
+  const std::int64_t ow = out_shape[3];
+  const auto area = static_cast<float>(window_ * window_);
+  const std::int64_t planes = out_shape[0] * out_shape[1];
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* src = input.data() + p * in_h * in_w;
+    float* dst = out.data() + p * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float acc = 0.0F;
+        for (std::int64_t dy = 0; dy < window_; ++dy) {
+          for (std::int64_t dx = 0; dx < window_; ++dx) {
+            acc += src[(y * window_ + dy) * in_w + (x * window_ + dx)];
+          }
+        }
+        dst[y * ow + x] = acc / area;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  if (cached_in_shape_.rank() != 4) {
+    throw std::logic_error("AvgPool2D::backward before forward(train=true)");
+  }
+  Tensor grad_in(cached_in_shape_);
+  const std::int64_t in_h = cached_in_shape_[2];
+  const std::int64_t in_w = cached_in_shape_[3];
+  const std::int64_t oh = in_h / window_;
+  const std::int64_t ow = in_w / window_;
+  const auto area = static_cast<float>(window_ * window_);
+  const std::int64_t planes = cached_in_shape_[0] * cached_in_shape_[1];
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* dy_plane = grad_output.data() + p * oh * ow;
+    float* dx_plane = grad_in.data() + p * in_h * in_w;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const float g = dy_plane[y * ow + x] / area;
+        for (std::int64_t dy = 0; dy < window_; ++dy) {
+          for (std::int64_t dx = 0; dx < window_; ++dx) {
+            dx_plane[(y * window_ + dy) * in_w + (x * window_ + dx)] = g;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+CostStats AvgPool2D::cost(const Shape& in) const {
+  CostStats s;
+  s.activation_bytes = (in.numel() + output_shape(in).numel()) * 4;
+  return s;
+}
+
+void AvgPool2D::save(BinaryWriter& w) const { w.write_i64(window_); }
+
+std::unique_ptr<AvgPool2D> AvgPool2D::load(BinaryReader& r) {
+  return std::make_unique<AvgPool2D>(r.read_i64());
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = 1.0F / (1.0F + std::exp(-out[i]));
+  }
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  if (cached_output_.empty()) {
+    throw std::logic_error("Sigmoid::backward before forward(train=true)");
+  }
+  Tensor grad_in = grad_output;
+  for (std::int64_t i = 0; i < grad_in.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad_in[i] *= y * (1.0F - y);
+  }
+  return grad_in;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = std::tanh(out[i]);
+  }
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (cached_output_.empty()) {
+    throw std::logic_error("Tanh::backward before forward(train=true)");
+  }
+  Tensor grad_in = grad_output;
+  for (std::int64_t i = 0; i < grad_in.numel(); ++i) {
+    const float y = cached_output_[i];
+    grad_in[i] *= 1.0F - y * y;
+  }
+  return grad_in;
+}
+
+}  // namespace pgmr::nn

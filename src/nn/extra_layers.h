@@ -1,0 +1,61 @@
+// Additional layers rounding out the framework: average pooling and the
+// classic saturating activations (Sigmoid, Tanh). None of the six zoo
+// recipes need them, but downstream users building their own members do —
+// e.g. a historically faithful LeNet-5 uses tanh + average pooling.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pgmr::nn {
+
+/// Square-window average pooling with stride == window.
+class AvgPool2D final : public Layer {
+ public:
+  explicit AvgPool2D(std::int64_t window);
+
+  std::string kind() const override { return "avgpool2d"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& in) const override;
+  CostStats cost(const Shape& in) const override;
+  void save(BinaryWriter& w) const override;
+  static std::unique_ptr<AvgPool2D> load(BinaryReader& r);
+
+ private:
+  std::int64_t window_;
+  Shape cached_in_shape_;
+};
+
+/// Logistic sigmoid, y = 1 / (1 + exp(-x)).
+class Sigmoid final : public Layer {
+ public:
+  std::string kind() const override { return "sigmoid"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& in) const override { return in; }
+  void save(BinaryWriter&) const override {}
+  static std::unique_ptr<Sigmoid> load(BinaryReader&) {
+    return std::make_unique<Sigmoid>();
+  }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Hyperbolic tangent activation.
+class Tanh final : public Layer {
+ public:
+  std::string kind() const override { return "tanh"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& in) const override { return in; }
+  void save(BinaryWriter&) const override {}
+  static std::unique_ptr<Tanh> load(BinaryReader&) {
+    return std::make_unique<Tanh>();
+  }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace pgmr::nn

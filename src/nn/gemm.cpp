@@ -1,0 +1,48 @@
+#include "nn/gemm.h"
+
+namespace pgmr::nn {
+
+void gemm_accumulate(const float* a, const float* b, float* c,
+                     std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0F) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at_b(const float* a, const float* b, float* c,
+               std::int64_t m, std::int64_t k, std::int64_t n) {
+  // A stored [K, M]; we want C[i,j] += sum_p A[p,i] * B[p,j].
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const float* a, const float* b, float* c,
+               std::int64_t m, std::int64_t k, std::int64_t n) {
+  // B stored [N, K]; C[i,j] += dot(A[i,:], B[j,:]).
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0F;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace pgmr::nn

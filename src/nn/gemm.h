@@ -1,0 +1,24 @@
+// Minimal single-threaded GEMM kernels backing Conv2D and Dense layers.
+//
+// These are deliberately simple (ikj loop order, compiler-vectorized); the
+// models in this reproduction are small enough that a naive kernel keeps
+// full training runs in the seconds range on one core.
+#pragma once
+
+#include <cstdint>
+
+namespace pgmr::nn {
+
+/// C[M,N] += A[M,K] * B[K,N]. All matrices dense row-major.
+void gemm_accumulate(const float* a, const float* b, float* c,
+                     std::int64_t m, std::int64_t k, std::int64_t n);
+
+/// C[M,N] += A^T[M,K] * B[K,N] where A is stored as [K,M].
+void gemm_at_b(const float* a, const float* b, float* c,
+               std::int64_t m, std::int64_t k, std::int64_t n);
+
+/// C[M,N] += A[M,K] * B^T[K,N] where B is stored as [N,K].
+void gemm_a_bt(const float* a, const float* b, float* c,
+               std::int64_t m, std::int64_t k, std::int64_t n);
+
+}  // namespace pgmr::nn

@@ -1,0 +1,53 @@
+#include "nn/im2col.h"
+
+namespace pgmr::nn {
+
+void im2col(const float* image, const ConvGeometry& geo, float* col) {
+  const std::int64_t oh = geo.out_h();
+  const std::int64_t ow = geo.out_w();
+  const std::int64_t cols = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < geo.in_channels; ++c) {
+    const float* plane = image + c * geo.in_h * geo.in_w;
+    for (std::int64_t kh = 0; kh < geo.kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < geo.kernel; ++kw, ++row) {
+        float* out = col + row * cols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t in_y = y * geo.stride + kh - geo.pad;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t in_x = x * geo.stride + kw - geo.pad;
+            const bool inside = in_y >= 0 && in_y < geo.in_h && in_x >= 0 &&
+                                in_x < geo.in_w;
+            out[y * ow + x] = inside ? plane[in_y * geo.in_w + in_x] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeometry& geo, float* image) {
+  const std::int64_t oh = geo.out_h();
+  const std::int64_t ow = geo.out_w();
+  const std::int64_t cols = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < geo.in_channels; ++c) {
+    float* plane = image + c * geo.in_h * geo.in_w;
+    for (std::int64_t kh = 0; kh < geo.kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < geo.kernel; ++kw, ++row) {
+        const float* in = col + row * cols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t in_y = y * geo.stride + kh - geo.pad;
+          if (in_y < 0 || in_y >= geo.in_h) continue;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t in_x = x * geo.stride + kw - geo.pad;
+            if (in_x < 0 || in_x >= geo.in_w) continue;
+            plane[in_y * geo.in_w + in_x] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pgmr::nn

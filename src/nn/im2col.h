@@ -1,0 +1,32 @@
+// im2col / col2im: the standard convolution-to-GEMM lowering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pgmr::nn {
+
+/// Geometry of a 2-D convolution or pooling window.
+struct ConvGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel = 0;  ///< square kernel size
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Rows of the lowered patch matrix: C * K * K.
+  std::int64_t patch_size() const { return in_channels * kernel * kernel; }
+};
+
+/// Lowers one CHW image into a [patch_size, out_h*out_w] column matrix.
+/// `col` must hold geo.patch_size() * geo.out_h() * geo.out_w() floats.
+void im2col(const float* image, const ConvGeometry& geo, float* col);
+
+/// Adjoint of im2col: scatters a column matrix back into a CHW image,
+/// accumulating where patches overlap. `image` must be zeroed by the caller.
+void col2im(const float* col, const ConvGeometry& geo, float* image);
+
+}  // namespace pgmr::nn

@@ -1,0 +1,30 @@
+// Weight initialization schemes.
+//
+// The paper's traditional-MR baseline gets its (limited) diversity purely
+// from random weight initialization, so initialization is routed through an
+// explicit Rng to make that diversity reproducible per ensemble member.
+#pragma once
+
+#include <cmath>
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace pgmr::nn {
+
+/// He (Kaiming) normal initialization: N(0, sqrt(2 / fan_in)).
+/// The right default for ReLU networks, which all zoo models are.
+inline void he_init(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal(0.0F, stddev);
+}
+
+/// Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+inline void xavier_init(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                        Rng& rng) {
+  const float a =
+      std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform(-a, a);
+}
+
+}  // namespace pgmr::nn

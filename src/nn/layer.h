@@ -1,0 +1,66 @@
+// Layer: the polymorphic building block of every CNN in this repo.
+//
+// Contract:
+//  * forward(x, train) consumes an activation tensor and produces the next
+//    one; when `train` is true the layer may cache whatever it needs for
+//    backward and may behave stochastically (Dropout) or use batch
+//    statistics (BatchNorm).
+//  * backward(dy) must be called after a forward(x, true) with the gradient
+//    of the loss w.r.t. this layer's output; it accumulates parameter
+//    gradients internally and returns the gradient w.r.t. its input.
+//  * params()/grads() expose trainable state to the optimizer in matching
+//    order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/cost.h"
+#include "tensor/random.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace pgmr::nn {
+
+/// Abstract network layer. Layers own their parameters (value-semantic
+/// Tensors); Networks own layers via unique_ptr.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Stable type tag used by the serializer ("conv2d", "dense", ...).
+  virtual std::string kind() const = 0;
+
+  /// Computes the layer output. `train` enables caching for backward and
+  /// training-time behaviour (dropout masks, batch statistics).
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Backpropagates `grad_output` (same shape as the last forward output),
+  /// accumulating parameter gradients; returns gradient w.r.t. the input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters, in a fixed order matched by grads().
+  virtual std::vector<Tensor*> params() { return {}; }
+
+  /// Accumulated parameter gradients, same order as params().
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  /// Shape of the output produced for an input of shape `in`.
+  virtual Shape output_shape(const Shape& in) const = 0;
+
+  /// Static cost of one forward pass for an input of shape `in`.
+  virtual CostStats cost(const Shape& in) const;
+
+  /// Serializes hyperparameters and parameters (not optimizer state).
+  virtual void save(BinaryWriter& w) const = 0;
+};
+
+/// Serializes `layer` with its type tag so load_layer can reconstruct it.
+void save_layer(BinaryWriter& w, const Layer& layer);
+
+/// Reconstructs a layer previously written with save_layer.
+/// Throws std::runtime_error for unknown type tags.
+std::unique_ptr<Layer> load_layer(BinaryReader& r);
+
+}  // namespace pgmr::nn

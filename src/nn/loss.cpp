@@ -1,0 +1,38 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.h"
+
+namespace pgmr::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: rank-2 logits required");
+  }
+  const std::int64_t batch = logits.shape()[0];
+  const std::int64_t classes = logits.shape()[1];
+  if (static_cast<std::int64_t>(labels.size()) != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  double total = 0.0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const std::int64_t y = labels[static_cast<std::size_t>(n)];
+    if (y < 0 || y >= classes) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    const float p = result.grad_logits.at(n, y);
+    total += -std::log(std::max(p, 1e-12F));
+    result.grad_logits.at(n, y) -= 1.0F;
+  }
+  result.grad_logits *= 1.0F / static_cast<float>(batch);
+  result.loss = static_cast<float>(total / static_cast<double>(batch));
+  return result;
+}
+
+}  // namespace pgmr::nn

@@ -1,0 +1,24 @@
+// Training loss: softmax cross-entropy with integrated gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgmr::nn {
+
+/// Result of a loss evaluation: mean loss over the batch plus the gradient
+/// of that mean w.r.t. the logits.
+struct LossResult {
+  float loss = 0.0F;
+  Tensor grad_logits;
+};
+
+/// Mean softmax cross-entropy over a batch. `logits` is [N, C]; `labels`
+/// holds N class indices in [0, C). The returned gradient is
+/// (softmax - onehot) / N, ready to feed into Network::backward.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+}  // namespace pgmr::nn

@@ -1,0 +1,82 @@
+#include "nn/network.h"
+
+#include <stdexcept>
+
+#include "nn/softmax.h"
+
+namespace pgmr::nn {
+
+Network::Network(std::string name, std::vector<std::unique_ptr<Layer>> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  if (layers_.empty()) throw std::invalid_argument("Network: no layers");
+}
+
+Tensor Network::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+Tensor Network::probabilities(const Tensor& input) {
+  return softmax(forward(input, /*train=*/false));
+}
+
+std::vector<Tensor*> Network::params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Network::grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+Shape Network::output_shape(const Shape& in) const {
+  Shape s = in;
+  for (const auto& layer : layers_) s = layer->output_shape(s);
+  return s;
+}
+
+CostStats Network::cost(const Shape& in) const {
+  CostStats total;
+  Shape s = in;
+  for (const auto& layer : layers_) {
+    total += layer->cost(s);
+    s = layer->output_shape(s);
+  }
+  return total;
+}
+
+void Network::save(const std::string& path) const {
+  BinaryWriter w(path);
+  w.write_string(name_);
+  w.write_u32(static_cast<std::uint32_t>(layers_.size()));
+  for (const auto& layer : layers_) save_layer(w, *layer);
+  w.close();
+}
+
+Network Network::load(const std::string& path) {
+  BinaryReader r(path);
+  std::string name = r.read_string();
+  const std::uint32_t count = r.read_u32();
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) layers.push_back(load_layer(r));
+  return Network(std::move(name), std::move(layers));
+}
+
+}  // namespace pgmr::nn

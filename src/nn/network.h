@@ -1,0 +1,62 @@
+// Network: a named, serializable CNN — the unit that PolygraphMR replicates.
+//
+// Layer 2 of the paper's design instantiates several of these (one per
+// preprocessor); the quant module wraps them for reduced precision; the
+// zoo trains and caches them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace pgmr::nn {
+
+/// Owning container of layers with save/load and inference helpers.
+/// Move-only (layers are unique_ptr); load a fresh copy from disk when an
+/// independent instance is needed (e.g. for precision truncation).
+class Network {
+ public:
+  Network(std::string name, std::vector<std::unique_ptr<Layer>> layers);
+
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Runs the full forward pass; `train` enables backward caching.
+  Tensor forward(const Tensor& input, bool train = false);
+
+  /// Backpropagates through all layers (after forward(train=true)).
+  Tensor backward(const Tensor& grad_output);
+
+  /// Inference helper: forward (eval mode) followed by softmax.
+  /// Returns [N, C] class probabilities.
+  Tensor probabilities(const Tensor& input);
+
+  std::vector<Tensor*> params();
+  std::vector<Tensor*> grads();
+
+  Shape output_shape(const Shape& in) const;
+
+  /// Static compute/traffic cost of one forward pass at `in`.
+  CostStats cost(const Shape& in) const;
+
+  const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
+  std::vector<std::unique_ptr<Layer>>& mutable_layers() { return layers_; }
+
+  /// Serializes architecture + weights to a PGMR archive at `path`.
+  void save(const std::string& path) const;
+
+  /// Loads a network previously written by save().
+  static Network load(const std::string& path);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace pgmr::nn

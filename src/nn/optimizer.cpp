@@ -1,0 +1,40 @@
+#include "nn/optimizer.h"
+
+#include <stdexcept>
+
+namespace pgmr::nn {
+
+SGD::SGD(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+         Config config)
+    : params_(std::move(params)), grads_(std::move(grads)), config_(config) {
+  if (params_.size() != grads_.size()) {
+    throw std::invalid_argument("SGD: params/grads size mismatch");
+  }
+  velocity_.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->shape() != grads_[i]->shape()) {
+      throw std::invalid_argument("SGD: param/grad shape mismatch at " +
+                                  std::to_string(i));
+    }
+    velocity_.emplace_back(params_[i]->shape());
+  }
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i];
+    const Tensor& g = *grads_[i];
+    Tensor& v = velocity_[i];
+    for (std::int64_t j = 0; j < w.numel(); ++j) {
+      const float grad = g[j] + config_.weight_decay * w[j];
+      v[j] = config_.momentum * v[j] - config_.learning_rate * grad;
+      w[j] += v[j];
+    }
+  }
+}
+
+void SGD::zero_grad() {
+  for (Tensor* g : grads_) g->fill(0.0F);
+}
+
+}  // namespace pgmr::nn

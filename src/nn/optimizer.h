@@ -1,0 +1,43 @@
+// SGD with momentum and weight decay — the only optimizer the zoo needs.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgmr::nn {
+
+/// Classic SGD with heavy-ball momentum and L2 weight decay. Bound to a
+/// fixed parameter/gradient list at construction (the tensors must outlive
+/// the optimizer).
+class SGD {
+ public:
+  struct Config {
+    float learning_rate = 0.01F;
+    float momentum = 0.9F;
+    float weight_decay = 0.0F;
+  };
+
+  /// `params` and `grads` must be parallel lists, one gradient per
+  /// parameter, with matching shapes.
+  SGD(std::vector<Tensor*> params, std::vector<Tensor*> grads, Config config);
+
+  /// Applies one update: v = mu*v - lr*(g + wd*w); w += v. Gradients are
+  /// left untouched; call zero_grad() before the next accumulation.
+  void step();
+
+  /// Clears every bound gradient tensor.
+  void zero_grad();
+
+  /// Overrides the learning rate (for step-decay schedules).
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+
+ private:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+  std::vector<Tensor> velocity_;
+  Config config_;
+};
+
+}  // namespace pgmr::nn

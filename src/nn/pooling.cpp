@@ -1,0 +1,146 @@
+#include "nn/pooling.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pgmr::nn {
+
+MaxPool2D::MaxPool2D(std::int64_t window) : window_(window) {
+  if (window <= 0) throw std::invalid_argument("MaxPool2D: invalid window");
+}
+
+Shape MaxPool2D::output_shape(const Shape& in) const {
+  if (in.rank() != 4 || in[2] % window_ != 0 || in[3] % window_ != 0) {
+    throw std::invalid_argument("MaxPool2D: input " + in.to_string() +
+                                " not divisible by window");
+  }
+  return Shape{in[0], in[1], in[2] / window_, in[3] / window_};
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool train) {
+  const Shape out_shape = output_shape(input.shape());
+  Tensor out(out_shape);
+  const std::int64_t n_out = out.numel();
+  if (train) {
+    cached_in_shape_ = input.shape();
+    argmax_.assign(static_cast<std::size_t>(n_out), 0);
+  }
+  const std::int64_t in_h = input.shape()[2];
+  const std::int64_t in_w = input.shape()[3];
+  const std::int64_t oh = out_shape[2];
+  const std::int64_t ow = out_shape[3];
+  const std::int64_t planes = out_shape[0] * out_shape[1];
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* src = input.data() + p * in_h * in_w;
+    float* dst = out.data() + p * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_idx = 0;
+        for (std::int64_t dy = 0; dy < window_; ++dy) {
+          for (std::int64_t dx = 0; dx < window_; ++dx) {
+            const std::int64_t idx =
+                (y * window_ + dy) * in_w + (x * window_ + dx);
+            if (src[idx] > best) {
+              best = src[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        dst[y * ow + x] = best;
+        if (train) {
+          argmax_[static_cast<std::size_t>(p * oh * ow + y * ow + x)] =
+              p * in_h * in_w + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (argmax_.empty()) {
+    throw std::logic_error("MaxPool2D::backward before forward(train=true)");
+  }
+  Tensor grad_in(cached_in_shape_);
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_in[argmax_[static_cast<std::size_t>(i)]] += grad_output[i];
+  }
+  return grad_in;
+}
+
+CostStats MaxPool2D::cost(const Shape& in) const {
+  CostStats s;
+  s.activation_bytes = (in.numel() + output_shape(in).numel()) * 4;
+  return s;
+}
+
+void MaxPool2D::save(BinaryWriter& w) const { w.write_i64(window_); }
+
+std::unique_ptr<MaxPool2D> MaxPool2D::load(BinaryReader& r) {
+  return std::make_unique<MaxPool2D>(r.read_i64());
+}
+
+Shape GlobalAvgPool::output_shape(const Shape& in) const {
+  if (in.rank() != 4) {
+    throw std::invalid_argument("GlobalAvgPool: expected rank-4 input");
+  }
+  return Shape{in[0], in[1]};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
+  const Shape out_shape = output_shape(input.shape());
+  if (train) cached_in_shape_ = input.shape();
+  Tensor out(out_shape);
+  const std::int64_t spatial = input.shape()[2] * input.shape()[3];
+  const std::int64_t planes = out_shape[0] * out_shape[1];
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* src = input.data() + p * spatial;
+    float acc = 0.0F;
+    for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
+    out[p] = acc / static_cast<float>(spatial);
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  if (cached_in_shape_.rank() != 4) {
+    throw std::logic_error(
+        "GlobalAvgPool::backward before forward(train=true)");
+  }
+  Tensor grad_in(cached_in_shape_);
+  const std::int64_t spatial = cached_in_shape_[2] * cached_in_shape_[3];
+  const std::int64_t planes = cached_in_shape_[0] * cached_in_shape_[1];
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float g = grad_output[p] / static_cast<float>(spatial);
+    float* dst = grad_in.data() + p * spatial;
+    for (std::int64_t s = 0; s < spatial; ++s) dst[s] = g;
+  }
+  return grad_in;
+}
+
+CostStats GlobalAvgPool::cost(const Shape& in) const {
+  CostStats s;
+  s.activation_bytes = (in.numel() + output_shape(in).numel()) * 4;
+  return s;
+}
+
+Shape Flatten::output_shape(const Shape& in) const {
+  if (in.rank() == 2) return in;
+  if (in.rank() == 4) return Shape{in[0], in[1] * in[2] * in[3]};
+  throw std::invalid_argument("Flatten: expected rank-2 or rank-4 input");
+}
+
+Tensor Flatten::forward(const Tensor& input, bool train) {
+  if (train) cached_in_shape_ = input.shape();
+  return input.reshaped(output_shape(input.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (cached_in_shape_.rank() == 0) {
+    throw std::logic_error("Flatten::backward before forward(train=true)");
+  }
+  return grad_output.reshaped(cached_in_shape_);
+}
+
+}  // namespace pgmr::nn

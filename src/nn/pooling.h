@@ -1,0 +1,62 @@
+// Pooling layers: max pooling and global average pooling.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace pgmr::nn {
+
+/// Square-window max pooling with stride == window (non-overlapping).
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(std::int64_t window);
+
+  std::string kind() const override { return "maxpool2d"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& in) const override;
+  CostStats cost(const Shape& in) const override;
+  void save(BinaryWriter& w) const override;
+  static std::unique_ptr<MaxPool2D> load(BinaryReader& r);
+
+ private:
+  std::int64_t window_;
+  Shape cached_in_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index of each output max
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  std::string kind() const override { return "globalavgpool"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& in) const override;
+  CostStats cost(const Shape& in) const override;
+  void save(BinaryWriter&) const override {}
+  static std::unique_ptr<GlobalAvgPool> load(BinaryReader&) {
+    return std::make_unique<GlobalAvgPool>();
+  }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+/// Flatten: [N, C, H, W] -> [N, C*H*W]; identity on rank-2 input.
+class Flatten final : public Layer {
+ public:
+  std::string kind() const override { return "flatten"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& in) const override;
+  void save(BinaryWriter&) const override {}
+  static std::unique_ptr<Flatten> load(BinaryReader&) {
+    return std::make_unique<Flatten>();
+  }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace pgmr::nn

@@ -1,0 +1,37 @@
+#include "nn/softmax.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pgmr::nn {
+
+Tensor softmax_with_temperature(const Tensor& logits, float temperature) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("softmax: expected rank-2 logits");
+  }
+  if (temperature <= 0.0F) {
+    throw std::invalid_argument("softmax: temperature must be positive");
+  }
+  const std::int64_t batch = logits.shape()[0];
+  const std::int64_t classes = logits.shape()[1];
+  Tensor out(logits.shape());
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    float* dst = out.data() + n * classes;
+    float max_v = row[0];
+    for (std::int64_t c = 1; c < classes; ++c) max_v = std::max(max_v, row[c]);
+    float denom = 0.0F;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      dst[c] = std::exp((row[c] - max_v) / temperature);
+      denom += dst[c];
+    }
+    for (std::int64_t c = 0; c < classes; ++c) dst[c] /= denom;
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& logits) {
+  return softmax_with_temperature(logits, 1.0F);
+}
+
+}  // namespace pgmr::nn

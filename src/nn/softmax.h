@@ -1,0 +1,20 @@
+// Softmax utilities.
+//
+// Layer 3 of PolygraphMR consumes softmax probability vectors, and the
+// calibration experiments (Fig 14) rescale logits by a temperature before
+// the softmax — both live here as free functions over rank-2 tensors.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace pgmr::nn {
+
+/// Row-wise numerically stable softmax of rank-2 logits [N, C].
+Tensor softmax(const Tensor& logits);
+
+/// Temperature-scaled softmax: softmax(logits / temperature).
+/// temperature == 1 reproduces softmax(); larger temperatures flatten the
+/// distribution (the paper's Section IV-E calibration experiment).
+Tensor softmax_with_temperature(const Tensor& logits, float temperature);
+
+}  // namespace pgmr::nn

@@ -1,0 +1,103 @@
+#include "perf/cost_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pgmr::perf {
+
+InferenceCost CostModel::network_cost(const nn::CostStats& stats,
+                                      int bits) const {
+  if (bits < 1 || bits > 32) {
+    throw std::invalid_argument("CostModel: bits must be in [1, 32]");
+  }
+  const double pack = static_cast<double>(bits) / 32.0;
+  const double bytes =
+      static_cast<double>(stats.weight_bytes + stats.activation_bytes) * pack;
+  const double compute_s =
+      static_cast<double>(stats.macs) / hw_.peak_macs_per_s;
+  const double memory_s = bytes / hw_.mem_bandwidth_bytes_per_s;
+  InferenceCost c;
+  c.latency_s = std::max(compute_s, memory_s);
+  c.energy_j = static_cast<double>(stats.macs) * hw_.energy_per_mac_j +
+               bytes * hw_.energy_per_byte_j;
+  return c;
+}
+
+InferenceCost CostModel::preprocess_cost(const InferenceCost& member) const {
+  InferenceCost c;
+  c.latency_s = member.latency_s * hw_.preprocess_fraction;
+  c.energy_j = member.energy_j * hw_.preprocess_fraction;
+  return c;
+}
+
+InferenceCost CostModel::system_sequential(
+    const std::vector<InferenceCost>& members) const {
+  InferenceCost total;
+  for (const InferenceCost& m : members) {
+    total += m;
+    total += preprocess_cost(m);
+  }
+  total.latency_s += hw_.decision_latency_s;
+  total.energy_j += hw_.decision_energy_j;
+  return total;
+}
+
+InferenceCost CostModel::system_batched(
+    const std::vector<InferenceCost>& members, int gpus) const {
+  if (gpus < 1) throw std::invalid_argument("CostModel: gpus must be >= 1");
+  InferenceCost total;
+  for (std::size_t i = 0; i < members.size(); i += static_cast<std::size_t>(gpus)) {
+    double batch_latency = 0.0;
+    const std::size_t end =
+        std::min(members.size(), i + static_cast<std::size_t>(gpus));
+    for (std::size_t j = i; j < end; ++j) {
+      const InferenceCost with_prep{
+          members[j].latency_s * (1.0 + hw_.preprocess_fraction),
+          members[j].energy_j * (1.0 + hw_.preprocess_fraction)};
+      batch_latency = std::max(batch_latency, with_prep.latency_s);
+      total.energy_j += with_prep.energy_j;
+    }
+    total.latency_s += batch_latency;
+  }
+  total.latency_s += hw_.decision_latency_s;
+  total.energy_j += hw_.decision_energy_j;
+  return total;
+}
+
+InferenceCost CostModel::system_staged(
+    const std::vector<InferenceCost>& members,
+    const std::vector<std::int64_t>& activation_histogram) const {
+  if (activation_histogram.size() > members.size()) {
+    throw std::invalid_argument(
+        "CostModel: activation histogram longer than member list");
+  }
+  std::int64_t total_samples = 0;
+  for (std::int64_t n : activation_histogram) total_samples += n;
+  if (total_samples == 0) {
+    throw std::invalid_argument("CostModel: empty activation histogram");
+  }
+
+  // Prefix costs: cost of running the first k members sequentially.
+  std::vector<InferenceCost> prefix(members.size() + 1);
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    prefix[k + 1] = prefix[k];
+    prefix[k + 1] += members[k];
+    InferenceCost prep;
+    prep.latency_s = members[k].latency_s * hw_.preprocess_fraction;
+    prep.energy_j = members[k].energy_j * hw_.preprocess_fraction;
+    prefix[k + 1] += prep;
+  }
+
+  InferenceCost expected;
+  for (std::size_t k = 0; k < activation_histogram.size(); ++k) {
+    const double weight = static_cast<double>(activation_histogram[k]) /
+                          static_cast<double>(total_samples);
+    expected.latency_s += weight * prefix[k + 1].latency_s;
+    expected.energy_j += weight * prefix[k + 1].energy_j;
+  }
+  expected.latency_s += hw_.decision_latency_s;
+  expected.energy_j += hw_.decision_energy_j;
+  return expected;
+}
+
+}  // namespace pgmr::perf

@@ -1,0 +1,159 @@
+#include "polygraph/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "prep/preprocessor.h"
+
+namespace pgmr::polygraph {
+
+double DeltaProfile::negative_fraction(const std::vector<float>& deltas) {
+  if (deltas.empty()) return 0.0;
+  std::int64_t neg = 0;
+  for (float d : deltas) {
+    if (d < 0.0F) ++neg;
+  }
+  return static_cast<double>(neg) / static_cast<double>(deltas.size());
+}
+
+double DeltaProfile::score() const {
+  return negative_fraction(wrong_deltas) - negative_fraction(correct_deltas);
+}
+
+DeltaProfile confidence_deltas(const std::string& candidate,
+                               const Tensor& baseline_probs,
+                               const Tensor& candidate_probs,
+                               const std::vector<std::int64_t>& labels) {
+  if (baseline_probs.shape() != candidate_probs.shape()) {
+    throw std::invalid_argument("confidence_deltas: shape mismatch");
+  }
+  if (static_cast<std::int64_t>(labels.size()) != baseline_probs.shape()[0]) {
+    throw std::invalid_argument("confidence_deltas: label count mismatch");
+  }
+  DeltaProfile profile;
+  profile.candidate = candidate;
+  for (std::int64_t n = 0; n < baseline_probs.shape()[0]; ++n) {
+    const float delta =
+        candidate_probs.max_row(n) - baseline_probs.max_row(n);
+    const bool baseline_correct =
+        baseline_probs.argmax_row(n) == labels[static_cast<std::size_t>(n)];
+    (baseline_correct ? profile.correct_deltas : profile.wrong_deltas)
+        .push_back(delta);
+  }
+  return profile;
+}
+
+std::vector<DeltaProfile> rank_preprocessors(
+    const zoo::Benchmark& bm, const std::vector<std::string>& pool) {
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+  nn::Network baseline = zoo::trained_network(bm, "ORG");
+  const Tensor baseline_probs =
+      zoo::probabilities_on(baseline, splits.val);
+
+  std::vector<DeltaProfile> profiles;
+  profiles.reserve(pool.size());
+  for (const std::string& spec : pool) {
+    nn::Network candidate = zoo::trained_network(bm, spec);
+    data::Dataset val = splits.val;
+    val.images = prep::make_preprocessor(spec)->apply(val.images);
+    const Tensor candidate_probs = zoo::probabilities_on(candidate, val);
+    profiles.push_back(
+        confidence_deltas(spec, baseline_probs, candidate_probs,
+                          splits.val.labels));
+  }
+  std::stable_sort(profiles.begin(), profiles.end(),
+                   [](const DeltaProfile& a, const DeltaProfile& b) {
+                     return a.score() > b.score();
+                   });
+  return profiles;
+}
+
+GreedyResult greedy_build(const zoo::Benchmark& bm,
+                          const std::vector<std::string>& pool,
+                          int max_members) {
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+
+  // Precompute every candidate's validation votes once; the greedy loop is
+  // then pure vote bookkeeping.
+  std::vector<std::string> specs = {"ORG"};
+  specs.insert(specs.end(), pool.begin(), pool.end());
+  std::vector<std::vector<mr::Vote>> all_votes;
+  all_votes.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    nn::Network net = zoo::trained_network(bm, spec);
+    data::Dataset val = splits.val;
+    val.images = prep::make_preprocessor(spec)->apply(val.images);
+    all_votes.push_back(
+        mr::votes_from_probabilities(zoo::probabilities_on(net, val)));
+  }
+  return greedy_select(specs, all_votes, splits.val.labels, max_members);
+}
+
+GreedyResult greedy_select(
+    const std::vector<std::string>& specs,
+    const std::vector<std::vector<mr::Vote>>& all_votes,
+    const std::vector<std::int64_t>& val_labels, int max_members) {
+  if (max_members < 2) {
+    throw std::invalid_argument("greedy_select: need at least two members");
+  }
+  if (specs.empty() || specs.size() != all_votes.size()) {
+    throw std::invalid_argument("greedy_select: specs/votes mismatch");
+  }
+
+  // TP floor: the baseline network's validation accuracy (the paper fixes
+  // normalized TP at 100 % of baseline).
+  std::int64_t baseline_correct = 0;
+  for (std::size_t n = 0; n < val_labels.size(); ++n) {
+    if (all_votes[0][n].label == val_labels[n]) ++baseline_correct;
+  }
+  const double tp_floor = static_cast<double>(baseline_correct) /
+                          static_cast<double>(val_labels.size());
+
+  auto evaluate_selection =
+      [&](const std::vector<std::size_t>& member_idx) -> mr::SweepPoint {
+    mr::MemberVotes votes;
+    for (std::size_t i : member_idx) votes.push_back(all_votes[i]);
+    const auto points =
+        mr::sweep_thresholds(votes, val_labels, mr::default_conf_grid());
+    const auto frontier = mr::pareto_frontier(points);
+    const auto chosen = mr::select_by_tp_floor(frontier, tp_floor);
+    if (!chosen) throw std::runtime_error("greedy_select: empty frontier");
+    return *chosen;
+  };
+
+  GreedyResult result;
+  result.baseline_accuracy = tp_floor;
+  std::vector<std::size_t> selected_idx = {0};
+  result.selected = {"ORG"};
+  result.operating_point = evaluate_selection(selected_idx);
+  result.fp_trajectory.push_back(result.operating_point.fp_rate);
+
+  std::vector<bool> used(specs.size(), false);
+  used[0] = true;
+  while (static_cast<int>(selected_idx.size()) < max_members) {
+    double best_fp = 2.0;
+    std::size_t best_i = 0;
+    mr::SweepPoint best_point;
+    for (std::size_t i = 1; i < specs.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<std::size_t> trial = selected_idx;
+      trial.push_back(i);
+      const mr::SweepPoint point = evaluate_selection(trial);
+      if (point.fp_rate < best_fp ||
+          (point.fp_rate == best_fp && point.tp_rate > best_point.tp_rate)) {
+        best_fp = point.fp_rate;
+        best_i = i;
+        best_point = point;
+      }
+    }
+    if (best_i == 0) break;  // no candidates left
+    used[best_i] = true;
+    selected_idx.push_back(best_i);
+    result.selected.push_back(specs[best_i]);
+    result.operating_point = best_point;
+    result.fp_trajectory.push_back(best_point.fp_rate);
+  }
+  return result;
+}
+
+}  // namespace pgmr::polygraph

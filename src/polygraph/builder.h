@@ -1,0 +1,68 @@
+// System-design procedure (paper Section III-G): compare candidate
+// preprocessors by confidence-delta profiles, then greedily assemble the
+// member set that minimizes FP at a TP floor on the validation split.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mr/pareto.h"
+#include "zoo/zoo.h"
+
+namespace pgmr::polygraph {
+
+/// Per-input confidence deltas of a candidate member vs. the baseline,
+/// split by whether the baseline got the input right (paper Fig 8).
+/// delta = candidate top-1 confidence - baseline top-1 confidence; a good
+/// diversity source skews negative on the wrong set (it hesitates where
+/// the baseline confidently errs) and non-negative on the correct set.
+struct DeltaProfile {
+  std::string candidate;
+  std::vector<float> wrong_deltas;    ///< inputs the baseline mispredicted
+  std::vector<float> correct_deltas;  ///< inputs the baseline got right
+
+  /// Fraction of the given set with delta < 0.
+  static double negative_fraction(const std::vector<float>& deltas);
+
+  /// Scalar ranking score: P(delta<0 | wrong) - P(delta<0 | correct).
+  /// Higher is better (hesitates on errors without losing correct votes).
+  double score() const;
+};
+
+/// Computes the delta profile of `candidate_probs` against
+/// `baseline_probs` ([N, C] each) on a labeled set.
+DeltaProfile confidence_deltas(const std::string& candidate,
+                               const Tensor& baseline_probs,
+                               const Tensor& candidate_probs,
+                               const std::vector<std::int64_t>& labels);
+
+/// Step 1 of the design procedure: rank every preprocessor in `pool` by
+/// DeltaProfile::score() on the benchmark's validation split, descending.
+std::vector<DeltaProfile> rank_preprocessors(
+    const zoo::Benchmark& bm, const std::vector<std::string>& pool);
+
+/// Result of the greedy member-selection loop.
+struct GreedyResult {
+  std::vector<std::string> selected;      ///< member specs, "ORG" first
+  mr::SweepPoint operating_point;         ///< chosen thresholds + val rates
+  double baseline_accuracy = 0.0;         ///< ORG accuracy on validation
+  std::vector<double> fp_trajectory;      ///< best FP after each addition
+};
+
+/// Step 2: starting from ORG, repeatedly add the candidate whose inclusion
+/// minimizes the Pareto-selected FP rate (at tp_floor = baseline accuracy)
+/// until `max_members` networks are selected.
+GreedyResult greedy_build(const zoo::Benchmark& bm,
+                          const std::vector<std::string>& pool,
+                          int max_members);
+
+/// Vote-level core of greedy_build, usable when candidate validation votes
+/// are already in hand (benches precompute them to avoid re-inference).
+/// `specs[0]` must be the baseline member ("ORG"); `candidate_votes[i]`
+/// holds per-sample validation votes for specs[i].
+GreedyResult greedy_select(
+    const std::vector<std::string>& specs,
+    const std::vector<std::vector<mr::Vote>>& candidate_votes,
+    const std::vector<std::int64_t>& val_labels, int max_members);
+
+}  // namespace pgmr::polygraph

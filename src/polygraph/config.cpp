@@ -1,0 +1,110 @@
+#include "polygraph/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pgmr::polygraph {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_config(const SystemConfig& config, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_config: cannot open " + path);
+  out << "# PolygraphMR system configuration\n";
+  out << "benchmark = " << config.benchmark << "\n";
+  out << "members = ";
+  for (std::size_t i = 0; i < config.members.size(); ++i) {
+    if (i) out << ", ";
+    out << config.members[i];
+  }
+  out << "\n";
+  out << "conf = " << config.thresholds.conf << "\n";
+  out << "freq = " << config.thresholds.freq << "\n";
+  out << "bits = " << config.bits << "\n";
+  out << "staged = " << (config.staged ? 1 : 0) << "\n";
+  if (!out) throw std::runtime_error("save_config: write failed for " + path);
+}
+
+SystemConfig load_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_config: cannot open " + path);
+  SystemConfig config;
+  bool saw_benchmark = false, saw_members = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("load_config: missing '=' at line " +
+                               std::to_string(line_no));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "benchmark") {
+      config.benchmark = value;
+      saw_benchmark = true;
+    } else if (key == "members") {
+      config.members = split_csv(value);
+      saw_members = true;
+    } else if (key == "conf") {
+      config.thresholds.conf = std::stof(value);
+    } else if (key == "freq") {
+      config.thresholds.freq = std::stoi(value);
+    } else if (key == "bits") {
+      config.bits = std::stoi(value);
+    } else if (key == "staged") {
+      config.staged = value == "1" || value == "true";
+    } else {
+      throw std::runtime_error("load_config: unknown key '" + key +
+                               "' at line " + std::to_string(line_no));
+    }
+  }
+  if (!saw_benchmark || !saw_members || config.members.empty()) {
+    throw std::runtime_error(
+        "load_config: 'benchmark' and non-empty 'members' are required");
+  }
+  if (config.thresholds.freq < 1 ||
+      config.thresholds.freq > static_cast<int>(config.members.size())) {
+    throw std::runtime_error("load_config: freq out of range");
+  }
+  if (config.bits < 9 || config.bits > 32) {
+    throw std::runtime_error("load_config: bits out of range");
+  }
+  return config;
+}
+
+PolygraphSystem make_system(const SystemConfig& config) {
+  const zoo::Benchmark& bm = zoo::find_benchmark(config.benchmark);
+  PolygraphSystem system(zoo::make_ensemble(bm, config.members, config.bits));
+  system.set_thresholds(config.thresholds);
+  if (config.staged) {
+    const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+    system.enable_staged(splits.val.images, splits.val.labels);
+  }
+  return system;
+}
+
+}  // namespace pgmr::polygraph

@@ -1,0 +1,38 @@
+// SystemConfig: a complete, human-editable description of a deployed
+// PolygraphMR system — benchmark, member preprocessors, thresholds,
+// precision, staging — with text serialization so designs produced by the
+// greedy builder can be shipped, versioned and re-loaded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mr/decision.h"
+#include "polygraph/system.h"
+#include "zoo/zoo.h"
+
+namespace pgmr::polygraph {
+
+/// Everything needed to reconstruct a PolygraphSystem from the zoo.
+struct SystemConfig {
+  std::string benchmark;                ///< zoo benchmark id
+  std::vector<std::string> members;     ///< preprocessor specs, "ORG" first
+  mr::Thresholds thresholds{0.0F, 1};
+  int bits = 32;                        ///< member precision (RAMR)
+  bool staged = false;                  ///< enable RADE at load time
+};
+
+/// Serializes `config` as "key = value" lines. Throws on I/O failure.
+void save_config(const SystemConfig& config, const std::string& path);
+
+/// Parses a file written by save_config (unknown keys rejected, comments
+/// starting with '#' and blank lines ignored). Throws std::runtime_error
+/// on malformed input.
+SystemConfig load_config(const std::string& path);
+
+/// Builds the runnable system: loads/trains members from the zoo cache,
+/// installs thresholds, and (when config.staged) derives the RADE priority
+/// from the benchmark's validation split.
+PolygraphSystem make_system(const SystemConfig& config);
+
+}  // namespace pgmr::polygraph

@@ -1,0 +1,96 @@
+#include "polygraph/system.h"
+
+#include <stdexcept>
+
+namespace pgmr::polygraph {
+
+PolygraphSystem::PolygraphSystem(mr::Ensemble ensemble)
+    : ensemble_(std::move(ensemble)) {
+  if (ensemble_.size() == 0) {
+    throw std::invalid_argument("PolygraphSystem: empty ensemble");
+  }
+  thresholds_ = mr::Thresholds{0.0F, 1};
+}
+
+mr::SweepPoint PolygraphSystem::profile(
+    const Tensor& val_images, const std::vector<std::int64_t>& val_labels,
+    double tp_floor) {
+  const mr::MemberVotes votes = ensemble_.member_votes(val_images);
+  const auto points =
+      mr::sweep_thresholds(votes, val_labels, mr::default_conf_grid());
+  const auto frontier = mr::pareto_frontier(points);
+  const auto chosen = mr::select_by_tp_floor(frontier, tp_floor);
+  if (!chosen) {
+    throw std::runtime_error("PolygraphSystem::profile: empty frontier");
+  }
+  thresholds_ = chosen->thresholds;
+  return *chosen;
+}
+
+void PolygraphSystem::enable_staged(
+    const Tensor& val_images, const std::vector<std::int64_t>& val_labels) {
+  const mr::MemberVotes votes = ensemble_.member_votes(val_images);
+  priority_ = mr::contribution_priority(votes, val_labels);
+}
+
+const std::vector<std::size_t>& PolygraphSystem::priority() const {
+  if (!priority_) {
+    throw std::logic_error("PolygraphSystem: staged mode not enabled");
+  }
+  return *priority_;
+}
+
+Verdict PolygraphSystem::predict(const Tensor& image) {
+  if (image.shape().rank() != 4 || image.shape()[0] != 1) {
+    throw std::invalid_argument("PolygraphSystem::predict: expected [1,C,H,W]");
+  }
+  Verdict v;
+  if (priority_) {
+    // RADE path: members run lazily in priority order.
+    std::vector<mr::Vote> ordered;
+    ordered.reserve(ensemble_.size());
+    for (std::size_t m : *priority_) {
+      const Tensor probs = ensemble_.member(m).probabilities(image);
+      ordered.push_back({probs.argmax_row(0), probs.max_row(0)});
+    }
+    // staged_decide only *charges* for the activated prefix; computing the
+    // full vote list here keeps predict() simple while evaluate_staged()
+    // models the cost.
+    const mr::StagedDecision sd = mr::staged_decide(ordered, thresholds_);
+    v.label = sd.decision.label;
+    v.reliable = sd.decision.reliable;
+    v.votes = sd.decision.votes_for_label;
+    v.activated = sd.activated;
+    return v;
+  }
+  std::vector<mr::Vote> votes;
+  votes.reserve(ensemble_.size());
+  for (std::size_t m = 0; m < ensemble_.size(); ++m) {
+    const Tensor probs = ensemble_.member(m).probabilities(image);
+    votes.push_back({probs.argmax_row(0), probs.max_row(0)});
+  }
+  const mr::Decision d = mr::decide(votes, thresholds_);
+  v.label = d.label;
+  v.reliable = d.reliable;
+  v.votes = d.votes_for_label;
+  v.activated = static_cast<int>(ensemble_.size());
+  return v;
+}
+
+mr::Outcome PolygraphSystem::evaluate(
+    const Tensor& images, const std::vector<std::int64_t>& labels) {
+  const mr::MemberVotes votes = ensemble_.member_votes(images);
+  return mr::evaluate(votes, labels, thresholds_);
+}
+
+mr::StagedOutcome PolygraphSystem::evaluate_staged(
+    const Tensor& images, const std::vector<std::int64_t>& labels) {
+  if (!priority_) {
+    throw std::logic_error(
+        "PolygraphSystem::evaluate_staged: call enable_staged first");
+  }
+  const mr::MemberVotes votes = ensemble_.member_votes(images);
+  return mr::evaluate_staged(votes, labels, *priority_, thresholds_);
+}
+
+}  // namespace pgmr::polygraph

@@ -1,0 +1,78 @@
+// PolygraphSystem: the paper's complete three-layer design behind one API.
+//
+//   Layer 1  preprocessors   (prep::Preprocessor, one per member)
+//   Layer 2  heterogeneous MR (mr::Ensemble of trained CNNs, optionally
+//                              precision-reduced — RAMR)
+//   Layer 3  decision engine  (mr::decide with Thr_Conf / Thr_Freq,
+//                              optionally staged — RADE)
+//
+// Typical use: build (or load) an ensemble, call profile() on the
+// validation split to pick thresholds from the Pareto frontier, optionally
+// enable_staged() for RADE, then predict()/evaluate() on live inputs.
+#pragma once
+
+#include <optional>
+
+#include "mr/ensemble.h"
+#include "mr/pareto.h"
+#include "mr/rade.h"
+
+namespace pgmr::polygraph {
+
+/// A reliability-annotated prediction for one input.
+struct Verdict {
+  std::int64_t label = -1;
+  bool reliable = false;
+  int votes = 0;      ///< acceptable votes behind `label`
+  int activated = 0;  ///< members actually run (== size unless staged)
+};
+
+/// The assembled PolygraphMR system.
+class PolygraphSystem {
+ public:
+  /// Takes ownership of a configured ensemble. Thresholds default to the
+  /// most permissive setting until profile()/set_thresholds is called.
+  explicit PolygraphSystem(mr::Ensemble ensemble);
+
+  mr::Ensemble& ensemble() { return ensemble_; }
+  const mr::Thresholds& thresholds() const { return thresholds_; }
+  void set_thresholds(const mr::Thresholds& t) { thresholds_ = t; }
+  bool staged() const { return priority_.has_value(); }
+
+  /// Offline profiling stage (Section III-E): sweeps (Thr_Conf, Thr_Freq)
+  /// on the validation set, installs the Pareto point with minimum FP
+  /// subject to tp_rate >= tp_floor, and returns it.
+  mr::SweepPoint profile(const Tensor& val_images,
+                         const std::vector<std::int64_t>& val_labels,
+                         double tp_floor);
+
+  /// Enables RADE staged activation, deriving the member priority order
+  /// from per-member correctness on the validation set (Section III-F).
+  void enable_staged(const Tensor& val_images,
+                     const std::vector<std::int64_t>& val_labels);
+
+  /// Disables staged activation (every member runs for every input).
+  void disable_staged() { priority_.reset(); }
+
+  /// Member priority order (only meaningful after enable_staged).
+  const std::vector<std::size_t>& priority() const;
+
+  /// Classifies one [1, C, H, W] input.
+  Verdict predict(const Tensor& image);
+
+  /// Full-activation evaluation over a labeled set.
+  mr::Outcome evaluate(const Tensor& images,
+                       const std::vector<std::int64_t>& labels);
+
+  /// Staged (RADE) evaluation; also reports the activation histogram.
+  /// Requires enable_staged() to have been called.
+  mr::StagedOutcome evaluate_staged(const Tensor& images,
+                                    const std::vector<std::int64_t>& labels);
+
+ private:
+  mr::Ensemble ensemble_;
+  mr::Thresholds thresholds_;
+  std::optional<std::vector<std::size_t>> priority_;
+};
+
+}  // namespace pgmr::polygraph

@@ -1,0 +1,306 @@
+#include "prep/preprocessor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pgmr::prep {
+namespace {
+
+constexpr int kBins = 64;
+
+struct PlaneView {
+  float* data;
+  std::int64_t h;
+  std::int64_t w;
+};
+
+/// Applies `fn` to every (image, channel) plane of a batch copy.
+template <typename Fn>
+Tensor transform_planes(const Tensor& images, Fn fn) {
+  if (images.shape().rank() != 4) {
+    throw std::invalid_argument("Preprocessor: expected [N,C,H,W] batch");
+  }
+  Tensor out = images;
+  const std::int64_t planes = images.shape()[0] * images.shape()[1];
+  const std::int64_t h = images.shape()[2];
+  const std::int64_t w = images.shape()[3];
+  for (std::int64_t p = 0; p < planes; ++p) {
+    PlaneView view{out.data() + p * h * w, h, w};
+    fn(view);
+  }
+  return out;
+}
+
+int bin_of(float v) {
+  const int b = static_cast<int>(v * kBins);
+  return std::clamp(b, 0, kBins - 1);
+}
+
+/// Histogram-equalization mapping for `count[kBins]` covering `total` pixels.
+void cdf_mapping(const std::int64_t* count, std::int64_t total,
+                 float* mapping) {
+  std::int64_t acc = 0;
+  for (int b = 0; b < kBins; ++b) {
+    acc += count[b];
+    mapping[b] = total > 0 ? static_cast<float>(acc) / static_cast<float>(total)
+                           : 0.0F;
+  }
+}
+
+float clampf(float v) { return std::min(1.0F, std::max(0.0F, v)); }
+
+void bilinear_resize(const float* src, std::int64_t sh, std::int64_t sw,
+                     float* dst, std::int64_t dh, std::int64_t dw) {
+  for (std::int64_t y = 0; y < dh; ++y) {
+    const float fy = dh > 1 ? static_cast<float>(y) *
+                                  static_cast<float>(sh - 1) /
+                                  static_cast<float>(dh - 1)
+                            : 0.0F;
+    const auto y0 = static_cast<std::int64_t>(fy);
+    const std::int64_t y1 = std::min(y0 + 1, sh - 1);
+    const float wy = fy - static_cast<float>(y0);
+    for (std::int64_t x = 0; x < dw; ++x) {
+      const float fx = dw > 1 ? static_cast<float>(x) *
+                                    static_cast<float>(sw - 1) /
+                                    static_cast<float>(dw - 1)
+                              : 0.0F;
+      const auto x0 = static_cast<std::int64_t>(fx);
+      const std::int64_t x1 = std::min(x0 + 1, sw - 1);
+      const float wx = fx - static_cast<float>(x0);
+      const float top = src[y0 * sw + x0] * (1.0F - wx) + src[y0 * sw + x1] * wx;
+      const float bot = src[y1 * sw + x0] * (1.0F - wx) + src[y1 * sw + x1] * wx;
+      dst[y * dw + x] = top * (1.0F - wy) + bot * wy;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor FlipX::apply(const Tensor& images) const {
+  return transform_planes(images, [](PlaneView p) {
+    for (std::int64_t y = 0; y < p.h; ++y) {
+      std::reverse(p.data + y * p.w, p.data + (y + 1) * p.w);
+    }
+  });
+}
+
+Tensor FlipY::apply(const Tensor& images) const {
+  return transform_planes(images, [](PlaneView p) {
+    for (std::int64_t y = 0; y < p.h / 2; ++y) {
+      std::swap_ranges(p.data + y * p.w, p.data + (y + 1) * p.w,
+                       p.data + (p.h - 1 - y) * p.w);
+    }
+  });
+}
+
+Gamma::Gamma(float gamma) : gamma_(gamma) {
+  if (gamma <= 0.0F) throw std::invalid_argument("Gamma: gamma must be > 0");
+}
+
+std::string Gamma::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Gamma(%.2f)", static_cast<double>(gamma_));
+  return buf;
+}
+
+Tensor Gamma::apply(const Tensor& images) const {
+  const float g = gamma_;
+  return transform_planes(images, [g](PlaneView p) {
+    for (std::int64_t i = 0; i < p.h * p.w; ++i) {
+      p.data[i] = std::pow(clampf(p.data[i]), g);
+    }
+  });
+}
+
+Tensor Hist::apply(const Tensor& images) const {
+  return transform_planes(images, [](PlaneView p) {
+    std::int64_t count[kBins] = {};
+    const std::int64_t total = p.h * p.w;
+    for (std::int64_t i = 0; i < total; ++i) ++count[bin_of(p.data[i])];
+    float mapping[kBins];
+    cdf_mapping(count, total, mapping);
+    for (std::int64_t i = 0; i < total; ++i) {
+      p.data[i] = mapping[bin_of(p.data[i])];
+    }
+  });
+}
+
+AdHist::AdHist(int tiles, float clip_limit)
+    : tiles_(tiles), clip_limit_(clip_limit) {
+  if (tiles < 1 || clip_limit < 1.0F) {
+    throw std::invalid_argument("AdHist: invalid tiling/clip configuration");
+  }
+}
+
+Tensor AdHist::apply(const Tensor& images) const {
+  const int tiles = tiles_;
+  const float clip = clip_limit_;
+  return transform_planes(images, [tiles, clip](PlaneView p) {
+    const std::int64_t th = p.h / tiles;
+    const std::int64_t tw = p.w / tiles;
+    if (th == 0 || tw == 0) {
+      throw std::invalid_argument("AdHist: image smaller than tile grid");
+    }
+    // Per-tile clipped-equalization mappings.
+    std::vector<float> mapping(static_cast<std::size_t>(tiles * tiles * kBins));
+    for (int ty = 0; ty < tiles; ++ty) {
+      for (int tx = 0; tx < tiles; ++tx) {
+        std::int64_t count[kBins] = {};
+        const std::int64_t y0 = ty * th;
+        const std::int64_t x0 = tx * tw;
+        // Last row/column of tiles absorbs any remainder.
+        const std::int64_t y1 = (ty == tiles - 1) ? p.h : y0 + th;
+        const std::int64_t x1 = (tx == tiles - 1) ? p.w : x0 + tw;
+        const std::int64_t total = (y1 - y0) * (x1 - x0);
+        for (std::int64_t y = y0; y < y1; ++y) {
+          for (std::int64_t x = x0; x < x1; ++x) {
+            ++count[bin_of(p.data[y * p.w + x])];
+          }
+        }
+        // Clip and redistribute (the "contrast limiting" in CLAHE).
+        const auto limit = static_cast<std::int64_t>(
+            clip * static_cast<float>(total) / kBins);
+        std::int64_t excess = 0;
+        for (int b = 0; b < kBins; ++b) {
+          if (count[b] > limit) {
+            excess += count[b] - limit;
+            count[b] = limit;
+          }
+        }
+        const std::int64_t share = excess / kBins;
+        for (int b = 0; b < kBins; ++b) count[b] += share;
+        cdf_mapping(count, total,
+                    mapping.data() + (ty * tiles + tx) * kBins);
+      }
+    }
+    // Bilinear interpolation between tile-center mappings.
+    std::vector<float> out(static_cast<std::size_t>(p.h * p.w));
+    for (std::int64_t y = 0; y < p.h; ++y) {
+      const float gy = (static_cast<float>(y) + 0.5F) / static_cast<float>(th) - 0.5F;
+      const int ty0 = std::clamp(static_cast<int>(std::floor(gy)), 0, tiles - 1);
+      const int ty1 = std::min(ty0 + 1, tiles - 1);
+      const float wy = std::clamp(gy - static_cast<float>(ty0), 0.0F, 1.0F);
+      for (std::int64_t x = 0; x < p.w; ++x) {
+        const float gx = (static_cast<float>(x) + 0.5F) / static_cast<float>(tw) - 0.5F;
+        const int tx0 = std::clamp(static_cast<int>(std::floor(gx)), 0, tiles - 1);
+        const int tx1 = std::min(tx0 + 1, tiles - 1);
+        const float wx = std::clamp(gx - static_cast<float>(tx0), 0.0F, 1.0F);
+        const int b = bin_of(p.data[y * p.w + x]);
+        const float m00 = mapping[(ty0 * tiles + tx0) * kBins + b];
+        const float m01 = mapping[(ty0 * tiles + tx1) * kBins + b];
+        const float m10 = mapping[(ty1 * tiles + tx0) * kBins + b];
+        const float m11 = mapping[(ty1 * tiles + tx1) * kBins + b];
+        const float top = m00 * (1.0F - wx) + m01 * wx;
+        const float bot = m10 * (1.0F - wx) + m11 * wx;
+        out[static_cast<std::size_t>(y * p.w + x)] = top * (1.0F - wy) + bot * wy;
+      }
+    }
+    std::copy(out.begin(), out.end(), p.data);
+  });
+}
+
+ConNorm::ConNorm(int window) : window_(window) {
+  if (window < 3 || window % 2 == 0) {
+    throw std::invalid_argument("ConNorm: window must be odd and >= 3");
+  }
+}
+
+Tensor ConNorm::apply(const Tensor& images) const {
+  const int half = window_ / 2;
+  return transform_planes(images, [half](PlaneView p) {
+    std::vector<float> out(static_cast<std::size_t>(p.h * p.w));
+    for (std::int64_t y = 0; y < p.h; ++y) {
+      for (std::int64_t x = 0; x < p.w; ++x) {
+        float sum = 0.0F, sum2 = 0.0F;
+        int n = 0;
+        for (std::int64_t dy = -half; dy <= half; ++dy) {
+          const std::int64_t yy = y + dy;
+          if (yy < 0 || yy >= p.h) continue;
+          for (std::int64_t dx = -half; dx <= half; ++dx) {
+            const std::int64_t xx = x + dx;
+            if (xx < 0 || xx >= p.w) continue;
+            const float v = p.data[yy * p.w + xx];
+            sum += v;
+            sum2 += v * v;
+            ++n;
+          }
+        }
+        const float mean = sum / static_cast<float>(n);
+        const float var =
+            std::max(0.0F, sum2 / static_cast<float>(n) - mean * mean);
+        const float stddev = std::sqrt(var) + 0.02F;
+        out[static_cast<std::size_t>(y * p.w + x)] =
+            clampf(0.5F + 0.25F * (p.data[y * p.w + x] - mean) / stddev);
+      }
+    }
+    std::copy(out.begin(), out.end(), p.data);
+  });
+}
+
+Tensor ImAdj::apply(const Tensor& images) const {
+  return transform_planes(images, [](PlaneView p) {
+    const std::int64_t total = p.h * p.w;
+    std::vector<float> sorted(p.data, p.data + total);
+    const auto lo_idx = static_cast<std::size_t>(0.01 * static_cast<double>(total));
+    const auto hi_idx = static_cast<std::size_t>(0.99 * static_cast<double>(total));
+    std::nth_element(sorted.begin(), sorted.begin() + lo_idx, sorted.end());
+    const float lo = sorted[lo_idx];
+    std::nth_element(sorted.begin(), sorted.begin() + hi_idx, sorted.end());
+    const float hi = sorted[hi_idx];
+    const float range = std::max(hi - lo, 1e-3F);
+    for (std::int64_t i = 0; i < total; ++i) {
+      p.data[i] = clampf((p.data[i] - lo) / range);
+    }
+  });
+}
+
+Scale::Scale(float factor) : factor_(factor) {
+  if (factor <= 0.0F || factor >= 1.0F) {
+    throw std::invalid_argument("Scale: factor must be in (0, 1)");
+  }
+}
+
+std::string Scale::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Scale(%.2f)", static_cast<double>(factor_));
+  return buf;
+}
+
+Tensor Scale::apply(const Tensor& images) const {
+  const float factor = factor_;
+  return transform_planes(images, [factor](PlaneView p) {
+    const auto sh = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(std::lround(factor * static_cast<float>(p.h))));
+    const auto sw = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(std::lround(factor * static_cast<float>(p.w))));
+    std::vector<float> small(static_cast<std::size_t>(sh * sw));
+    bilinear_resize(p.data, p.h, p.w, small.data(), sh, sw);
+    bilinear_resize(small.data(), sh, sw, p.data, p.h, p.w);
+  });
+}
+
+std::unique_ptr<Preprocessor> make_preprocessor(const std::string& spec) {
+  if (spec == "ORG") return std::make_unique<Identity>();
+  if (spec == "FlipX") return std::make_unique<FlipX>();
+  if (spec == "FlipY") return std::make_unique<FlipY>();
+  if (spec == "Hist") return std::make_unique<Hist>();
+  if (spec == "AdHist") return std::make_unique<AdHist>();
+  if (spec == "ConNorm") return std::make_unique<ConNorm>();
+  if (spec == "ImAdj") return std::make_unique<ImAdj>();
+  if (spec.rfind("Gamma(", 0) == 0 && spec.back() == ')') {
+    return std::make_unique<Gamma>(std::stof(spec.substr(6)));
+  }
+  if (spec.rfind("Scale(", 0) == 0 && spec.back() == ')') {
+    return std::make_unique<Scale>(std::stof(spec.substr(6)));
+  }
+  throw std::invalid_argument("make_preprocessor: unknown spec '" + spec + "'");
+}
+
+std::vector<std::string> standard_pool() {
+  return {"AdHist",      "ConNorm",     "FlipX",       "FlipY",
+          "Gamma(0.50)", "Gamma(1.50)", "Gamma(2.00)", "Hist",
+          "ImAdj",       "Scale(0.80)"};
+}
+
+}  // namespace pgmr::prep

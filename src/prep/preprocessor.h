@@ -1,0 +1,124 @@
+// Layer 1 of PolygraphMR: the pool of image preprocessors (paper Table I).
+//
+// Each preprocessor is a pure, deterministic transform over [N, C, H, W]
+// image batches in [0, 1]. Behaviour diversity in the MR system comes from
+// training/inferring each member CNN on a differently-preprocessed view of
+// the same input.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgmr::prep {
+
+/// Abstract image transform. Implementations are stateless and thread-safe.
+class Preprocessor {
+ public:
+  virtual ~Preprocessor() = default;
+
+  /// Canonical spec string ("FlipX", "Gamma(2.0)", ...); parseable by
+  /// make_preprocessor, so configurations serialize as plain text.
+  virtual std::string name() const = 0;
+
+  /// Transforms a batch; output has the same shape and stays in [0, 1].
+  virtual Tensor apply(const Tensor& images) const = 0;
+};
+
+/// Identity transform — the paper's "ORG" baseline member.
+class Identity final : public Preprocessor {
+ public:
+  std::string name() const override { return "ORG"; }
+  Tensor apply(const Tensor& images) const override { return images; }
+};
+
+/// Horizontal flip (mirror across the vertical axis).
+class FlipX final : public Preprocessor {
+ public:
+  std::string name() const override { return "FlipX"; }
+  Tensor apply(const Tensor& images) const override;
+};
+
+/// Vertical flip (mirror across the horizontal axis).
+class FlipY final : public Preprocessor {
+ public:
+  std::string name() const override { return "FlipY"; }
+  Tensor apply(const Tensor& images) const override;
+};
+
+/// Gamma correction v -> v^gamma; gamma > 1 darkens, < 1 brightens.
+class Gamma final : public Preprocessor {
+ public:
+  explicit Gamma(float gamma);
+  std::string name() const override;
+  Tensor apply(const Tensor& images) const override;
+
+ private:
+  float gamma_;
+};
+
+/// Global histogram equalization, per image and channel (paper "Hist").
+class Hist final : public Preprocessor {
+ public:
+  std::string name() const override { return "Hist"; }
+  Tensor apply(const Tensor& images) const override;
+};
+
+/// CLAHE-style locally adaptive histogram equalization (paper "AdHist"):
+/// the image is tiled, each tile equalized with a clip limit, and per-pixel
+/// mappings bilinearly interpolated between tile centers.
+class AdHist final : public Preprocessor {
+ public:
+  /// `tiles` tiles per side, `clip_limit` as a multiple of the uniform bin
+  /// height (2.0 is the common default).
+  explicit AdHist(int tiles = 2, float clip_limit = 2.0F);
+  std::string name() const override { return "AdHist"; }
+  Tensor apply(const Tensor& images) const override;
+
+ private:
+  int tiles_;
+  float clip_limit_;
+};
+
+/// Local contrast normalization (paper "ConNorm"): subtract a local box
+/// mean and divide by the local standard deviation.
+class ConNorm final : public Preprocessor {
+ public:
+  explicit ConNorm(int window = 5);
+  std::string name() const override { return "ConNorm"; }
+  Tensor apply(const Tensor& images) const override;
+
+ private:
+  int window_;
+};
+
+/// Intensity range remap (paper "ImAdj"): stretches the [p1, p99]
+/// percentile range of each image channel to [0, 1].
+class ImAdj final : public Preprocessor {
+ public:
+  std::string name() const override { return "ImAdj"; }
+  Tensor apply(const Tensor& images) const override;
+};
+
+/// Down-and-up bilinear rescale by `factor` (paper "Scale 80%" uses 0.8):
+/// softens high-frequency content/noise.
+class Scale final : public Preprocessor {
+ public:
+  explicit Scale(float factor);
+  std::string name() const override;
+  Tensor apply(const Tensor& images) const override;
+
+ private:
+  float factor_;
+};
+
+/// Parses a spec string produced by Preprocessor::name() back into an
+/// instance. Throws std::invalid_argument on unknown specs.
+std::unique_ptr<Preprocessor> make_preprocessor(const std::string& spec);
+
+/// The candidate pool the system builder searches over (Section III-G).
+std::vector<std::string> standard_pool();
+
+}  // namespace pgmr::prep

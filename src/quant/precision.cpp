@@ -1,0 +1,24 @@
+#include "quant/precision.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace pgmr::quant {
+
+float truncate_value(float v, int bits) {
+  if (bits >= kFullBits) return v;
+  const int mantissa_bits = std::max(bits, kMinBits) - 9;
+  const std::uint32_t drop = static_cast<std::uint32_t>(23 - mantissa_bits);
+  const auto raw = std::bit_cast<std::uint32_t>(v);
+  const std::uint32_t mask = ~((1U << drop) - 1U);
+  return std::bit_cast<float>(raw & mask);
+}
+
+void truncate_tensor(Tensor& t, int bits) {
+  if (bits >= kFullBits) return;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = truncate_value(t[i], bits);
+  }
+}
+
+}  // namespace pgmr::quant

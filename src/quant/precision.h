@@ -1,0 +1,27 @@
+// Reduced-precision simulation (paper Section III-D, RAMR).
+//
+// The paper truncates values on load/store with custom CUDA kernels; here
+// the same numerical effect is produced in software by zeroing the low
+// mantissa bits of IEEE-754 floats. A "B-bit" value keeps 1 sign bit, the
+// full 8-bit exponent, and (B - 9) mantissa bits — matching the paper's
+// 10..32-bit unified-precision axis (e.g. 17 bits = 8-bit mantissa).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace pgmr::quant {
+
+/// Total bit-widths representable by the truncation scheme.
+constexpr int kMinBits = 9;   ///< sign + exponent only (zero mantissa bits)
+constexpr int kFullBits = 32; ///< identity (full fp32)
+
+/// Truncates one float to `bits` total bits. bits >= 32 is the identity;
+/// bits are clamped below at kMinBits.
+float truncate_value(float v, int bits);
+
+/// Truncates every element of `t` in place.
+void truncate_tensor(Tensor& t, int bits);
+
+}  // namespace pgmr::quant

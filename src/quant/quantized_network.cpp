@@ -1,0 +1,28 @@
+#include "quant/quantized_network.h"
+
+#include "nn/softmax.h"
+
+namespace pgmr::quant {
+
+QuantizedNetwork::QuantizedNetwork(nn::Network network, int bits)
+    : network_(std::move(network)), bits_(bits) {
+  for (Tensor* p : network_.params()) {
+    truncate_tensor(*p, bits_);
+  }
+}
+
+Tensor QuantizedNetwork::forward(const Tensor& input) {
+  Tensor x = input;
+  truncate_tensor(x, bits_);
+  for (auto& layer : network_.mutable_layers()) {
+    x = layer->forward(x, /*train=*/false);
+    truncate_tensor(x, bits_);
+  }
+  return x;
+}
+
+Tensor QuantizedNetwork::probabilities(const Tensor& input) {
+  return nn::softmax(forward(input));
+}
+
+}  // namespace pgmr::quant

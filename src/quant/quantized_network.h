@@ -1,0 +1,38 @@
+// QuantizedNetwork: a Network executed at reduced unified precision.
+//
+// Weights are truncated once at construction; activations are truncated
+// after every layer, simulating the paper's truncating load/store path.
+#pragma once
+
+#include "nn/network.h"
+#include "quant/precision.h"
+
+namespace pgmr::quant {
+
+/// Owns an independent copy of a network and runs it at `bits` precision.
+/// Obtain the copy by re-loading the cached model from disk (Network is
+/// move-only by design).
+class QuantizedNetwork {
+ public:
+  /// Takes ownership of `network` and truncates all its parameters.
+  QuantizedNetwork(nn::Network network, int bits);
+
+  const std::string& name() const { return network_.name(); }
+  int bits() const { return bits_; }
+
+  /// Forward pass with per-layer activation truncation; returns logits.
+  Tensor forward(const Tensor& input);
+
+  /// forward() followed by softmax — the layer-2 output PolygraphMR uses.
+  Tensor probabilities(const Tensor& input);
+
+  /// Cost of one forward pass at the wrapped precision is derived by the
+  /// perf module from this plus bits(); expose the underlying network.
+  const nn::Network& network() const { return network_; }
+
+ private:
+  nn::Network network_;
+  int bits_;
+};
+
+}  // namespace pgmr::quant

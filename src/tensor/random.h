@@ -1,0 +1,57 @@
+// Rng: deterministic random source used across PolygraphMR.
+//
+// Every stochastic step in the reproduction — dataset synthesis, weight
+// initialization, shuffling, dropout — draws from an explicitly seeded Rng
+// so that training runs, tests, and benches are bit-reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pgmr {
+
+/// Seeded pseudo-random generator (mt19937_64 underneath). Not thread-safe;
+/// use one Rng per logical stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  float normal(float mean, float stddev) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Derives an independent child stream; used to give each ensemble member
+  /// its own reproducible randomness.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pgmr

@@ -1,0 +1,63 @@
+// Binary serialization for trained models and cached datasets.
+//
+// A tiny length-prefixed binary format: PODs are written little-endian
+// as-is (we only target x86-64 here), strings and tensors carry explicit
+// sizes, and every archive starts with a magic + version header so stale
+// caches are rejected instead of misread.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgmr {
+
+/// Streaming binary writer. Throws std::runtime_error on I/O failure.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing and emits the archive header.
+  explicit BinaryWriter(const std::string& path);
+
+  void write_u32(std::uint32_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_floats(const std::vector<float>& v);
+  void write_tensor(const Tensor& t);
+
+  /// Flushes and closes; throws if the stream is in a failed state.
+  void close();
+
+ private:
+  void raw(const void* p, std::size_t n);
+  std::ofstream out_;
+};
+
+/// Streaming binary reader mirroring BinaryWriter. Throws std::runtime_error
+/// on truncated input or header mismatch.
+class BinaryReader {
+ public:
+  /// Opens `path` and validates the archive header.
+  explicit BinaryReader(const std::string& path);
+
+  std::uint32_t read_u32();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_floats();
+  Tensor read_tensor();
+
+ private:
+  void raw(void* p, std::size_t n);
+  std::ifstream in_;
+};
+
+/// True when a readable archive with a valid header exists at `path`.
+bool archive_exists(const std::string& path);
+
+}  // namespace pgmr

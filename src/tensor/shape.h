@@ -1,0 +1,79 @@
+// Shape: dimension vector for dense row-major tensors.
+//
+// PolygraphMR's networks use rank-2 (N x F) and rank-4 (N x C x H x W)
+// tensors exclusively, but Shape supports any rank up to kMaxRank so the
+// framework stays generic.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace pgmr {
+
+/// A small fixed-capacity dimension list. Value type, cheap to copy.
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 6;
+
+  Shape() = default;
+
+  /// Construct from an explicit dimension list, e.g. Shape{32, 3, 16, 16}.
+  /// Throws std::invalid_argument on rank > kMaxRank or any zero dimension.
+  Shape(std::initializer_list<std::int64_t> dims) {
+    if (dims.size() > kMaxRank) {
+      throw std::invalid_argument("Shape: rank exceeds kMaxRank");
+    }
+    for (std::int64_t d : dims) {
+      if (d <= 0) throw std::invalid_argument("Shape: non-positive dimension");
+      dims_[rank_++] = d;
+    }
+  }
+
+  /// Number of dimensions.
+  std::size_t rank() const { return rank_; }
+
+  /// Dimension at axis i (bounds-checked).
+  std::int64_t dim(std::size_t i) const {
+    if (i >= rank_) throw std::out_of_range("Shape::dim: axis out of range");
+    return dims_[i];
+  }
+
+  std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+  /// Total number of elements (product of dimensions); 1 for rank 0.
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "[32, 3, 16, 16]".
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace pgmr

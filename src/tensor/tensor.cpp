@@ -1,0 +1,138 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pgmr {
+
+Tensor::Tensor(Shape shape)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), 0.0F) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(shape), data_(std::move(values)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+    throw std::invalid_argument("Tensor: value count does not match shape " +
+                                shape_.to_string());
+  }
+}
+
+void Tensor::check_rank(std::size_t expected) const {
+  if (shape_.rank() != expected) {
+    throw std::invalid_argument("Tensor: expected rank " +
+                                std::to_string(expected) + ", got shape " +
+                                shape_.to_string());
+  }
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t f) {
+  check_rank(2);
+  return data_[static_cast<std::size_t>(n * shape_[1] + f)];
+}
+
+float Tensor::at(std::int64_t n, std::int64_t f) const {
+  check_rank(2);
+  return data_[static_cast<std::size_t>(n * shape_[1] + f)];
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  check_rank(4);
+  const std::int64_t idx =
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return data_[static_cast<std::size_t>(idx)];
+}
+
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w) const {
+  check_rank(4);
+  const std::int64_t idx =
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  return data_[static_cast<std::size_t>(idx)];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch (" +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string() + ")");
+  }
+  return Tensor(new_shape, data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("Tensor::operator+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("Tensor::operator-=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+std::int64_t Tensor::argmax() const {
+  if (data_.empty()) throw std::logic_error("Tensor::argmax: empty tensor");
+  return std::distance(data_.begin(),
+                       std::max_element(data_.begin(), data_.end()));
+}
+
+std::int64_t Tensor::argmax_row(std::int64_t n) const {
+  check_rank(2);
+  const std::int64_t cols = shape_[1];
+  const float* row = data_.data() + n * cols;
+  return std::distance(row, std::max_element(row, row + cols));
+}
+
+float Tensor::max_row(std::int64_t n) const {
+  check_rank(2);
+  const std::int64_t cols = shape_[1];
+  const float* row = data_.data() + n * cols;
+  return *std::max_element(row, row + cols);
+}
+
+Tensor Tensor::slice_sample(std::int64_t n) const {
+  if (n < 0 || shape_.rank() == 0 || n >= shape_[0]) {
+    throw std::out_of_range("Tensor::slice_sample: sample index out of range");
+  }
+  const std::int64_t per_sample = numel() / shape_[0];
+  std::vector<float> out(data_.begin() + n * per_sample,
+                         data_.begin() + (n + 1) * per_sample);
+  if (shape_.rank() == 4) {
+    return Tensor(Shape{1, shape_[1], shape_[2], shape_[3]}, std::move(out));
+  }
+  if (shape_.rank() == 2) {
+    return Tensor(Shape{1, shape_[1]}, std::move(out));
+  }
+  throw std::invalid_argument("Tensor::slice_sample: unsupported rank");
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float tol) {
+  if (a.shape() != b.shape()) return false;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace pgmr

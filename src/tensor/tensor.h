@@ -1,0 +1,90 @@
+// Tensor: dense row-major float32 tensor with value semantics.
+//
+// This is the single numeric container shared by every PolygraphMR module:
+// images, activations, weights, gradients and softmax vectors are all
+// Tensors. Storage is contiguous; layout for rank-4 tensors is NCHW.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace pgmr {
+
+/// Dense row-major float tensor. Copyable, movable; copies are deep.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, one element? no: zero elements, null shape).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with explicit contents (size must match).
+  /// Throws std::invalid_argument on size mismatch.
+  Tensor(Shape shape, std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat element access (bounds-checked in debug via vector::at semantics
+  /// is avoided for speed; callers must stay in range).
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Rank-2 access: element (n, f).
+  float& at(std::int64_t n, std::int64_t f);
+  float at(std::int64_t n, std::int64_t f) const;
+
+  /// Rank-4 NCHW access: element (n, c, h, w).
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  /// Returns a tensor with the same data reinterpreted under a new shape.
+  /// Throws std::invalid_argument if element counts differ.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Fill every element with `value`.
+  void fill(float value);
+
+  /// Elementwise in-place operations (shapes must match exactly).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+
+  /// Sum of all elements.
+  float sum() const;
+
+  /// Index of the maximum element across the whole tensor.
+  std::int64_t argmax() const;
+
+  /// Index of the maximum element within row n of a rank-2 tensor.
+  std::int64_t argmax_row(std::int64_t n) const;
+
+  /// Maximum value within row n of a rank-2 tensor.
+  float max_row(std::int64_t n) const;
+
+  /// Extracts row n of a rank-2 tensor (a length-F rank-1 tensor) or
+  /// sample n of a rank-4 tensor (a rank-3 C x H x W tensor... returned as
+  /// rank-4 with N=1 for layer compatibility).
+  Tensor slice_sample(std::int64_t n) const;
+
+  /// Underlying storage, for serialization and tests.
+  const std::vector<float>& values() const { return data_; }
+
+ private:
+  void check_rank(std::size_t expected) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Returns true when every pair of elements differs by at most `tol`.
+bool allclose(const Tensor& a, const Tensor& b, float tol = 1e-5F);
+
+}  // namespace pgmr

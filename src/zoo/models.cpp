@@ -1,0 +1,192 @@
+#include "zoo/models.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/blocks.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+
+namespace pgmr::zoo {
+namespace {
+
+using nn::BatchNorm;
+using nn::Conv2D;
+using nn::Dense;
+using nn::DenseBlock;
+using nn::Dropout;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::MaxPool2D;
+using nn::ReLU;
+using nn::ResidualBlock;
+using nn::Sequential;
+
+std::unique_ptr<Conv2D> conv(std::int64_t in_c, std::int64_t out_c,
+                             std::int64_t k, std::int64_t stride,
+                             std::int64_t pad, Rng& rng) {
+  auto layer = std::make_unique<Conv2D>(in_c, out_c, k, stride, pad);
+  layer->init(rng);
+  return layer;
+}
+
+std::unique_ptr<Dense> dense(std::int64_t in_f, std::int64_t out_f, Rng& rng) {
+  auto layer = std::make_unique<Dense>(in_f, out_f);
+  layer->init(rng);
+  return layer;
+}
+
+/// conv3x3 -> BN -> ReLU -> conv3x3 -> BN body with optional strided entry;
+/// the ResNet basic block used by both residual models.
+std::unique_ptr<ResidualBlock> basic_block(std::int64_t in_c,
+                                           std::int64_t out_c,
+                                           std::int64_t stride, Rng& rng) {
+  auto body = std::make_unique<Sequential>();
+  body->add(conv(in_c, out_c, 3, stride, 1, rng));
+  body->add(std::make_unique<BatchNorm>(out_c));
+  body->add(std::make_unique<ReLU>());
+  body->add(conv(out_c, out_c, 3, 1, 1, rng));
+  body->add(std::make_unique<BatchNorm>(out_c));
+  std::unique_ptr<Conv2D> projection;
+  if (in_c != out_c || stride != 1) {
+    projection = conv(in_c, out_c, 1, stride, 0, rng);
+  }
+  return std::make_unique<ResidualBlock>(std::move(body),
+                                         std::move(projection));
+}
+
+/// BN -> ReLU -> conv3x3(growth) unit of a dense block.
+std::unique_ptr<Sequential> dense_unit(std::int64_t in_c, std::int64_t growth,
+                                       Rng& rng) {
+  auto unit = std::make_unique<Sequential>();
+  unit->add(std::make_unique<BatchNorm>(in_c));
+  unit->add(std::make_unique<ReLU>());
+  unit->add(conv(in_c, growth, 3, 1, 1, rng));
+  return unit;
+}
+
+}  // namespace
+
+nn::Network make_lenet5(const InputSpec& in, Rng& rng) {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(conv(in.channels, 6, 5, 1, 2, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<MaxPool2D>(2));
+  layers.push_back(conv(6, 12, 3, 1, 1, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<MaxPool2D>(2));
+  layers.push_back(std::make_unique<Flatten>());
+  const std::int64_t feat = 12 * (in.size / 4) * (in.size / 4);
+  layers.push_back(dense(feat, 64, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(dense(64, in.classes, rng));
+  return nn::Network("lenet5", std::move(layers));
+}
+
+nn::Network make_convnet(const InputSpec& in, Rng& rng) {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(conv(in.channels, 8, 3, 1, 1, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<MaxPool2D>(2));
+  layers.push_back(conv(8, 16, 3, 1, 1, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<MaxPool2D>(2));
+  layers.push_back(std::make_unique<Flatten>());
+  const std::int64_t feat = 16 * (in.size / 4) * (in.size / 4);
+  layers.push_back(dense(feat, in.classes, rng));
+  return nn::Network("convnet", std::move(layers));
+}
+
+nn::Network make_resnet20(const InputSpec& in, Rng& rng) {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(conv(in.channels, 6, 3, 1, 1, rng));
+  layers.push_back(std::make_unique<BatchNorm>(6));
+  layers.push_back(std::make_unique<ReLU>());
+  // Three stages of three basic blocks, widths 6/12/24 (paper: 16/32/64).
+  const std::int64_t widths[3] = {6, 12, 24};
+  std::int64_t channels = 6;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int block = 0; block < 3; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      layers.push_back(basic_block(channels, widths[stage], stride, rng));
+      channels = widths[stage];
+    }
+  }
+  layers.push_back(std::make_unique<GlobalAvgPool>());
+  layers.push_back(dense(channels, in.classes, rng));
+  return nn::Network("resnet20", std::move(layers));
+}
+
+nn::Network make_densenet(const InputSpec& in, Rng& rng) {
+  constexpr std::int64_t kGrowth = 6;
+  constexpr int kUnitsPerBlock = 3;
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  std::int64_t channels = 8;
+  layers.push_back(conv(in.channels, channels, 3, 1, 1, rng));
+  for (int block = 0; block < 3; ++block) {
+    std::vector<std::unique_ptr<Sequential>> units;
+    for (int u = 0; u < kUnitsPerBlock; ++u) {
+      units.push_back(dense_unit(channels + u * kGrowth, kGrowth, rng));
+    }
+    layers.push_back(std::make_unique<DenseBlock>(std::move(units), channels,
+                                                  kGrowth));
+    channels += kUnitsPerBlock * kGrowth;
+    if (block < 2) {
+      // Transition: BN-ReLU-conv1x1 halving channels, then 2x2 pooling.
+      const std::int64_t next = channels / 2;
+      layers.push_back(std::make_unique<BatchNorm>(channels));
+      layers.push_back(std::make_unique<ReLU>());
+      layers.push_back(conv(channels, next, 1, 1, 0, rng));
+      layers.push_back(std::make_unique<MaxPool2D>(2));
+      channels = next;
+    }
+  }
+  layers.push_back(std::make_unique<BatchNorm>(channels));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<GlobalAvgPool>());
+  layers.push_back(dense(channels, in.classes, rng));
+  return nn::Network("densenet40", std::move(layers));
+}
+
+nn::Network make_alexnet(const InputSpec& in, Rng& rng) {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(conv(in.channels, 8, 5, 1, 2, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<MaxPool2D>(2));
+  layers.push_back(conv(8, 16, 3, 1, 1, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<MaxPool2D>(2));
+  layers.push_back(conv(16, 24, 3, 1, 1, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<MaxPool2D>(2));
+  layers.push_back(std::make_unique<Flatten>());
+  const std::int64_t feat = 24 * (in.size / 8) * (in.size / 8);
+  layers.push_back(dense(feat, 96, rng));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<Dropout>(0.25F, rng.engine()()));
+  layers.push_back(dense(96, in.classes, rng));
+  return nn::Network("alexnet", std::move(layers));
+}
+
+nn::Network make_resnet34(const InputSpec& in, Rng& rng) {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(conv(in.channels, 6, 3, 1, 1, rng));
+  layers.push_back(std::make_unique<BatchNorm>(6));
+  layers.push_back(std::make_unique<ReLU>());
+  // Deeper than resnet20-lite: stages of {2, 3, 2} blocks, widths 6/12/24.
+  const std::int64_t widths[3] = {6, 12, 24};
+  const int blocks[3] = {2, 3, 2};
+  std::int64_t channels = 6;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int block = 0; block < blocks[stage]; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      layers.push_back(basic_block(channels, widths[stage], stride, rng));
+      channels = widths[stage];
+    }
+  }
+  layers.push_back(std::make_unique<GlobalAvgPool>());
+  layers.push_back(dense(channels, in.classes, rng));
+  return nn::Network("resnet34", std::move(layers));
+}
+
+}  // namespace pgmr::zoo

@@ -1,0 +1,42 @@
+// The six benchmark CNN architectures (paper Table II), scaled to run on
+// one CPU core while keeping each family's topology: plain stacks
+// (LeNet/ConvNet/AlexNet), residual stages (ResNet20/34) and dense blocks
+// with transitions (DenseNet40). See DESIGN.md for the substitution note.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/network.h"
+#include "tensor/random.h"
+
+namespace pgmr::zoo {
+
+/// Input geometry every model constructor receives.
+struct InputSpec {
+  std::int64_t channels = 3;
+  std::int64_t size = 16;
+  std::int64_t classes = 10;
+};
+
+/// LeNet-5 family: two conv+pool stages and two dense layers (MNIST tier).
+nn::Network make_lenet5(const InputSpec& in, Rng& rng);
+
+/// cuda-convnet "ConvNet" family: two small conv stages + linear classifier.
+/// Deliberately weak — the paper's 74.7 % CIFAR baseline.
+nn::Network make_convnet(const InputSpec& in, Rng& rng);
+
+/// ResNet20 family: 3 stages x 3 basic residual blocks with BN.
+nn::Network make_resnet20(const InputSpec& in, Rng& rng);
+
+/// DenseNet40 family: 3 dense blocks (growth-rate concatenation) with
+/// 1x1-conv transitions.
+nn::Network make_densenet(const InputSpec& in, Rng& rng);
+
+/// AlexNet family: three conv+pool stages with dropout-regularized
+/// dense head (ImageNet tier).
+nn::Network make_alexnet(const InputSpec& in, Rng& rng);
+
+/// ResNet34 family: deeper residual network, 3 stages x {2,3,2} blocks.
+nn::Network make_resnet34(const InputSpec& in, Rng& rng);
+
+}  // namespace pgmr::zoo

@@ -1,0 +1,89 @@
+#include "zoo/trainer.h"
+
+#include <cstdio>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/softmax.h"
+
+namespace pgmr::zoo {
+
+float train_network(nn::Network& net, const data::Dataset& train,
+                    const TrainConfig& config) {
+  nn::SGD::Config opt_config;
+  opt_config.learning_rate = config.learning_rate;
+  opt_config.momentum = config.momentum;
+  opt_config.weight_decay = config.weight_decay;
+  nn::SGD optimizer(net.params(), net.grads(), opt_config);
+
+  Rng rng(config.shuffle_seed);
+  float last_epoch_loss = 0.0F;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (epoch > 0 && config.lr_decay_epochs > 0 &&
+        epoch % config.lr_decay_epochs == 0) {
+      optimizer.set_learning_rate(optimizer.learning_rate() * config.lr_decay);
+    }
+    const std::vector<std::int64_t> order =
+        data::shuffled_indices(train.size(), rng);
+    double epoch_loss = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t start = 0; start < train.size();
+         start += config.batch_size) {
+      const std::int64_t end =
+          std::min(train.size(), start + config.batch_size);
+      const std::vector<std::int64_t> batch_idx(order.begin() + start,
+                                                order.begin() + end);
+      const data::Dataset batch = train.gather(batch_idx);
+      optimizer.zero_grad();
+      const Tensor logits = net.forward(batch.images, /*train=*/true);
+      const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
+      net.backward(loss.grad_logits);
+      optimizer.step();
+      epoch_loss += loss.loss;
+      ++batches;
+    }
+    last_epoch_loss = static_cast<float>(epoch_loss / std::max<std::int64_t>(batches, 1));
+    if (config.verbose) {
+      std::printf("  [%s] epoch %d/%d loss %.4f\n", net.name().c_str(),
+                  epoch + 1, config.epochs,
+                  static_cast<double>(last_epoch_loss));
+      std::fflush(stdout);
+    }
+  }
+  return last_epoch_loss;
+}
+
+Tensor logits_on(nn::Network& net, const data::Dataset& ds,
+                 std::int64_t batch_size) {
+  const Shape out_shape = net.output_shape(
+      Shape{1, ds.channels(), ds.height(), ds.width()});
+  Tensor logits(Shape{ds.size(), out_shape[1]});
+  for (std::int64_t start = 0; start < ds.size(); start += batch_size) {
+    const std::int64_t end = std::min(ds.size(), start + batch_size);
+    const data::Dataset batch = ds.slice(start, end);
+    const Tensor batch_logits = net.forward(batch.images, /*train=*/false);
+    std::copy(batch_logits.data(),
+              batch_logits.data() + batch_logits.numel(),
+              logits.data() + start * out_shape[1]);
+  }
+  return logits;
+}
+
+Tensor probabilities_on(nn::Network& net, const data::Dataset& ds,
+                        std::int64_t batch_size) {
+  return nn::softmax(logits_on(net, ds, batch_size));
+}
+
+double accuracy(nn::Network& net, const data::Dataset& ds) {
+  const Tensor logits = logits_on(net, ds);
+  std::int64_t correct = 0;
+  for (std::int64_t n = 0; n < ds.size(); ++n) {
+    if (logits.argmax_row(n) == ds.labels[static_cast<std::size_t>(n)]) {
+      ++correct;
+    }
+  }
+  return ds.size() ? static_cast<double>(correct) / static_cast<double>(ds.size())
+                   : 0.0;
+}
+
+}  // namespace pgmr::zoo

@@ -1,0 +1,40 @@
+// Mini-batch SGD training loop plus batched inference helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+
+namespace pgmr::zoo {
+
+/// Training hyperparameters for one network.
+struct TrainConfig {
+  int epochs = 8;
+  std::int64_t batch_size = 32;
+  float learning_rate = 0.05F;
+  float momentum = 0.9F;
+  float weight_decay = 1e-4F;
+  /// Learning rate is multiplied by `lr_decay` every `lr_decay_epochs`.
+  float lr_decay = 0.5F;
+  int lr_decay_epochs = 3;
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+};
+
+/// Trains `net` in place on `train`; returns the final-epoch mean loss.
+float train_network(nn::Network& net, const data::Dataset& train,
+                    const TrainConfig& config);
+
+/// Batched forward pass over a whole dataset; returns [N, C] logits.
+Tensor logits_on(nn::Network& net, const data::Dataset& ds,
+                 std::int64_t batch_size = 64);
+
+/// Batched softmax probabilities over a whole dataset.
+Tensor probabilities_on(nn::Network& net, const data::Dataset& ds,
+                        std::int64_t batch_size = 64);
+
+/// Top-1 accuracy of `net` on `ds`.
+double accuracy(nn::Network& net, const data::Dataset& ds);
+
+}  // namespace pgmr::zoo

@@ -1,0 +1,162 @@
+#include "zoo/zoo.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <stdexcept>
+
+#include "prep/preprocessor.h"
+#include "tensor/serialize.h"
+
+namespace pgmr::zoo {
+namespace {
+
+TrainConfig basic_train(int epochs, float lr) {
+  TrainConfig c;
+  c.epochs = epochs;
+  c.learning_rate = lr;
+  return c;
+}
+
+nn::Network build_model(const Benchmark& bm, Rng& rng) {
+  if (bm.id == "lenet5") return make_lenet5(bm.input, rng);
+  if (bm.id == "convnet") return make_convnet(bm.input, rng);
+  if (bm.id == "resnet20") return make_resnet20(bm.input, rng);
+  if (bm.id == "densenet40") return make_densenet(bm.input, rng);
+  if (bm.id == "alexnet") return make_alexnet(bm.input, rng);
+  if (bm.id == "resnet34") return make_resnet34(bm.input, rng);
+  throw std::invalid_argument("build_model: unknown benchmark " + bm.id);
+}
+
+/// Stable seed per (benchmark, prep, variant) so cached artifacts and fresh
+/// training runs always agree.
+std::uint64_t variant_seed(const Benchmark& bm, const std::string& prep_spec,
+                           int variant) {
+  const std::string key =
+      bm.id + "|" + prep_spec + "|" + std::to_string(variant);
+  return std::hash<std::string>{}(key) | 1ULL;
+}
+
+/// Bump whenever dataset generators, model recipes or training configs
+/// change: stale cached weights would otherwise silently poison results.
+constexpr int kZooCacheVersion = 3;
+
+/// File-system-safe cache key ("Gamma(2.00)" -> "Gamma_2.00_").
+std::string sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '(' || c == ')' || c == '/' || c == ' ') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& all_benchmarks() {
+  static const std::vector<Benchmark> benchmarks = [] {
+    std::vector<Benchmark> b;
+    b.push_back({"lenet5", "smnist", InputSpec{1, 16, 10}, basic_train(6, 0.05F)});
+    b.push_back({"convnet", "scifar", InputSpec{3, 16, 10}, basic_train(6, 0.05F)});
+    b.push_back({"resnet20", "scifar", InputSpec{3, 16, 10}, basic_train(8, 0.05F)});
+    b.push_back({"densenet40", "scifar", InputSpec{3, 16, 10}, basic_train(8, 0.05F)});
+    b.push_back({"alexnet", "simagenet", InputSpec{3, 24, 20}, basic_train(8, 0.05F)});
+    b.push_back({"resnet34", "simagenet", InputSpec{3, 24, 20}, basic_train(6, 0.05F)});
+    return b;
+  }();
+  return benchmarks;
+}
+
+const Benchmark& find_benchmark(const std::string& id) {
+  for (const Benchmark& b : all_benchmarks()) {
+    if (b.id == id) return b;
+  }
+  throw std::invalid_argument("find_benchmark: unknown benchmark " + id);
+}
+
+data::DatasetSplits benchmark_splits(const Benchmark& bm) {
+  data::SyntheticSpec spec;
+  if (bm.dataset_id == "smnist") {
+    spec = data::smnist_spec(5000);
+  } else if (bm.dataset_id == "scifar") {
+    spec = data::scifar_spec(5000);
+  } else if (bm.dataset_id == "simagenet") {
+    spec = data::simagenet_spec(6000);
+  } else {
+    throw std::invalid_argument("benchmark_splits: unknown dataset " +
+                                bm.dataset_id);
+  }
+  const data::Dataset full = data::generate_synthetic(spec);
+  const std::int64_t test_n = 1000;
+  const std::int64_t val_n = 1000;
+  return data::split_dataset(full, full.size() - val_n - test_n, val_n, test_n);
+}
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("PGMR_CACHE_DIR")) return env;
+  return ".pgmr_cache";
+}
+
+nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
+                            int variant) {
+  const std::string dir = cache_dir();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + bm.id + "_" + sanitize(prep_spec) +
+                           "_v" + std::to_string(variant) + "_c" +
+                           std::to_string(kZooCacheVersion) + ".net";
+  if (archive_exists(path)) {
+    return nn::Network::load(path);
+  }
+
+  Rng rng(variant_seed(bm, prep_spec, variant));
+  nn::Network net = build_model(bm, rng);
+
+  data::DatasetSplits splits = benchmark_splits(bm);
+  const auto prep = prep::make_preprocessor(prep_spec);
+  data::Dataset train = splits.train;
+  train.images = prep->apply(train.images);
+
+  TrainConfig config = bm.train;
+  config.shuffle_seed = rng.engine()();
+  std::printf("[zoo] training %s (%s, variant %d)...\n", bm.id.c_str(),
+              prep_spec.c_str(), variant);
+  std::fflush(stdout);
+  train_network(net, train, config);
+  // Atomic publish: write to a temp file, then rename, so a concurrent
+  // reader never sees a half-written archive.
+  const std::string tmp = path + ".tmp";
+  net.save(tmp);
+  std::filesystem::rename(tmp, path);
+  return net;
+}
+
+std::vector<std::string> candidate_pool(const Benchmark& bm) {
+  if (bm.dataset_id == "simagenet") {
+    return {"ConNorm", "FlipX", "FlipY", "Gamma(1.50)", "Gamma(2.00)"};
+  }
+  return {"AdHist",      "ConNorm",     "FlipX", "FlipY",
+          "Gamma(1.50)", "Gamma(2.00)", "Hist",  "ImAdj"};
+}
+
+mr::Ensemble make_ensemble(const Benchmark& bm,
+                           const std::vector<std::string>& prep_specs,
+                           int bits) {
+  mr::Ensemble ensemble;
+  for (const std::string& spec : prep_specs) {
+    ensemble.add(mr::Member(prep::make_preprocessor(spec),
+                            trained_network(bm, spec), bits));
+  }
+  return ensemble;
+}
+
+mr::Ensemble make_random_init_ensemble(const Benchmark& bm, int copies,
+                                       int bits) {
+  mr::Ensemble ensemble;
+  for (int v = 0; v < copies; ++v) {
+    ensemble.add(mr::Member(std::make_unique<prep::Identity>(),
+                            trained_network(bm, "ORG", v), bits));
+  }
+  return ensemble;
+}
+
+}  // namespace pgmr::zoo

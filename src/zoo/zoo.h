@@ -1,0 +1,62 @@
+// The benchmark zoo: dataset tiers, model recipes, and a disk cache of
+// trained networks so every test/bench trains each variant at most once.
+//
+// Cache layout: $PGMR_CACHE_DIR (default ".pgmr_cache/") holds one archive
+// per (benchmark, preprocessor, variant) triple. Variants are independent
+// random-weight initializations — variant 0 is the canonical network,
+// higher variants exist for the traditional-MR experiments (Figs 5, 13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "mr/ensemble.h"
+#include "zoo/models.h"
+#include "zoo/trainer.h"
+
+namespace pgmr::zoo {
+
+/// One paper benchmark: a dataset tier plus a model recipe (Table II row).
+struct Benchmark {
+  std::string id;          ///< "lenet5", "convnet", "resnet20", ...
+  std::string dataset_id;  ///< "smnist", "scifar", "simagenet"
+  InputSpec input;
+  TrainConfig train;
+};
+
+/// All six Table II benchmarks, in the paper's order.
+const std::vector<Benchmark>& all_benchmarks();
+
+/// Looks a benchmark up by id; throws std::invalid_argument when unknown.
+const Benchmark& find_benchmark(const std::string& id);
+
+/// Deterministically regenerates the benchmark's train/val/test splits.
+data::DatasetSplits benchmark_splits(const Benchmark& bm);
+
+/// Directory trained models are cached in ($PGMR_CACHE_DIR or .pgmr_cache).
+std::string cache_dir();
+
+/// Returns the trained network for (benchmark, preprocessor, variant),
+/// training on the preprocessed train split and caching on first use.
+/// `prep_spec` is a Preprocessor::name() string; "ORG" trains on raw data.
+nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
+                            int variant = 0);
+
+/// Candidate preprocessor pool the greedy builder searches for this
+/// benchmark. The ImageNet-tier pool is kept smaller because each
+/// candidate costs a full training run of the (heavier) network.
+std::vector<std::string> candidate_pool(const Benchmark& bm);
+
+/// Assembles a PolygraphMR-style ensemble: one member per preprocessor
+/// spec, each running at `bits` precision (32 = full).
+mr::Ensemble make_ensemble(const Benchmark& bm,
+                           const std::vector<std::string>& prep_specs,
+                           int bits = 32);
+
+/// Assembles a traditional-MR ensemble: `copies` random-init variants of
+/// the baseline network, all fed the raw input.
+mr::Ensemble make_random_init_ensemble(const Benchmark& bm, int copies,
+                                       int bits = 32);
+
+}  // namespace pgmr::zoo

@@ -1,0 +1,145 @@
+// Temperature scaling and ECE tests (paper Section IV-E machinery).
+#include "calib/temperature.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/softmax.h"
+#include "tensor/random.h"
+
+namespace pgmr::calib {
+namespace {
+
+// Builds overconfident logits: the "predicted" class gets a large logit but
+// the prediction is wrong a quarter of the time.
+void make_overconfident(Tensor& logits, std::vector<std::int64_t>& labels,
+                        std::int64_t n, std::int64_t classes, float scale,
+                        Rng& rng) {
+  logits = Tensor(Shape{n, classes});
+  labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t predicted = rng.randint(0, classes - 1);
+    const bool correct = rng.bernoulli(0.75);
+    std::int64_t truth = predicted;
+    if (!correct) {
+      truth = rng.randint(0, classes - 2);
+      if (truth >= predicted) ++truth;
+    }
+    labels[static_cast<std::size_t>(i)] = truth;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      logits.at(i, c) = rng.normal(0.0F, 0.3F);
+    }
+    logits.at(i, predicted) += scale;
+  }
+}
+
+TEST(TemperatureTest, NllIsLowerAtFittedTemperature) {
+  Rng rng(1);
+  Tensor logits;
+  std::vector<std::int64_t> labels;
+  make_overconfident(logits, labels, 500, 5, 8.0F, rng);
+  const float t = fit_temperature(logits, labels);
+  // Overconfident logits need T > 1 to calibrate.
+  EXPECT_GT(t, 1.5F);
+  EXPECT_LT(negative_log_likelihood(logits, labels, t),
+            negative_log_likelihood(logits, labels, 1.0F));
+}
+
+TEST(TemperatureTest, CalibratedLogitsFitNearOne) {
+  // Logits whose softmax already equals the true conditional distribution
+  // should fit a temperature close to 1: generate labels *from* softmax.
+  Rng rng(2);
+  Tensor logits(Shape{2000, 3});
+  std::vector<std::int64_t> labels(2000);
+  for (std::int64_t i = 0; i < 2000; ++i) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      logits.at(i, c) = rng.normal(0.0F, 1.0F);
+    }
+  }
+  const Tensor probs = nn::softmax(logits);
+  for (std::int64_t i = 0; i < 2000; ++i) {
+    const double u = rng.uniform(0.0F, 1.0F);
+    double acc = 0.0;
+    std::int64_t chosen = 2;
+    for (std::int64_t c = 0; c < 3; ++c) {
+      acc += probs.at(i, c);
+      if (u <= acc) {
+        chosen = c;
+        break;
+      }
+    }
+    labels[static_cast<std::size_t>(i)] = chosen;
+  }
+  const float t = fit_temperature(logits, labels);
+  EXPECT_NEAR(t, 1.0F, 0.25F);
+}
+
+TEST(TemperatureTest, ScalingReducesEceOfOverconfidentModel) {
+  Rng rng(3);
+  Tensor logits;
+  std::vector<std::int64_t> labels;
+  make_overconfident(logits, labels, 1000, 5, 8.0F, rng);
+  const float t = fit_temperature(logits, labels);
+  const double ece_before =
+      expected_calibration_error(nn::softmax(logits), labels);
+  const double ece_after = expected_calibration_error(
+      nn::softmax_with_temperature(logits, t), labels);
+  EXPECT_LT(ece_after, ece_before);
+  EXPECT_GT(ece_before, 0.15);  // ~75 % accuracy at ~100 % confidence
+}
+
+TEST(TemperatureTest, ScalingPreservesPredictionsAndAccuracy) {
+  // The paper's core observation: scaling cannot change argmax, so the
+  // TP/FP Pareto frontier is untouched.
+  Rng rng(4);
+  Tensor logits;
+  std::vector<std::int64_t> labels;
+  make_overconfident(logits, labels, 300, 4, 5.0F, rng);
+  const float t = fit_temperature(logits, labels);
+  const Tensor before = nn::softmax(logits);
+  const Tensor after = nn::softmax_with_temperature(logits, t);
+  for (std::int64_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(before.argmax_row(i), after.argmax_row(i));
+    EXPECT_LE(after.max_row(i), before.max_row(i) + 1e-6F);  // T > 1 flattens
+  }
+}
+
+TEST(EceTest, PerfectlyCalibratedBinaryIsZeroIsh) {
+  // Confidence 0.75 and accuracy 0.75 in one bin -> ECE ~ 0.
+  const std::int64_t n = 400;
+  Tensor probs(Shape{n, 2});
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    probs.at(i, 0) = 0.75F;
+    probs.at(i, 1) = 0.25F;
+    labels[static_cast<std::size_t>(i)] = (i % 4 == 0) ? 1 : 0;  // 75 % class 0
+  }
+  EXPECT_NEAR(expected_calibration_error(probs, labels), 0.0, 1e-6);
+}
+
+TEST(EceTest, MaximallyMiscalibratedIsLarge) {
+  const std::int64_t n = 100;
+  Tensor probs(Shape{n, 2});
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n), 1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    probs.at(i, 0) = 0.99F;  // always confidently wrong
+    probs.at(i, 1) = 0.01F;
+  }
+  EXPECT_NEAR(expected_calibration_error(probs, labels), 0.99, 1e-6);
+}
+
+TEST(EceTest, RejectsBadArguments) {
+  const Tensor probs(Shape{2, 2});
+  EXPECT_THROW(expected_calibration_error(probs, {0}, 10),
+               std::invalid_argument);
+  EXPECT_THROW(expected_calibration_error(probs, {0, 1}, 0),
+               std::invalid_argument);
+}
+
+TEST(NllTest, MatchesHandComputedValue) {
+  const Tensor logits(Shape{1, 2}, {0.0F, 0.0F});
+  EXPECT_NEAR(negative_log_likelihood(logits, {0}, 1.0F), std::log(2.0),
+              1e-6);
+}
+
+}  // namespace
+}  // namespace pgmr::calib

@@ -1,0 +1,99 @@
+// Dataset container tests: slicing, gathering, splitting, shuffling.
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pgmr::data {
+namespace {
+
+Dataset make_dataset(std::int64_t n) {
+  Dataset ds;
+  ds.name = "toy";
+  ds.num_classes = 3;
+  ds.images = Tensor(Shape{n, 1, 2, 2});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      ds.images[i * 4 + j] = static_cast<float>(i);
+    }
+    ds.labels.push_back(i % 3);
+  }
+  return ds;
+}
+
+TEST(DatasetTest, SizeAndGeometry) {
+  const Dataset ds = make_dataset(6);
+  EXPECT_EQ(ds.size(), 6);
+  EXPECT_EQ(ds.channels(), 1);
+  EXPECT_EQ(ds.height(), 2);
+  EXPECT_EQ(ds.width(), 2);
+}
+
+TEST(DatasetTest, SliceKeepsAlignment) {
+  const Dataset ds = make_dataset(6);
+  const Dataset s = ds.slice(2, 5);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.images[0], 2.0F);
+  EXPECT_EQ(s.labels[0], 2);
+  EXPECT_EQ(s.labels[2], 1);  // sample 4 -> label 4 % 3
+}
+
+TEST(DatasetTest, SliceBadRangeThrows) {
+  const Dataset ds = make_dataset(4);
+  EXPECT_THROW(ds.slice(-1, 2), std::out_of_range);
+  EXPECT_THROW(ds.slice(0, 5), std::out_of_range);
+  EXPECT_THROW(ds.slice(3, 2), std::out_of_range);
+}
+
+TEST(DatasetTest, GatherReordersSamples) {
+  const Dataset ds = make_dataset(5);
+  const Dataset g = ds.gather({4, 0, 2});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.images[0], 4.0F);
+  EXPECT_EQ(g.images[4], 0.0F);
+  EXPECT_EQ(g.labels[0], 1);  // 4 % 3
+  EXPECT_EQ(g.labels[1], 0);
+}
+
+TEST(DatasetTest, GatherOutOfRangeThrows) {
+  const Dataset ds = make_dataset(3);
+  EXPECT_THROW(ds.gather({3}), std::out_of_range);
+  EXPECT_THROW(ds.gather({-1}), std::out_of_range);
+}
+
+TEST(DatasetTest, SampleReturnsSingleton) {
+  const Dataset ds = make_dataset(3);
+  const Tensor s = ds.sample(2);
+  EXPECT_EQ(s.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_EQ(s[0], 2.0F);
+}
+
+TEST(DatasetTest, SplitPartitionsWithoutOverlap) {
+  const Dataset ds = make_dataset(10);
+  const DatasetSplits s = split_dataset(ds, 6, 2, 2);
+  EXPECT_EQ(s.train.size(), 6);
+  EXPECT_EQ(s.val.size(), 2);
+  EXPECT_EQ(s.test.size(), 2);
+  EXPECT_EQ(s.train.images[0], 0.0F);
+  EXPECT_EQ(s.val.images[0], 6.0F);
+  EXPECT_EQ(s.test.images[0], 8.0F);
+}
+
+TEST(DatasetTest, SplitTooLargeThrows) {
+  const Dataset ds = make_dataset(5);
+  EXPECT_THROW(split_dataset(ds, 4, 1, 1), std::invalid_argument);
+}
+
+TEST(DatasetTest, ShuffledIndicesIsPermutation) {
+  Rng rng(3);
+  const auto idx = shuffled_indices(20, rng);
+  std::vector<std::int64_t> sorted = idx;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::int64_t> expected(20);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(sorted, expected);
+}
+
+}  // namespace
+}  // namespace pgmr::data

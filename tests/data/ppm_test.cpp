@@ -1,0 +1,82 @@
+// PPM/PGM export tests.
+#include "data/ppm.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace pgmr::data {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+std::string temp(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(PpmTest, WritesP6HeaderAndPixelsForColor) {
+  Tensor img(Shape{1, 3, 1, 2});
+  img[0] = 1.0F;  // R of pixel (0,0)
+  img[2] = 0.0F;  // G plane
+  img[4] = 0.5F;  // B plane
+  const std::string path = temp("pgmr_test.ppm");
+  write_pnm(img, path);
+  const std::string contents = read_all(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(contents.substr(0, 2), "P6");
+  // Header "P6\n2 1\n255\n" then 6 bytes of pixel data, interleaved RGB.
+  const std::size_t header = contents.find("255\n") + 4;
+  ASSERT_EQ(contents.size() - header, 6U);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header + 0]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header + 1]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header + 2]), 128);
+}
+
+TEST(PpmTest, WritesP5ForGrayscale) {
+  Tensor img(Shape{1, 1, 2, 2});
+  img.fill(0.25F);
+  const std::string path = temp("pgmr_test.pgm");
+  write_pnm(img, path);
+  const std::string contents = read_all(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(contents.substr(0, 2), "P5");
+  const std::size_t header = contents.find("255\n") + 4;
+  EXPECT_EQ(contents.size() - header, 4U);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header]), 64);
+}
+
+TEST(PpmTest, ClampsOutOfRangeValues) {
+  Tensor img(Shape{1, 1, 1, 2}, {-3.0F, 4.0F});
+  const std::string path = temp("pgmr_clamp.pgm");
+  write_pnm(img, path);
+  const std::string contents = read_all(path);
+  std::filesystem::remove(path);
+  const std::size_t header = contents.find("255\n") + 4;
+  EXPECT_EQ(static_cast<unsigned char>(contents[header + 0]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(contents[header + 1]), 255);
+}
+
+TEST(PpmTest, RejectsUnsupportedShapes) {
+  const Tensor two_channel(Shape{1, 2, 2, 2});
+  EXPECT_THROW(write_pnm(two_channel, temp("x.ppm")), std::invalid_argument);
+  const Tensor batch(Shape{2, 3, 2, 2});
+  EXPECT_THROW(write_pnm(batch, temp("x.ppm")), std::invalid_argument);
+}
+
+TEST(UpscaleTest, NearestNeighbourReplicates) {
+  Tensor img(Shape{1, 1, 2, 2}, {1.0F, 2.0F, 3.0F, 4.0F});
+  const Tensor big = upscale_nearest(img, 2);
+  EXPECT_EQ(big.shape(), Shape({1, 1, 4, 4}));
+  EXPECT_EQ(big.at(0, 0, 0, 0), 1.0F);
+  EXPECT_EQ(big.at(0, 0, 1, 1), 1.0F);
+  EXPECT_EQ(big.at(0, 0, 0, 2), 2.0F);
+  EXPECT_EQ(big.at(0, 0, 3, 3), 4.0F);
+  EXPECT_THROW(upscale_nearest(img, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pgmr::data

@@ -1,0 +1,149 @@
+// Transient-fault injector tests.
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+
+namespace pgmr::fault {
+namespace {
+
+nn::Network make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  auto conv = std::make_unique<nn::Conv2D>(1, 3, 3, 1, 1);
+  conv->init(rng);
+  layers.push_back(std::move(conv));
+  layers.push_back(std::make_unique<nn::ReLU>());
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(3 * 6 * 6, 4);
+  fc->init(rng);
+  layers.push_back(std::move(fc));
+  return nn::Network("faulty", std::move(layers));
+}
+
+TEST(InjectorTest, InjectFlipsExactlyOneBitAndRestoreUndoes) {
+  nn::Network net = make_net(1);
+  const FaultSite site{0, 5, 12};
+  const float before = (*net.params()[0])[5];
+  const float original = inject(net, site);
+  EXPECT_EQ(original, before);
+  const float after = (*net.params()[0])[5];
+  EXPECT_NE(after, before);
+  // Flipping again restores the value (XOR involution)...
+  inject(net, site);
+  EXPECT_EQ((*net.params()[0])[5], before);
+  // ...and restore() does too.
+  inject(net, site);
+  restore(net, site, original);
+  EXPECT_EQ((*net.params()[0])[5], before);
+}
+
+TEST(InjectorTest, SignBitFlipNegates) {
+  nn::Network net = make_net(2);
+  (*net.params()[0])[0] = 1.5F;
+  inject(net, {0, 0, 31});
+  EXPECT_EQ((*net.params()[0])[0], -1.5F);
+}
+
+TEST(InjectorTest, RejectsOutOfRangeSites) {
+  nn::Network net = make_net(3);
+  EXPECT_THROW(inject(net, {99, 0, 0}), std::out_of_range);
+  EXPECT_THROW(inject(net, {0, -1, 0}), std::out_of_range);
+  EXPECT_THROW(inject(net, {0, 0, 32}), std::out_of_range);
+}
+
+TEST(InjectorTest, SampledSitesAreValidAndBounded) {
+  nn::Network net = make_net(4);
+  Rng rng(5);
+  const auto sites = sample_sites(net, 200, rng, /*max_bit=*/22);
+  EXPECT_EQ(sites.size(), 200U);
+  const auto params = net.params();
+  for (const FaultSite& s : sites) {
+    ASSERT_LT(s.param_index, params.size());
+    ASSERT_GE(s.element, 0);
+    ASSERT_LT(s.element, params[s.param_index]->numel());
+    ASSERT_GE(s.bit, 0);
+    ASSERT_LE(s.bit, 22);
+  }
+  EXPECT_THROW(sample_sites(net, 1, rng, 40), std::invalid_argument);
+}
+
+TEST(InjectorTest, CampaignPartitionsTrialsAndRestoresWeights) {
+  nn::Network net = make_net(6);
+  Rng rng(7);
+  Tensor images(Shape{20, 1, 6, 6});
+  std::vector<std::int64_t> labels(20);
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    images[i] = rng.uniform(0.0F, 1.0F);
+  }
+  for (auto& l : labels) l = rng.randint(0, 3);
+
+  // Snapshot weights, run the campaign, verify restoration.
+  std::vector<float> snapshot;
+  for (Tensor* p : net.params()) {
+    snapshot.insert(snapshot.end(), p->values().begin(), p->values().end());
+  }
+  const auto sites = sample_sites(net, 60, rng);
+  const CampaignResult result = run_campaign(net, images, labels, sites);
+  EXPECT_EQ(result.trials, 60);
+  EXPECT_EQ(result.masked + result.degraded + result.corrupted, 60);
+
+  std::size_t k = 0;
+  for (Tensor* p : net.params()) {
+    for (std::int64_t i = 0; i < p->numel(); ++i, ++k) {
+      ASSERT_EQ((*p)[i], snapshot[k]) << "weight not restored at " << k;
+    }
+  }
+}
+
+TEST(InjectorTest, LowMantissaBitsAreMostlyMasked) {
+  // Flipping mantissa LSBs perturbs weights by ~2^-23 relative — the
+  // prediction vector must not change.
+  nn::Network net = make_net(8);
+  Rng rng(9);
+  Tensor images(Shape{10, 1, 6, 6});
+  std::vector<std::int64_t> labels(10, 0);
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    images[i] = rng.uniform(0.0F, 1.0F);
+  }
+  const auto sites = sample_sites(net, 40, rng, /*max_bit=*/3);
+  const CampaignResult result = run_campaign(net, images, labels, sites);
+  EXPECT_EQ(result.masked, result.trials);
+}
+
+TEST(InjectorTest, HighExponentBitsCorruptMoreThanLowMantissa) {
+  nn::Network net = make_net(10);
+  Rng rng(11);
+  Tensor images(Shape{30, 1, 6, 6});
+  std::vector<std::int64_t> labels(30);
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    images[i] = rng.uniform(0.0F, 1.0F);
+  }
+  for (auto& l : labels) l = rng.randint(0, 3);
+
+  // Exponent-only flips (bits 23..30).
+  std::vector<FaultSite> exponent_sites;
+  Rng rng2(12);
+  for (int i = 0; i < 40; ++i) {
+    auto sites = sample_sites(net, 1, rng2, 31);
+    sites[0].bit = 23 + static_cast<int>(rng2.randint(0, 7));
+    exponent_sites.push_back(sites[0]);
+  }
+  const CampaignResult exponent =
+      run_campaign(net, images, labels, exponent_sites);
+
+  Rng rng3(13);
+  const auto mantissa_sites = sample_sites(net, 40, rng3, /*max_bit=*/5);
+  const CampaignResult mantissa =
+      run_campaign(net, images, labels, mantissa_sites);
+
+  EXPECT_GT(exponent.degraded + exponent.corrupted,
+            mantissa.degraded + mantissa.corrupted);
+}
+
+}  // namespace
+}  // namespace pgmr::fault

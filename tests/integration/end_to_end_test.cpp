@@ -1,0 +1,114 @@
+// End-to-end integration: the full PolygraphMR pipeline on the MNIST-tier
+// benchmark — train/load members, profile thresholds on validation, then
+// verify the paper's core claims hold on the held-out test split:
+//   (1) FP rate drops vs. the baseline network,
+//   (2) TP stays at (or above) the baseline accuracy floor,
+//   (3) RAMR (reduced precision) keeps the system usable,
+//   (4) RADE activates fewer members on average without changing verdict
+//       quality much.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "polygraph/builder.h"
+#include "polygraph/system.h"
+#include "zoo/zoo.h"
+
+namespace pgmr {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+#ifdef PGMR_TEST_CACHE_DIR
+    ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, 1);
+#endif
+  }
+};
+
+TEST_F(EndToEndTest, FourMemberSystemReducesFpAtFullTp) {
+  const zoo::Benchmark& bm = zoo::find_benchmark("lenet5");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+
+  // Baseline: single network, no thresholding.
+  nn::Network baseline = zoo::trained_network(bm, "ORG");
+  const Tensor base_probs = zoo::probabilities_on(baseline, splits.test);
+  const mr::Outcome base =
+      mr::evaluate_single(base_probs, splits.test.labels, 0.0F);
+  ASSERT_GT(base.fp, 0) << "baseline must make some errors to detect";
+
+  // 4_PGMR with the paper's Table III lenet5 members.
+  polygraph::PolygraphSystem sys(zoo::make_ensemble(
+      bm, {"ORG", "ConNorm", "FlipX", "Gamma(2.00)"}));
+  sys.profile(splits.val.images, splits.val.labels,
+              /*tp_floor=*/base.tp_rate());
+  const mr::Outcome pg = sys.evaluate(splits.test.images, splits.test.labels);
+
+  EXPECT_LT(pg.fp_rate(), base.fp_rate());
+  EXPECT_GE(pg.tp_rate(), base.tp_rate() - 0.01);  // small split-shift slack
+}
+
+TEST_F(EndToEndTest, ReducedPrecisionSystemStaysClose) {
+  const zoo::Benchmark& bm = zoo::find_benchmark("lenet5");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+
+  polygraph::PolygraphSystem full(zoo::make_ensemble(
+      bm, {"ORG", "ConNorm", "FlipX", "Gamma(2.00)"}, 32));
+  polygraph::PolygraphSystem packed(zoo::make_ensemble(
+      bm, {"ORG", "ConNorm", "FlipX", "Gamma(2.00)"}, 16));
+  const mr::Thresholds t{0.5F, 3};
+  full.set_thresholds(t);
+  packed.set_thresholds(t);
+
+  const mr::Outcome of = full.evaluate(splits.test.images, splits.test.labels);
+  const mr::Outcome op =
+      packed.evaluate(splits.test.images, splits.test.labels);
+  EXPECT_NEAR(op.tp_rate(), of.tp_rate(), 0.02);
+  EXPECT_NEAR(op.fp_rate(), of.fp_rate(), 0.02);
+}
+
+TEST_F(EndToEndTest, StagedActivationSavesWorkWithoutQualityCollapse) {
+  const zoo::Benchmark& bm = zoo::find_benchmark("lenet5");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+
+  polygraph::PolygraphSystem sys(zoo::make_ensemble(
+      bm, {"ORG", "ConNorm", "FlipX", "Gamma(2.00)"}));
+  sys.set_thresholds({0.5F, 2});
+  sys.enable_staged(splits.val.images, splits.val.labels);
+
+  const mr::StagedOutcome staged =
+      sys.evaluate_staged(splits.test.images, splits.test.labels);
+  // Most MNIST-tier inputs settle with the initial two members (Fig 12).
+  EXPECT_LT(staged.mean_activated(), 2.5);
+  EXPECT_GT(staged.outcome.tp_rate(), 0.9);
+}
+
+TEST_F(EndToEndTest, PreprocessedMembersDisagreeMoreThanRandomInit) {
+  // Diversity claim (Section III-B): preprocessor-induced behaviour
+  // diversity exceeds random-initialization diversity, measured as the
+  // fraction of test samples where members' top-1 labels differ.
+  const zoo::Benchmark& bm = zoo::find_benchmark("lenet5");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+  const data::Dataset probe = splits.test.slice(0, 500);
+
+  auto disagreement = [&](mr::Ensemble e) {
+    mr::MemberVotes votes = e.member_votes(probe.images);
+    std::int64_t differing = 0;
+    for (std::size_t n = 0; n < votes[0].size(); ++n) {
+      if (votes[0][n].label != votes[1][n].label) ++differing;
+    }
+    return static_cast<double>(differing) /
+           static_cast<double>(votes[0].size());
+  };
+
+  const double random_init =
+      disagreement(zoo::make_random_init_ensemble(bm, 2));
+  const double preprocessed =
+      disagreement(zoo::make_ensemble(bm, {"ORG", "ConNorm"}));
+  EXPECT_GT(preprocessed, random_init * 0.8);
+  // Both must disagree somewhere, else MR is vacuous on this tier.
+  EXPECT_GT(preprocessed, 0.0);
+}
+
+}  // namespace
+}  // namespace pgmr

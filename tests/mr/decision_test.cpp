@@ -1,0 +1,90 @@
+// Decision-engine unit tests (paper Section III-E semantics).
+#include "mr/decision.h"
+
+#include <gtest/gtest.h>
+
+namespace pgmr::mr {
+namespace {
+
+TEST(DecisionTest, UnanimousVotesAreReliable) {
+  const std::vector<Vote> votes = {{3, 0.9F}, {3, 0.8F}, {3, 0.95F}};
+  const Decision d = decide(votes, {0.5F, 3});
+  EXPECT_EQ(d.label, 3);
+  EXPECT_TRUE(d.reliable);
+  EXPECT_EQ(d.votes_for_label, 3);
+}
+
+TEST(DecisionTest, ConfidenceThresholdDropsWeakVotes) {
+  const std::vector<Vote> votes = {{3, 0.9F}, {3, 0.3F}, {5, 0.8F}};
+  // With Thr_Conf = 0.5, label 3 keeps one vote, label 5 one: tie ->
+  // unreliable.
+  const Decision strict = decide(votes, {0.5F, 1});
+  EXPECT_FALSE(strict.reliable);
+  // With Thr_Conf = 0.2, label 3 has two votes and wins.
+  const Decision lax = decide(votes, {0.2F, 2});
+  EXPECT_EQ(lax.label, 3);
+  EXPECT_TRUE(lax.reliable);
+}
+
+TEST(DecisionTest, FrequencyThresholdGatesReliability) {
+  const std::vector<Vote> votes = {{1, 0.9F}, {1, 0.9F}, {2, 0.9F}, {4, 0.9F}};
+  EXPECT_TRUE(decide(votes, {0.0F, 2}).reliable);
+  EXPECT_FALSE(decide(votes, {0.0F, 3}).reliable);
+  // The label reported is the mode either way.
+  EXPECT_EQ(decide(votes, {0.0F, 3}).label, 1);
+}
+
+TEST(DecisionTest, TieForModeIsUnreliable) {
+  const std::vector<Vote> votes = {{1, 0.9F}, {1, 0.9F}, {2, 0.9F}, {2, 0.9F}};
+  const Decision d = decide(votes, {0.0F, 1});
+  EXPECT_FALSE(d.reliable);
+  EXPECT_EQ(d.votes_for_label, 2);
+}
+
+TEST(DecisionTest, NoAcceptableVotesYieldsNoLabel) {
+  const std::vector<Vote> votes = {{1, 0.1F}, {2, 0.2F}};
+  const Decision d = decide(votes, {0.9F, 1});
+  EXPECT_EQ(d.label, -1);
+  EXPECT_FALSE(d.reliable);
+  EXPECT_EQ(d.votes_for_label, 0);
+}
+
+TEST(DecisionTest, NegativeLabelsAreIgnored) {
+  const std::vector<Vote> votes = {{-1, 0.99F}, {2, 0.8F}};
+  const Decision d = decide(votes, {0.0F, 1});
+  EXPECT_EQ(d.label, 2);
+  EXPECT_TRUE(d.reliable);
+}
+
+TEST(DecisionTest, MajorityThresholdFormula) {
+  EXPECT_EQ(majority_threshold(2), 2);
+  EXPECT_EQ(majority_threshold(3), 2);
+  EXPECT_EQ(majority_threshold(4), 3);
+  EXPECT_EQ(majority_threshold(5), 3);
+  EXPECT_EQ(majority_threshold(30), 16);
+}
+
+TEST(DecisionTest, MaxAgreementIgnoresConfidence) {
+  const std::vector<Vote> votes = {
+      {1, 0.01F}, {1, 0.02F}, {1, 0.03F}, {2, 0.99F}};
+  EXPECT_EQ(max_agreement(votes), 3);
+  EXPECT_EQ(max_agreement({}), 0);
+}
+
+TEST(DecisionTest, VotesFromProbabilities) {
+  const Tensor probs(Shape{2, 3}, {0.1F, 0.7F, 0.2F, 0.5F, 0.25F, 0.25F});
+  const auto votes = votes_from_probabilities(probs);
+  ASSERT_EQ(votes.size(), 2U);
+  EXPECT_EQ(votes[0].label, 1);
+  EXPECT_FLOAT_EQ(votes[0].confidence, 0.7F);
+  EXPECT_EQ(votes[1].label, 0);
+  EXPECT_FLOAT_EQ(votes[1].confidence, 0.5F);
+}
+
+TEST(DecisionTest, VotesRejectNonMatrix) {
+  const Tensor probs(Shape{1, 1, 2, 2});
+  EXPECT_THROW(votes_from_probabilities(probs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pgmr::mr

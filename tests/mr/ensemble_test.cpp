@@ -1,0 +1,99 @@
+// Member/Ensemble tests: preprocessor wiring, precision wiring, cost hooks.
+#include "mr/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "tensor/random.h"
+
+namespace pgmr::mr {
+namespace {
+
+nn::Network make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  auto conv = std::make_unique<nn::Conv2D>(1, 3, 3, 1, 1);
+  conv->init(rng);
+  layers.push_back(std::move(conv));
+  layers.push_back(std::make_unique<nn::ReLU>());
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(3 * 8 * 8, 4);
+  fc->init(rng);
+  layers.push_back(std::move(fc));
+  return nn::Network("m", std::move(layers));
+}
+
+Tensor batch(std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x(Shape{6, 1, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0F, 1.0F);
+  return x;
+}
+
+TEST(MemberTest, AppliesPreprocessorBeforeNetwork) {
+  // A FlipX member must produce the same probabilities on x as an Identity
+  // member does on FlipX(x).
+  Member flipped(std::make_unique<prep::FlipX>(), make_net(1));
+  Member plain(std::make_unique<prep::Identity>(), make_net(1));
+  const Tensor x = batch(2);
+  const Tensor manual = prep::FlipX().apply(x);
+  EXPECT_TRUE(
+      allclose(flipped.probabilities(x), plain.probabilities(manual), 1e-6F));
+}
+
+TEST(MemberTest, DescriptionCombinesPrepAndNetwork) {
+  Member m(std::make_unique<prep::FlipY>(), make_net(1));
+  EXPECT_EQ(m.description(), "FlipY/m");
+  EXPECT_EQ(m.prep_name(), "FlipY");
+  EXPECT_EQ(m.bits(), 32);
+}
+
+TEST(MemberTest, ReducedPrecisionChangesBitsAndCost) {
+  Member full(std::make_unique<prep::Identity>(), make_net(1), 32);
+  Member packed(std::make_unique<prep::Identity>(), make_net(1), 14);
+  EXPECT_EQ(packed.bits(), 14);
+  const perf::CostModel model;
+  const Shape in{1, 1, 8, 8};
+  EXPECT_LT(packed.cost(in, model).energy_j, full.cost(in, model).energy_j);
+}
+
+TEST(EnsembleTest, MemberProbabilitiesShapes) {
+  Ensemble e;
+  e.add(Member(std::make_unique<prep::Identity>(), make_net(1)));
+  e.add(Member(std::make_unique<prep::FlipX>(), make_net(2)));
+  EXPECT_EQ(e.size(), 2U);
+  const auto probs = e.member_probabilities(batch(3));
+  ASSERT_EQ(probs.size(), 2U);
+  EXPECT_EQ(probs[0].shape(), Shape({6, 4}));
+  // Independently-seeded networks disagree.
+  EXPECT_FALSE(allclose(probs[0], probs[1], 1e-3F));
+}
+
+TEST(EnsembleTest, MemberVotesMatchProbabilities) {
+  Ensemble e;
+  e.add(Member(std::make_unique<prep::Identity>(), make_net(4)));
+  const Tensor x = batch(5);
+  const auto probs = e.member_probabilities(x);
+  const MemberVotes votes = e.member_votes(x);
+  ASSERT_EQ(votes.size(), 1U);
+  for (std::int64_t n = 0; n < 6; ++n) {
+    EXPECT_EQ(votes[0][static_cast<std::size_t>(n)].label,
+              probs[0].argmax_row(n));
+  }
+}
+
+TEST(EnsembleTest, MemberCostsOnePerMember) {
+  Ensemble e;
+  e.add(Member(std::make_unique<prep::Identity>(), make_net(1), 32));
+  e.add(Member(std::make_unique<prep::Identity>(), make_net(2), 16));
+  const auto costs = e.member_costs(Shape{1, 1, 8, 8}, perf::CostModel{});
+  ASSERT_EQ(costs.size(), 2U);
+  EXPECT_GT(costs[0].latency_s, 0.0);
+  EXPECT_LE(costs[1].energy_j, costs[0].energy_j);
+}
+
+}  // namespace
+}  // namespace pgmr::mr

@@ -1,0 +1,96 @@
+// Outcome accounting tests: TP / FP / unreliable taxonomy.
+#include "mr/evaluate.h"
+
+#include <gtest/gtest.h>
+
+namespace pgmr::mr {
+namespace {
+
+// Three members, four samples, true labels {0, 1, 2, 0}.
+MemberVotes make_votes() {
+  return {
+      // member 0: right, right, wrong, right
+      {{0, 0.9F}, {1, 0.9F}, {0, 0.9F}, {0, 0.9F}},
+      // member 1: right, right, wrong (same wrong label), low-conf right
+      {{0, 0.8F}, {1, 0.7F}, {0, 0.8F}, {0, 0.2F}},
+      // member 2: right, wrong, right, right
+      {{0, 0.9F}, {2, 0.6F}, {2, 0.9F}, {0, 0.9F}},
+  };
+}
+
+const std::vector<std::int64_t> kLabels = {0, 1, 2, 0};
+
+TEST(EvaluateTest, PermissiveThresholdsCountMajorities) {
+  const Outcome o = evaluate(make_votes(), kLabels, {0.0F, 2});
+  // Sample 0: 3x label0 -> TP. Sample 1: 2x label1 -> TP.
+  // Sample 2: 2x label0 (wrong) -> FP. Sample 3: 3x label0 -> TP.
+  EXPECT_EQ(o.tp, 3);
+  EXPECT_EQ(o.fp, 1);
+  EXPECT_EQ(o.unreliable, 0);
+  EXPECT_EQ(o.total, 4);
+  EXPECT_DOUBLE_EQ(o.tp_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(o.fp_rate(), 0.25);
+}
+
+TEST(EvaluateTest, AllIdenticalCatchesTheSharedError) {
+  const Outcome o = evaluate(make_votes(), kLabels, {0.0F, 3});
+  // Only samples 0 and 3 are unanimous.
+  EXPECT_EQ(o.tp, 2);
+  EXPECT_EQ(o.fp, 0);
+  EXPECT_EQ(o.unreliable, 2);
+}
+
+TEST(EvaluateTest, ConfidenceThresholdFlipsMarginalSamples) {
+  // Thr_Conf 0.5 drops member 1's weak vote on sample 3 — still 2 votes.
+  // Thr_Freq 3 then makes sample 3 unreliable.
+  const Outcome o = evaluate(make_votes(), kLabels, {0.5F, 3});
+  EXPECT_EQ(o.tp, 1);
+  EXPECT_EQ(o.unreliable, 3);
+}
+
+TEST(EvaluateTest, RatesOnEmptyOutcome) {
+  const Outcome o;
+  EXPECT_DOUBLE_EQ(o.tp_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(o.fp_rate(), 0.0);
+}
+
+TEST(EvaluateTest, RejectsBadShapes) {
+  EXPECT_THROW(evaluate({}, kLabels, {0.0F, 1}), std::invalid_argument);
+  EXPECT_THROW(evaluate(make_votes(), {0, 1}, {0.0F, 1}),
+               std::invalid_argument);
+}
+
+TEST(EvaluateTest, VotesFromMembersRejectsRagged) {
+  const Tensor a(Shape{2, 3});
+  const Tensor b(Shape{3, 3});
+  EXPECT_THROW(votes_from_members({a, b}), std::invalid_argument);
+}
+
+TEST(EvaluateTest, SampleVotesGathersAcrossMembers) {
+  const MemberVotes votes = make_votes();
+  const auto sample = sample_votes(votes, 2);
+  ASSERT_EQ(sample.size(), 3U);
+  EXPECT_EQ(sample[0].label, 0);
+  EXPECT_EQ(sample[2].label, 2);
+}
+
+TEST(EvaluateSingleTest, ThresholdZeroMatchesAccuracy) {
+  const Tensor probs(Shape{3, 2}, {0.9F, 0.1F, 0.4F, 0.6F, 0.8F, 0.2F});
+  const std::vector<std::int64_t> labels = {0, 0, 0};
+  const Outcome o = evaluate_single(probs, labels, 0.0F);
+  EXPECT_EQ(o.tp, 2);
+  EXPECT_EQ(o.fp, 1);
+  EXPECT_EQ(o.unreliable, 0);
+}
+
+TEST(EvaluateSingleTest, HighThresholdMovesBothTpAndFpToUnreliable) {
+  const Tensor probs(Shape{3, 2}, {0.9F, 0.1F, 0.4F, 0.6F, 0.55F, 0.45F});
+  const std::vector<std::int64_t> labels = {0, 0, 1};
+  const Outcome o = evaluate_single(probs, labels, 0.7F);
+  EXPECT_EQ(o.tp, 1);         // only the 0.9 prediction survives
+  EXPECT_EQ(o.fp, 0);
+  EXPECT_EQ(o.unreliable, 2);
+}
+
+}  // namespace
+}  // namespace pgmr::mr

@@ -1,0 +1,111 @@
+// Threshold sweep and Pareto-frontier selection tests.
+#include "mr/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace pgmr::mr {
+namespace {
+
+SweepPoint point(double tp, double fp) {
+  return {Thresholds{0.0F, 1}, tp, fp};
+}
+
+TEST(ParetoTest, DominatedPointsRemoved) {
+  const auto frontier = pareto_frontier(
+      {point(0.9, 0.05), point(0.8, 0.10), point(0.7, 0.02),
+       point(0.6, 0.08) /* dominated by all useful points */});
+  ASSERT_EQ(frontier.size(), 2U);
+  EXPECT_DOUBLE_EQ(frontier[0].fp_rate, 0.02);
+  EXPECT_DOUBLE_EQ(frontier[1].fp_rate, 0.05);
+}
+
+TEST(ParetoTest, DuplicateRatePairsCollapse) {
+  const auto frontier =
+      pareto_frontier({point(0.9, 0.05), point(0.9, 0.05), point(0.9, 0.05)});
+  EXPECT_EQ(frontier.size(), 1U);
+}
+
+TEST(ParetoTest, SortedByAscendingFp) {
+  const auto frontier = pareto_frontier(
+      {point(0.95, 0.20), point(0.5, 0.01), point(0.8, 0.05)});
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LE(frontier[i - 1].fp_rate, frontier[i].fp_rate);
+  }
+}
+
+TEST(SelectTest, PicksMinFpMeetingFloor) {
+  const std::vector<SweepPoint> frontier = {point(0.5, 0.01), point(0.8, 0.05),
+                                            point(0.95, 0.20)};
+  const auto chosen = select_by_tp_floor(frontier, 0.75);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_DOUBLE_EQ(chosen->tp_rate, 0.8);
+  EXPECT_DOUBLE_EQ(chosen->fp_rate, 0.05);
+}
+
+TEST(SelectTest, FallsBackToMaxTpWhenFloorUnreachable) {
+  const std::vector<SweepPoint> frontier = {point(0.5, 0.01), point(0.8, 0.05)};
+  const auto chosen = select_by_tp_floor(frontier, 0.99);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_DOUBLE_EQ(chosen->tp_rate, 0.8);
+}
+
+TEST(SelectTest, EmptyFrontierYieldsNothing) {
+  EXPECT_FALSE(select_by_tp_floor({}, 0.5).has_value());
+}
+
+TEST(SweepTest, GridCoversConfAndFreq) {
+  // Two members, two samples; ensure sweep covers conf grid x freq in {1,2}.
+  const MemberVotes votes = {{{0, 0.9F}, {1, 0.3F}},
+                             {{0, 0.7F}, {0, 0.6F}}};
+  const std::vector<std::int64_t> labels = {0, 0};
+  const auto points = sweep_thresholds(votes, labels, default_conf_grid());
+  EXPECT_EQ(points.size(), default_conf_grid().size() * 2);
+  // At conf 0, freq 1: sample 0 -> TP (both vote 0); sample 1 tie (1 vs 0)
+  // -> unreliable.
+  const auto& p0 = points.front();
+  EXPECT_EQ(p0.thresholds.freq, 1);
+  EXPECT_DOUBLE_EQ(p0.tp_rate, 0.5);
+  EXPECT_DOUBLE_EQ(p0.fp_rate, 0.0);
+}
+
+TEST(SweepTest, SingleNetworkSweepMatchesEvaluateSingle) {
+  const Tensor probs(Shape{2, 2}, {0.9F, 0.1F, 0.4F, 0.6F});
+  const std::vector<std::int64_t> labels = {0, 0};
+  const auto points = sweep_single(probs, labels, {0.0F, 0.5F, 0.95F});
+  ASSERT_EQ(points.size(), 3U);
+  EXPECT_DOUBLE_EQ(points[0].tp_rate, 0.5);  // one right, one wrong
+  EXPECT_DOUBLE_EQ(points[0].fp_rate, 0.5);
+  EXPECT_DOUBLE_EQ(points[1].fp_rate, 0.5);  // 0.6 wrong survives 0.5
+  EXPECT_DOUBLE_EQ(points[2].tp_rate, 0.0);  // nothing survives 0.95
+  EXPECT_DOUBLE_EQ(points[2].fp_rate, 0.0);
+}
+
+TEST(SweepTest, DefaultGridShape) {
+  const auto grid = default_conf_grid();
+  EXPECT_EQ(grid.size(), 20U);
+  EXPECT_FLOAT_EQ(grid.front(), 0.0F);
+  EXPECT_FLOAT_EQ(grid.back(), 0.95F);
+}
+
+TEST(ParetoPropertyTest, FrontierOfRandomCloudIsNonDominated) {
+  // Property: no frontier point may dominate another frontier point.
+  std::vector<SweepPoint> cloud;
+  unsigned seed = 12345;
+  auto next = [&seed] {
+    seed = seed * 1103515245 + 12345;
+    return static_cast<double>((seed >> 16) & 0x7FFF) / 32768.0;
+  };
+  for (int i = 0; i < 200; ++i) cloud.push_back(point(next(), next()));
+  const auto frontier = pareto_frontier(cloud);
+  ASSERT_FALSE(frontier.empty());
+  for (const auto& a : frontier) {
+    for (const auto& b : frontier) {
+      const bool dominates = a.tp_rate >= b.tp_rate && a.fp_rate <= b.fp_rate &&
+                             (a.tp_rate > b.tp_rate || a.fp_rate < b.fp_rate);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pgmr::mr

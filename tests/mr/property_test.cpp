@@ -1,0 +1,166 @@
+// Property-style sweeps over the decision engine and staged activation,
+// using randomized vote matrices (parameterized over threshold settings).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mr/pareto.h"
+#include "mr/rade.h"
+#include "tensor/random.h"
+
+namespace pgmr::mr {
+namespace {
+
+MemberVotes random_votes(int members, int samples, int classes, Rng& rng) {
+  MemberVotes votes(static_cast<std::size_t>(members));
+  for (auto& member : votes) {
+    member.resize(static_cast<std::size_t>(samples));
+    for (auto& v : member) {
+      v.label = rng.randint(0, classes - 1);
+      v.confidence = rng.uniform(0.0F, 1.0F);
+    }
+  }
+  return votes;
+}
+
+std::vector<std::int64_t> random_labels(int samples, int classes, Rng& rng) {
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(samples));
+  for (auto& l : labels) l = rng.randint(0, classes - 1);
+  return labels;
+}
+
+struct ThresholdCase {
+  float conf;
+  int freq;
+};
+
+class EngineProperty : public ::testing::TestWithParam<ThresholdCase> {};
+
+TEST_P(EngineProperty, OutcomePartitionsEvaluationSet) {
+  Rng rng(101);
+  const MemberVotes votes = random_votes(5, 200, 7, rng);
+  const auto labels = random_labels(200, 7, rng);
+  const Thresholds t{GetParam().conf, GetParam().freq};
+  const Outcome o = evaluate(votes, labels, t);
+  EXPECT_EQ(o.tp + o.fp + o.unreliable, o.total);
+  EXPECT_EQ(o.total, 200);
+}
+
+TEST_P(EngineProperty, DecisionInvariantToVoteOrder) {
+  Rng rng(102);
+  const Thresholds t{GetParam().conf, GetParam().freq};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vote> votes;
+    const int n = static_cast<int>(rng.randint(1, 8));
+    for (int i = 0; i < n; ++i) {
+      votes.push_back({rng.randint(0, 3), rng.uniform(0.0F, 1.0F)});
+    }
+    const Decision before = decide(votes, t);
+    std::vector<Vote> shuffled = votes;
+    rng.shuffle(shuffled);
+    const Decision after = decide(shuffled, t);
+    EXPECT_EQ(before.label, after.label);
+    EXPECT_EQ(before.reliable, after.reliable);
+    EXPECT_EQ(before.votes_for_label, after.votes_for_label);
+  }
+}
+
+TEST_P(EngineProperty, StagedActivationBoundsHold) {
+  Rng rng(103);
+  const Thresholds t{GetParam().conf, GetParam().freq};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vote> votes;
+    const int n = static_cast<int>(rng.randint(2, 8));
+    for (int i = 0; i < n; ++i) {
+      votes.push_back({rng.randint(0, 3), rng.uniform(0.0F, 1.0F)});
+    }
+    const StagedDecision sd = staged_decide(votes, t);
+    EXPECT_GE(sd.activated, std::min(std::max(t.freq, 1), n));
+    EXPECT_LE(sd.activated, n);
+    // The staged verdict equals the full engine's verdict on the prefix.
+    const std::vector<Vote> prefix(votes.begin(),
+                                   votes.begin() + sd.activated);
+    const Decision full = decide(prefix, t);
+    EXPECT_EQ(sd.decision.reliable, full.reliable);
+    EXPECT_EQ(sd.decision.label, full.label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, EngineProperty,
+    ::testing::Values(ThresholdCase{0.0F, 1}, ThresholdCase{0.0F, 3},
+                      ThresholdCase{0.5F, 2}, ThresholdCase{0.8F, 4},
+                      ThresholdCase{0.95F, 5}, ThresholdCase{0.3F, 1}),
+    [](const ::testing::TestParamInfo<ThresholdCase>& info) {
+      return "conf" + std::to_string(static_cast<int>(info.param.conf * 100)) +
+             "_freq" + std::to_string(info.param.freq);
+    });
+
+TEST(EngineMonotonicity, ReliableCountNonIncreasingInFreq) {
+  Rng rng(104);
+  const MemberVotes votes = random_votes(6, 300, 5, rng);
+  const auto labels = random_labels(300, 5, rng);
+  for (float conf : {0.0F, 0.4F, 0.8F}) {
+    std::int64_t prev = 301;
+    for (int freq = 1; freq <= 6; ++freq) {
+      const Outcome o = evaluate(votes, labels, {conf, freq});
+      const std::int64_t reliable = o.tp + o.fp;
+      EXPECT_LE(reliable, prev) << "conf=" << conf << " freq=" << freq;
+      prev = reliable;
+    }
+  }
+}
+
+TEST(EngineMonotonicity, AcceptedVotesNonIncreasingInConf) {
+  // Per sample: the winning label's acceptable-vote count can only shrink
+  // as Thr_Conf rises.
+  Rng rng(105);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Vote> votes;
+    const int n = static_cast<int>(rng.randint(1, 8));
+    for (int i = 0; i < n; ++i) {
+      votes.push_back({rng.randint(0, 3), rng.uniform(0.0F, 1.0F)});
+    }
+    int prev_votes = n + 1;
+    for (float conf : {0.0F, 0.25F, 0.5F, 0.75F, 0.95F}) {
+      const Decision d = decide(votes, {conf, 1});
+      EXPECT_LE(d.votes_for_label, prev_votes);
+      prev_votes = d.votes_for_label;
+    }
+  }
+}
+
+TEST(ParetoProperty, FrontierSelectionsAreAchievableSweepPoints) {
+  Rng rng(106);
+  const MemberVotes votes = random_votes(4, 150, 6, rng);
+  const auto labels = random_labels(150, 6, rng);
+  const auto points = sweep_thresholds(votes, labels, default_conf_grid());
+  const auto frontier = pareto_frontier(points);
+  ASSERT_FALSE(frontier.empty());
+  // Every frontier point must re-evaluate to exactly its recorded rates.
+  for (const auto& p : frontier) {
+    const Outcome o = evaluate(votes, labels, p.thresholds);
+    EXPECT_DOUBLE_EQ(o.tp_rate(), p.tp_rate);
+    EXPECT_DOUBLE_EQ(o.fp_rate(), p.fp_rate);
+  }
+}
+
+TEST(RadeProperty, StagedCountsPartitionAndBound) {
+  Rng rng(107);
+  const MemberVotes votes = random_votes(5, 200, 4, rng);
+  const auto labels = random_labels(200, 4, rng);
+  const auto priority = contribution_priority(votes, labels);
+  for (int freq = 1; freq <= 5; ++freq) {
+    const StagedOutcome so =
+        evaluate_staged(votes, labels, priority, {0.3F, freq});
+    std::int64_t histogram_total = 0;
+    for (std::int64_t c : so.activation_histogram) histogram_total += c;
+    EXPECT_EQ(histogram_total, 200);
+    EXPECT_EQ(so.outcome.tp + so.outcome.fp + so.outcome.unreliable, 200);
+    EXPECT_GE(so.mean_activated(), static_cast<double>(std::min(freq, 5)));
+    EXPECT_LE(so.mean_activated(), 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace pgmr::mr

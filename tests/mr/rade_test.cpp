@@ -1,0 +1,134 @@
+// RADE staged-activation tests (paper Section III-F).
+#include "mr/rade.h"
+
+#include <gtest/gtest.h>
+
+namespace pgmr::mr {
+namespace {
+
+TEST(PriorityTest, OrdersByCorrectVoteFrequency) {
+  // Labels {0, 1, 0}. Member 0: 1 correct; member 1: 3 correct; member 2: 2.
+  const MemberVotes votes = {
+      {{0, 0.9F}, {0, 0.9F}, {1, 0.9F}},
+      {{0, 0.9F}, {1, 0.9F}, {0, 0.9F}},
+      {{0, 0.9F}, {1, 0.9F}, {2, 0.9F}},
+  };
+  const auto order = contribution_priority(votes, {0, 1, 0});
+  ASSERT_EQ(order.size(), 3U);
+  EXPECT_EQ(order[0], 1U);
+  EXPECT_EQ(order[1], 2U);
+  EXPECT_EQ(order[2], 0U);
+}
+
+TEST(PriorityTest, TiesKeepLowerIndexFirst) {
+  const MemberVotes votes = {{{0, 0.9F}}, {{0, 0.9F}}};
+  const auto order = contribution_priority(votes, {0});
+  EXPECT_EQ(order[0], 0U);
+  EXPECT_EQ(order[1], 1U);
+}
+
+TEST(StagedDecideTest, EarlyAgreementStopsActivation) {
+  // Thr_Freq = 2: the first two members agree -> only 2 activated.
+  const std::vector<Vote> ordered = {
+      {5, 0.9F}, {5, 0.9F}, {1, 0.9F}, {2, 0.9F}};
+  const StagedDecision sd = staged_decide(ordered, {0.0F, 2});
+  EXPECT_EQ(sd.activated, 2);
+  EXPECT_TRUE(sd.decision.reliable);
+  EXPECT_EQ(sd.decision.label, 5);
+}
+
+TEST(StagedDecideTest, DisagreementActivatesMore) {
+  // First two disagree; third breaks the tie toward label 5.
+  const std::vector<Vote> ordered = {
+      {5, 0.9F}, {1, 0.9F}, {5, 0.9F}, {2, 0.9F}};
+  const StagedDecision sd = staged_decide(ordered, {0.0F, 2});
+  EXPECT_EQ(sd.activated, 3);
+  EXPECT_TRUE(sd.decision.reliable);
+  EXPECT_EQ(sd.decision.label, 5);
+}
+
+TEST(StagedDecideTest, EarlyExitWhenThresholdUnreachable) {
+  // Thr_Freq = 4 with 5 members: the initial batch of 4 all disagree, so
+  // best = 1 and only 1 member remains -> 4 votes are unreachable and the
+  // fifth member is never activated.
+  const std::vector<Vote> ordered = {
+      {1, 0.9F}, {2, 0.9F}, {3, 0.9F}, {4, 0.9F}, {1, 0.9F}};
+  const StagedDecision sd = staged_decide(ordered, {0.0F, 4});
+  EXPECT_FALSE(sd.decision.reliable);
+  EXPECT_EQ(sd.activated, 4);
+}
+
+TEST(StagedDecideTest, LowConfidenceVotesDoNotCount) {
+  const std::vector<Vote> ordered = {
+      {5, 0.2F}, {5, 0.2F}, {5, 0.9F}, {5, 0.9F}};
+  const StagedDecision sd = staged_decide(ordered, {0.5F, 2});
+  EXPECT_EQ(sd.activated, 4);  // weak votes force full activation
+  EXPECT_TRUE(sd.decision.reliable);
+}
+
+TEST(StagedDecideTest, MatchesFullEngineVerdict) {
+  // Whatever the activation count, the verdict on the activated prefix
+  // must equal decide() on that prefix. Exhaustively check small cases.
+  const std::vector<Vote> ordered = {
+      {1, 0.8F}, {2, 0.6F}, {1, 0.4F}, {3, 0.9F}};
+  for (float conf : {0.0F, 0.5F, 0.7F}) {
+    for (int freq = 1; freq <= 4; ++freq) {
+      const Thresholds t{conf, freq};
+      const StagedDecision sd = staged_decide(ordered, t);
+      const std::vector<Vote> prefix(ordered.begin(),
+                                     ordered.begin() + sd.activated);
+      const Decision full = decide(prefix, t);
+      EXPECT_EQ(sd.decision.reliable, full.reliable);
+      EXPECT_EQ(sd.decision.label, full.label);
+    }
+  }
+}
+
+TEST(StagedDecideTest, RejectsEmptyVotes) {
+  EXPECT_THROW(staged_decide({}, {0.0F, 1}), std::invalid_argument);
+}
+
+TEST(EvaluateStagedTest, HistogramAndOutcome) {
+  // Two members; labels {0, 1}. Sample 0: agree -> 2 activations, TP.
+  // Sample 1: disagree -> 2 activations, unreliable at freq 2.
+  const MemberVotes votes = {
+      {{0, 0.9F}, {1, 0.9F}},
+      {{0, 0.9F}, {2, 0.9F}},
+  };
+  const std::vector<std::size_t> priority = {0, 1};
+  const StagedOutcome so =
+      evaluate_staged(votes, {0, 1}, priority, {0.0F, 2});
+  EXPECT_EQ(so.outcome.tp, 1);
+  EXPECT_EQ(so.outcome.unreliable, 1);
+  ASSERT_EQ(so.activation_histogram.size(), 2U);
+  EXPECT_EQ(so.activation_histogram[1], 2);
+  EXPECT_DOUBLE_EQ(so.mean_activated(), 2.0);
+}
+
+TEST(EvaluateStagedTest, StagedNeverWorseOnReliabilityThanPrefixLogicAllows) {
+  // With Thr_Freq = 1 the first member decides everything: exactly one
+  // activation per sample.
+  const MemberVotes votes = {
+      {{0, 0.9F}, {1, 0.9F}, {0, 0.9F}},
+      {{2, 0.9F}, {2, 0.9F}, {2, 0.9F}},
+  };
+  const StagedOutcome so =
+      evaluate_staged(votes, {0, 1, 0}, {0, 1}, {0.0F, 1});
+  EXPECT_EQ(so.activation_histogram[0], 3);
+  EXPECT_EQ(so.outcome.tp, 3);
+  EXPECT_DOUBLE_EQ(so.mean_activated(), 1.0);
+}
+
+TEST(EvaluateStagedTest, RejectsBadPriority) {
+  const MemberVotes votes = {{{0, 0.9F}}};
+  EXPECT_THROW(evaluate_staged(votes, {0}, {0, 1}, {0.0F, 1}),
+               std::invalid_argument);
+}
+
+TEST(StagedOutcomeTest, MeanOfEmptyHistogramIsZero) {
+  StagedOutcome so;
+  EXPECT_DOUBLE_EQ(so.mean_activated(), 0.0);
+}
+
+}  // namespace
+}  // namespace pgmr::mr

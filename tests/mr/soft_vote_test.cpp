@@ -1,0 +1,67 @@
+// Soft-voting (deep-ensembles baseline) tests.
+#include "mr/soft_vote.h"
+
+#include <gtest/gtest.h>
+
+namespace pgmr::mr {
+namespace {
+
+TEST(SoftVoteTest, AverageIsElementwiseMean) {
+  const Tensor a(Shape{1, 2}, {0.8F, 0.2F});
+  const Tensor b(Shape{1, 2}, {0.4F, 0.6F});
+  const Tensor mean = average_probabilities({a, b});
+  EXPECT_FLOAT_EQ(mean.at(0, 0), 0.6F);
+  EXPECT_FLOAT_EQ(mean.at(0, 1), 0.4F);
+}
+
+TEST(SoftVoteTest, AverageStaysNormalized) {
+  const Tensor a(Shape{2, 3}, {0.5F, 0.3F, 0.2F, 0.1F, 0.1F, 0.8F});
+  const Tensor b(Shape{2, 3}, {0.2F, 0.5F, 0.3F, 0.6F, 0.2F, 0.2F});
+  const Tensor mean = average_probabilities({a, b});
+  for (std::int64_t n = 0; n < 2; ++n) {
+    float row = 0.0F;
+    for (std::int64_t c = 0; c < 3; ++c) row += mean.at(n, c);
+    EXPECT_NEAR(row, 1.0F, 1e-6F);
+  }
+}
+
+TEST(SoftVoteTest, RejectsEmptyOrRagged) {
+  EXPECT_THROW(average_probabilities({}), std::invalid_argument);
+  const Tensor a(Shape{1, 2});
+  const Tensor b(Shape{2, 2});
+  EXPECT_THROW(average_probabilities({a, b}), std::invalid_argument);
+}
+
+TEST(SoftVoteTest, AveragingCanOverruleASingleConfidentMember) {
+  // Member 0 is confidently wrong; members 1 and 2 lean right.
+  const Tensor m0(Shape{1, 2}, {0.95F, 0.05F});
+  const Tensor m1(Shape{1, 2}, {0.25F, 0.75F});
+  const Tensor m2(Shape{1, 2}, {0.20F, 0.80F});
+  const std::vector<std::int64_t> labels = {1};
+  const Outcome o = evaluate_soft({m0, m1, m2}, labels, 0.0F);
+  EXPECT_EQ(o.tp, 1);  // mean = (1.40/3, 1.60/3): class 1 wins
+}
+
+TEST(SoftVoteTest, ThresholdFlagsLowMeanConfidence) {
+  const Tensor m0(Shape{1, 2}, {0.55F, 0.45F});
+  const Tensor m1(Shape{1, 2}, {0.45F, 0.55F});
+  const std::vector<std::int64_t> labels = {0};
+  EXPECT_EQ(evaluate_soft({m0, m1}, labels, 0.6F).unreliable, 1);
+  // Mean is exactly (0.5, 0.5): at threshold 0.4 the argmax (class 0 by
+  // tie-break) is accepted.
+  EXPECT_EQ(evaluate_soft({m0, m1}, labels, 0.4F).tp, 1);
+}
+
+TEST(SoftVoteTest, SweepMatchesSingleEvaluation) {
+  const Tensor m0(Shape{2, 2}, {0.9F, 0.1F, 0.3F, 0.7F});
+  const Tensor m1(Shape{2, 2}, {0.6F, 0.4F, 0.4F, 0.6F});
+  const std::vector<std::int64_t> labels = {0, 0};
+  const auto points = sweep_soft({m0, m1}, labels, {0.0F, 0.7F});
+  ASSERT_EQ(points.size(), 2U);
+  const Outcome direct = evaluate_soft({m0, m1}, labels, 0.7F);
+  EXPECT_DOUBLE_EQ(points[1].tp_rate, direct.tp_rate());
+  EXPECT_DOUBLE_EQ(points[1].fp_rate, direct.fp_rate());
+}
+
+}  // namespace
+}  // namespace pgmr::mr

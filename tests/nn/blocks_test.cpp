@@ -1,0 +1,179 @@
+// Composite-layer semantics: Sequential, ResidualBlock, DenseBlock and the
+// channel concatenation primitive.
+#include "nn/blocks.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "tensor/random.h"
+
+namespace pgmr::nn {
+namespace {
+
+std::unique_ptr<Conv2D> init_conv(std::int64_t in_c, std::int64_t out_c,
+                                  std::int64_t k, std::int64_t stride,
+                                  std::int64_t pad, Rng& rng) {
+  auto conv = std::make_unique<Conv2D>(in_c, out_c, k, stride, pad);
+  conv->init(rng);
+  return conv;
+}
+
+TEST(ConcatChannelsTest, LayoutAndValues) {
+  Tensor a(Shape{2, 1, 2, 2});
+  Tensor b(Shape{2, 2, 2, 2});
+  a.fill(1.0F);
+  b.fill(2.0F);
+  const Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 3, 2, 2}));
+  EXPECT_EQ(c.at(0, 0, 0, 0), 1.0F);
+  EXPECT_EQ(c.at(0, 1, 0, 0), 2.0F);
+  EXPECT_EQ(c.at(1, 2, 1, 1), 2.0F);
+}
+
+TEST(ConcatChannelsTest, RejectsIncompatibleShapes) {
+  const Tensor a(Shape{2, 1, 2, 2});
+  const Tensor b(Shape{2, 1, 3, 2});
+  EXPECT_THROW(concat_channels(a, b), std::invalid_argument);
+  const Tensor c(Shape{3, 1, 2, 2});
+  EXPECT_THROW(concat_channels(a, c), std::invalid_argument);
+}
+
+TEST(SequentialTest, AppliesLayersInOrder) {
+  Sequential seq;
+  seq.add(std::make_unique<ReLU>());
+  seq.add(std::make_unique<Flatten>());
+  const Tensor x(Shape{1, 2, 2, 2}, {-1, 2, -3, 4, 5, -6, 7, -8});
+  const Tensor y = seq.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 8}));
+  EXPECT_EQ(y[0], 0.0F);
+  EXPECT_EQ(y[1], 2.0F);
+}
+
+TEST(SequentialTest, CollectsParamsFromChildren) {
+  Rng rng(1);
+  Sequential seq;
+  seq.add(init_conv(1, 2, 3, 1, 1, rng));
+  auto fc = std::make_unique<Dense>(8, 4);
+  fc->init(rng);
+  seq.add(std::make_unique<Flatten>());
+  seq.add(std::move(fc));
+  EXPECT_EQ(seq.params().size(), 4U);  // conv w+b, dense w+b
+  EXPECT_EQ(seq.grads().size(), 4U);
+}
+
+TEST(SequentialTest, CostEqualsSumOfChildren) {
+  Rng rng(2);
+  Sequential seq;
+  seq.add(init_conv(1, 2, 3, 1, 1, rng));
+  seq.add(std::make_unique<ReLU>());
+  const Shape in{1, 1, 4, 4};
+  const CostStats total = seq.cost(in);
+  const CostStats conv_only = seq.children()[0]->cost(in);
+  EXPECT_GT(total.activation_bytes, conv_only.activation_bytes);
+  EXPECT_EQ(total.macs, conv_only.macs);  // ReLU adds no MACs
+}
+
+TEST(ResidualBlockTest, IdentityShortcutAddsInput) {
+  Rng rng(3);
+  // Body: conv initialized to zero -> block output = ReLU(x + bias=0) = ReLU(x).
+  auto body = std::make_unique<Sequential>();
+  auto conv = std::make_unique<Conv2D>(2, 2, 3, 1, 1);
+  for (Tensor* p : conv->params()) p->fill(0.0F);
+  body->add(std::move(conv));
+  ResidualBlock block(std::move(body), nullptr);
+  Tensor x(Shape{1, 2, 3, 3});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(i % 5) - 2.0F;
+  }
+  const Tensor y = block.forward(x, false);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(y[i], std::max(0.0F, x[i]));
+  }
+}
+
+TEST(ResidualBlockTest, ProjectionHandlesShapeChange) {
+  Rng rng(4);
+  auto body = std::make_unique<Sequential>();
+  body->add(init_conv(2, 4, 3, 2, 1, rng));
+  auto projection = init_conv(2, 4, 1, 2, 0, rng);
+  ResidualBlock block(std::move(body), std::move(projection));
+  const Tensor x(Shape{1, 2, 6, 6});
+  EXPECT_EQ(block.output_shape(x.shape()), Shape({1, 4, 3, 3}));
+  EXPECT_EQ(block.forward(x, false).shape(), Shape({1, 4, 3, 3}));
+}
+
+TEST(ResidualBlockTest, MismatchedShortcutThrows) {
+  Rng rng(5);
+  auto body = std::make_unique<Sequential>();
+  body->add(init_conv(2, 4, 3, 1, 1, rng));  // changes channels, no projection
+  ResidualBlock block(std::move(body), nullptr);
+  const Tensor x(Shape{1, 2, 4, 4});
+  EXPECT_THROW(block.forward(x, false), std::invalid_argument);
+}
+
+TEST(ResidualBlockTest, NullBodyRejected) {
+  EXPECT_THROW(ResidualBlock(nullptr, nullptr), std::invalid_argument);
+}
+
+TEST(DenseBlockTest, OutputChannelsGrowByUnitTimesGrowth) {
+  Rng rng(6);
+  std::vector<std::unique_ptr<Sequential>> units;
+  for (int u = 0; u < 3; ++u) {
+    auto unit = std::make_unique<Sequential>();
+    unit->add(init_conv(4 + u * 2, 2, 3, 1, 1, rng));
+    units.push_back(std::move(unit));
+  }
+  DenseBlock block(std::move(units), 4, 2);
+  const Shape in{2, 4, 5, 5};
+  EXPECT_EQ(block.output_shape(in), Shape({2, 10, 5, 5}));
+  Tensor x(in);
+  x.fill(0.5F);
+  const Tensor y = block.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 10, 5, 5}));
+  // The first `in` channels of the output are the input, untouched.
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(y.at(0, c, 2, 2), 0.5F);
+  }
+}
+
+TEST(DenseBlockTest, RejectsEmptyOrInvalidConfig) {
+  EXPECT_THROW(DenseBlock({}, 4, 2), std::invalid_argument);
+  std::vector<std::unique_ptr<Sequential>> units;
+  units.push_back(std::make_unique<Sequential>());
+  EXPECT_THROW(DenseBlock(std::move(units), 0, 2), std::invalid_argument);
+}
+
+TEST(CompositeSaveLoadTest, DenseBlockRoundTrips) {
+  Rng rng(7);
+  std::vector<std::unique_ptr<Sequential>> units;
+  for (int u = 0; u < 2; ++u) {
+    auto unit = std::make_unique<Sequential>();
+    unit->add(std::make_unique<ReLU>());
+    unit->add(init_conv(3 + u * 2, 2, 3, 1, 1, rng));
+    units.push_back(std::move(unit));
+  }
+  DenseBlock block(std::move(units), 3, 2);
+  Tensor x(Shape{1, 3, 4, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+  const Tensor before = block.forward(x, false);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pgmr_denseblock.bin").string();
+  {
+    BinaryWriter w(path);
+    save_layer(w, block);
+    w.close();
+  }
+  BinaryReader r(path);
+  auto loaded = load_layer(r);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded->kind(), "denseblock");
+  EXPECT_TRUE(allclose(before, loaded->forward(x, false), 0.0F));
+}
+
+}  // namespace
+}  // namespace pgmr::nn

@@ -1,0 +1,98 @@
+// im2col / col2im structural and adjointness tests.
+#include "nn/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace pgmr::nn {
+namespace {
+
+TEST(Im2ColTest, GeometryOutputSizes) {
+  ConvGeometry g{3, 8, 8, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 8);
+  EXPECT_EQ(g.out_w(), 8);
+  EXPECT_EQ(g.patch_size(), 27);
+  ConvGeometry strided{1, 8, 8, 3, 2, 1};
+  EXPECT_EQ(strided.out_h(), 4);
+  ConvGeometry valid{1, 5, 5, 3, 1, 0};
+  EXPECT_EQ(valid.out_h(), 3);
+}
+
+TEST(Im2ColTest, IdentityKernelCopiesImage) {
+  // 1x1 kernel, no padding: the column matrix is the image itself.
+  ConvGeometry g{2, 3, 3, 1, 1, 0};
+  std::vector<float> img(18);
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+  std::vector<float> col(static_cast<std::size_t>(g.patch_size() * 9));
+  im2col(img.data(), g, col.data());
+  for (std::size_t i = 0; i < img.size(); ++i) EXPECT_EQ(col[i], img[i]);
+}
+
+TEST(Im2ColTest, PaddingYieldsZeros) {
+  ConvGeometry g{1, 2, 2, 3, 1, 1};
+  std::vector<float> img = {1.0F, 2.0F, 3.0F, 4.0F};
+  std::vector<float> col(static_cast<std::size_t>(g.patch_size() * 4));
+  im2col(img.data(), g, col.data());
+  // The (kh=0, kw=0) row samples (y-1, x-1): all out of range for a 2x2
+  // image with pad 1 except output (1,1) which reads pixel (0,0).
+  EXPECT_EQ(col[0], 0.0F);
+  EXPECT_EQ(col[1], 0.0F);
+  EXPECT_EQ(col[2], 0.0F);
+  EXPECT_EQ(col[3], 1.0F);
+}
+
+TEST(Im2ColTest, KnownPatchCenterKernel) {
+  ConvGeometry g{1, 3, 3, 3, 1, 1};
+  std::vector<float> img(9);
+  for (std::size_t i = 0; i < 9; ++i) img[i] = static_cast<float>(i + 1);
+  std::vector<float> col(static_cast<std::size_t>(g.patch_size() * 9));
+  im2col(img.data(), g, col.data());
+  // Row for (kh=1, kw=1) is the untouched image (center tap).
+  const float* center = col.data() + 4 * 9;
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(center[i], img[i]);
+  }
+}
+
+// col2im must be the exact adjoint of im2col:
+// <im2col(x), y> == <x, col2im(y)> for all x, y.
+TEST(Im2ColTest, Col2ImIsAdjoint) {
+  const ConvGeometry geos[] = {
+      {3, 6, 6, 3, 1, 1}, {2, 8, 8, 3, 2, 1}, {1, 5, 5, 2, 1, 0},
+      {4, 7, 7, 5, 1, 2}};
+  Rng rng(9);
+  for (const ConvGeometry& g : geos) {
+    const std::int64_t img_n = g.in_channels * g.in_h * g.in_w;
+    const std::int64_t col_n = g.patch_size() * g.out_h() * g.out_w();
+    std::vector<float> x(static_cast<std::size_t>(img_n));
+    std::vector<float> y(static_cast<std::size_t>(col_n));
+    for (float& v : x) v = rng.uniform(-1.0F, 1.0F);
+    for (float& v : y) v = rng.uniform(-1.0F, 1.0F);
+
+    std::vector<float> ax(static_cast<std::size_t>(col_n));
+    im2col(x.data(), g, ax.data());
+    std::vector<float> aty(static_cast<std::size_t>(img_n), 0.0F);
+    col2im(y.data(), g, aty.data());
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::int64_t i = 0; i < col_n; ++i) lhs += ax[i] * y[i];
+    for (std::int64_t i = 0; i < img_n; ++i) rhs += x[i] * aty[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3) << "geometry C=" << g.in_channels;
+  }
+}
+
+TEST(Im2ColTest, Col2ImAccumulatesOverlaps) {
+  // 2x2 image, 2x2 kernel, pad 1, stride 1 -> every input pixel is covered
+  // by four patches; a column matrix of ones must scatter to 4 everywhere.
+  ConvGeometry g{1, 2, 2, 2, 1, 1};
+  std::vector<float> col(static_cast<std::size_t>(g.patch_size() * 9), 1.0F);
+  std::vector<float> img(4, 0.0F);
+  col2im(col.data(), g, img.data());
+  for (float v : img) EXPECT_EQ(v, 4.0F);
+}
+
+}  // namespace
+}  // namespace pgmr::nn

@@ -1,0 +1,171 @@
+// Network container tests: save/load round trips, probabilities, cost, and
+// an end-to-end "learns a separable toy problem" check.
+#include "nn/network.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/blocks.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "tensor/random.h"
+
+namespace pgmr::nn {
+namespace {
+
+Network make_tiny_cnn(Rng& rng) {
+  std::vector<std::unique_ptr<Layer>> layers;
+  auto conv = std::make_unique<Conv2D>(1, 4, 3, 1, 1);
+  conv->init(rng);
+  layers.push_back(std::move(conv));
+  layers.push_back(std::make_unique<BatchNorm>(4));
+  layers.push_back(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<MaxPool2D>(2));
+  layers.push_back(std::make_unique<Flatten>());
+  auto fc = std::make_unique<Dense>(4 * 4 * 4, 3);
+  fc->init(rng);
+  layers.push_back(std::move(fc));
+  return Network("tiny", std::move(layers));
+}
+
+std::string temp_path(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() / stem).string();
+}
+
+TEST(NetworkTest, RejectsEmptyLayerList) {
+  EXPECT_THROW(Network("empty", {}), std::invalid_argument);
+}
+
+TEST(NetworkTest, OutputShapeChains) {
+  Rng rng(1);
+  const Network net = make_tiny_cnn(rng);
+  EXPECT_EQ(net.output_shape(Shape{5, 1, 8, 8}), Shape({5, 3}));
+}
+
+TEST(NetworkTest, ProbabilitiesAreNormalized) {
+  Rng rng(2);
+  Network net = make_tiny_cnn(rng);
+  Tensor x(Shape{3, 1, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0F, 1.0F);
+  const Tensor probs = net.probabilities(x);
+  EXPECT_EQ(probs.shape(), Shape({3, 3}));
+  for (std::int64_t n = 0; n < 3; ++n) {
+    float row = 0.0F;
+    for (std::int64_t c = 0; c < 3; ++c) {
+      EXPECT_GE(probs.at(n, c), 0.0F);
+      row += probs.at(n, c);
+    }
+    EXPECT_NEAR(row, 1.0F, 1e-5F);
+  }
+}
+
+TEST(NetworkTest, SaveLoadRoundTripPreservesOutputs) {
+  Rng rng(3);
+  Network net = make_tiny_cnn(rng);
+  Tensor x(Shape{2, 1, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0F, 1.0F);
+  const Tensor before = net.forward(x);
+
+  const std::string path = temp_path("pgmr_network_roundtrip.net");
+  net.save(path);
+  Network loaded = Network::load(path);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(loaded.name(), "tiny");
+  const Tensor after = loaded.forward(x);
+  EXPECT_TRUE(allclose(before, after, 0.0F));
+}
+
+TEST(NetworkTest, SaveLoadPreservesCompositeLayers) {
+  Rng rng(4);
+  std::vector<std::unique_ptr<Layer>> layers;
+  auto body = std::make_unique<Sequential>();
+  auto c1 = std::make_unique<Conv2D>(2, 2, 3, 1, 1);
+  c1->init(rng);
+  body->add(std::move(c1));
+  body->add(std::make_unique<ReLU>());
+  layers.push_back(std::make_unique<ResidualBlock>(std::move(body), nullptr));
+  layers.push_back(std::make_unique<GlobalAvgPool>());
+  auto fc = std::make_unique<Dense>(2, 2);
+  fc->init(rng);
+  layers.push_back(std::move(fc));
+  Network net("residual_net", std::move(layers));
+
+  Tensor x(Shape{1, 2, 4, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1.0F, 1.0F);
+  const Tensor before = net.forward(x);
+
+  const std::string path = temp_path("pgmr_network_composite.net");
+  net.save(path);
+  Network loaded = Network::load(path);
+  std::filesystem::remove(path);
+  EXPECT_TRUE(allclose(before, loaded.forward(x), 0.0F));
+}
+
+TEST(NetworkTest, CostAggregatesLayers) {
+  Rng rng(5);
+  const Network net = make_tiny_cnn(rng);
+  const CostStats s = net.cost(Shape{1, 1, 8, 8});
+  // Conv: 4*8*8*9 = 2304 MACs; BN: 256 elementwise; Dense: 64*3 = 192.
+  EXPECT_GT(s.macs, 2304 + 192);
+  EXPECT_GT(s.param_count, 0);
+  EXPECT_GT(s.activation_bytes, 0);
+}
+
+TEST(NetworkTest, LearnsLinearlySeparableToyProblem) {
+  // Class = brightest quadrant; a tiny CNN must exceed 90 % after a few
+  // epochs of SGD if forward/backward/optimizer compose correctly.
+  Rng rng(6);
+  Network net = make_tiny_cnn(rng);
+  const std::int64_t n = 256;
+  Tensor images(Shape{n, 1, 8, 8});
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t cls = rng.randint(0, 2);
+    labels[static_cast<std::size_t>(i)] = cls;
+    for (std::int64_t y = 0; y < 8; ++y) {
+      for (std::int64_t x = 0; x < 8; ++x) {
+        const bool lit = (cls == 0 && y < 4) || (cls == 1 && y >= 4 && x < 4) ||
+                         (cls == 2 && y >= 4 && x >= 4);
+        images.at(i, 0, y, x) =
+            (lit ? 0.9F : 0.1F) + rng.uniform(-0.05F, 0.05F);
+      }
+    }
+  }
+
+  SGD::Config cfg;
+  cfg.learning_rate = 0.1F;
+  SGD opt(net.params(), net.grads(), cfg);
+  for (int epoch = 0; epoch < 15; ++epoch) {
+    for (std::int64_t start = 0; start < n; start += 32) {
+      std::vector<float> chunk(
+          images.data() + start * 64,
+          images.data() + std::min(n, start + 32) * 64);
+      const std::int64_t bsz = std::min<std::int64_t>(32, n - start);
+      const Tensor batch(Shape{bsz, 1, 8, 8}, std::move(chunk));
+      const std::vector<std::int64_t> batch_labels(
+          labels.begin() + start, labels.begin() + start + bsz);
+      opt.zero_grad();
+      const Tensor logits = net.forward(batch, true);
+      const LossResult loss = softmax_cross_entropy(logits, batch_labels);
+      net.backward(loss.grad_logits);
+      opt.step();
+    }
+  }
+
+  const Tensor logits = net.forward(images, false);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (logits.argmax_row(i) == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(n), 0.9);
+}
+
+}  // namespace
+}  // namespace pgmr::nn

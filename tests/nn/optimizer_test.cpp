@@ -1,0 +1,93 @@
+// SGD optimizer unit tests.
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace pgmr::nn {
+namespace {
+
+TEST(SGDTest, PlainGradientStep) {
+  Tensor w(Shape{2}, {1.0F, -2.0F});
+  Tensor g(Shape{2}, {0.5F, -0.5F});
+  SGD::Config cfg;
+  cfg.learning_rate = 0.1F;
+  cfg.momentum = 0.0F;
+  cfg.weight_decay = 0.0F;
+  SGD opt({&w}, {&g}, cfg);
+  opt.step();
+  EXPECT_FLOAT_EQ(w[0], 1.0F - 0.1F * 0.5F);
+  EXPECT_FLOAT_EQ(w[1], -2.0F + 0.1F * 0.5F);
+}
+
+TEST(SGDTest, MomentumAccumulates) {
+  Tensor w(Shape{1}, {0.0F});
+  Tensor g(Shape{1}, {1.0F});
+  SGD::Config cfg;
+  cfg.learning_rate = 1.0F;
+  cfg.momentum = 0.5F;
+  cfg.weight_decay = 0.0F;
+  SGD opt({&w}, {&g}, cfg);
+  opt.step();  // v = -1,    w = -1
+  EXPECT_FLOAT_EQ(w[0], -1.0F);
+  opt.step();  // v = -1.5,  w = -2.5
+  EXPECT_FLOAT_EQ(w[0], -2.5F);
+}
+
+TEST(SGDTest, WeightDecayShrinksWeights) {
+  Tensor w(Shape{1}, {10.0F});
+  Tensor g(Shape{1}, {0.0F});
+  SGD::Config cfg;
+  cfg.learning_rate = 0.1F;
+  cfg.momentum = 0.0F;
+  cfg.weight_decay = 0.5F;
+  SGD opt({&w}, {&g}, cfg);
+  opt.step();
+  EXPECT_FLOAT_EQ(w[0], 10.0F - 0.1F * 0.5F * 10.0F);
+}
+
+TEST(SGDTest, ZeroGradClearsGradients) {
+  Tensor w(Shape{2});
+  Tensor g(Shape{2}, {1.0F, 2.0F});
+  SGD opt({&w}, {&g}, {});
+  opt.zero_grad();
+  EXPECT_EQ(g[0], 0.0F);
+  EXPECT_EQ(g[1], 0.0F);
+}
+
+TEST(SGDTest, LearningRateOverride) {
+  Tensor w(Shape{1}, {1.0F});
+  Tensor g(Shape{1}, {1.0F});
+  SGD::Config cfg;
+  cfg.learning_rate = 0.1F;
+  cfg.momentum = 0.0F;
+  SGD opt({&w}, {&g}, cfg);
+  opt.set_learning_rate(0.01F);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.01F);
+  opt.step();
+  EXPECT_FLOAT_EQ(w[0], 1.0F - 0.01F);
+}
+
+TEST(SGDTest, RejectsMismatchedLists) {
+  Tensor w(Shape{2});
+  Tensor g(Shape{3});
+  EXPECT_THROW(SGD({&w}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(SGD({&w}, {&g}, {}), std::invalid_argument);
+}
+
+TEST(SGDTest, MinimizesQuadratic) {
+  // f(w) = (w - 3)^2; gradient = 2(w - 3). Converges to 3.
+  Tensor w(Shape{1}, {-5.0F});
+  Tensor g(Shape{1});
+  SGD::Config cfg;
+  cfg.learning_rate = 0.1F;
+  cfg.momentum = 0.9F;
+  SGD opt({&w}, {&g}, cfg);
+  for (int i = 0; i < 200; ++i) {
+    g[0] = 2.0F * (w[0] - 3.0F);
+    opt.step();
+  }
+  EXPECT_NEAR(w[0], 3.0F, 1e-2F);
+}
+
+}  // namespace
+}  // namespace pgmr::nn

@@ -1,0 +1,100 @@
+// Softmax, temperature scaling and cross-entropy loss tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/softmax.h"
+#include "tensor/random.h"
+
+namespace pgmr::nn {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(1);
+  Tensor logits(Shape{4, 7});
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    logits[i] = rng.uniform(-5.0F, 5.0F);
+  }
+  const Tensor p = softmax(logits);
+  for (std::int64_t n = 0; n < 4; ++n) {
+    float row = 0.0F;
+    for (std::int64_t c = 0; c < 7; ++c) row += p.at(n, c);
+    EXPECT_NEAR(row, 1.0F, 1e-5F);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  const Tensor logits(Shape{1, 3}, {1000.0F, 999.0F, 998.0F});
+  const Tensor p = softmax(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_GT(p[0], p[1]);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0F, 1e-5F);
+}
+
+TEST(SoftmaxTest, UniformLogitsGiveUniformProbabilities) {
+  Tensor logits(Shape{1, 4});
+  logits.fill(2.5F);
+  const Tensor p = softmax(logits);
+  for (std::int64_t c = 0; c < 4; ++c) EXPECT_NEAR(p[c], 0.25F, 1e-6F);
+}
+
+TEST(SoftmaxTest, TemperatureFlattensDistribution) {
+  const Tensor logits(Shape{1, 3}, {3.0F, 1.0F, 0.0F});
+  const Tensor cold = softmax_with_temperature(logits, 0.5F);
+  const Tensor base = softmax(logits);
+  const Tensor hot = softmax_with_temperature(logits, 4.0F);
+  // Higher temperature -> lower top confidence; lower -> sharper.
+  EXPECT_GT(cold.max_row(0), base.max_row(0));
+  EXPECT_LT(hot.max_row(0), base.max_row(0));
+  // Argmax (and therefore accuracy) is temperature-invariant.
+  EXPECT_EQ(cold.argmax_row(0), base.argmax_row(0));
+  EXPECT_EQ(hot.argmax_row(0), base.argmax_row(0));
+}
+
+TEST(SoftmaxTest, RejectsBadInputs) {
+  const Tensor rank4(Shape{1, 1, 2, 2});
+  EXPECT_THROW(softmax(rank4), std::invalid_argument);
+  const Tensor ok(Shape{1, 2});
+  EXPECT_THROW(softmax_with_temperature(ok, 0.0F), std::invalid_argument);
+  EXPECT_THROW(softmax_with_temperature(ok, -1.0F), std::invalid_argument);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionHasLowLoss) {
+  const Tensor logits(Shape{1, 3}, {20.0F, 0.0F, 0.0F});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-3F);
+}
+
+TEST(CrossEntropyTest, UniformPredictionLossIsLogC) {
+  Tensor logits(Shape{2, 4});
+  logits.fill(0.0F);
+  const LossResult r = softmax_cross_entropy(logits, {1, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0F), 1e-5F);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOneHotOverN) {
+  const Tensor logits(Shape{2, 3}, {1.0F, 2.0F, 0.5F, 0.0F, 0.0F, 0.0F});
+  const Tensor p = softmax(logits);
+  const LossResult r = softmax_cross_entropy(logits, {2, 0});
+  EXPECT_NEAR(r.grad_logits.at(0, 0), p.at(0, 0) / 2.0F, 1e-6F);
+  EXPECT_NEAR(r.grad_logits.at(0, 2), (p.at(0, 2) - 1.0F) / 2.0F, 1e-6F);
+  EXPECT_NEAR(r.grad_logits.at(1, 0), (p.at(1, 0) - 1.0F) / 2.0F, 1e-6F);
+  // Gradient rows sum to zero (softmax property).
+  for (std::int64_t n = 0; n < 2; ++n) {
+    float row = 0.0F;
+    for (std::int64_t c = 0; c < 3; ++c) row += r.grad_logits.at(n, c);
+    EXPECT_NEAR(row, 0.0F, 1e-6F);
+  }
+}
+
+TEST(CrossEntropyTest, RejectsBadLabels) {
+  const Tensor logits(Shape{2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, -1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pgmr::nn

@@ -1,0 +1,118 @@
+// Analytic cost model tests.
+#include "perf/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pgmr::perf {
+namespace {
+
+nn::CostStats stats(std::int64_t macs, std::int64_t wb, std::int64_t ab) {
+  nn::CostStats s;
+  s.macs = macs;
+  s.weight_bytes = wb;
+  s.activation_bytes = ab;
+  return s;
+}
+
+TEST(CostModelTest, RooflineTakesMaxOfComputeAndMemory) {
+  HardwareModel hw;
+  hw.peak_macs_per_s = 1e9;
+  hw.mem_bandwidth_bytes_per_s = 1e9;
+  CostModel model(hw);
+  // Compute-bound: 1e6 MACs vs 1e3 bytes.
+  const InferenceCost compute = model.network_cost(stats(1000000, 500, 500), 32);
+  EXPECT_DOUBLE_EQ(compute.latency_s, 1e-3);
+  // Memory-bound: 1e3 MACs vs 1e6 bytes.
+  const InferenceCost memory = model.network_cost(stats(1000, 500000, 500000), 32);
+  EXPECT_DOUBLE_EQ(memory.latency_s, 1e-3);
+}
+
+TEST(CostModelTest, PrecisionPacksMemoryTraffic) {
+  CostModel model;
+  const nn::CostStats s = stats(1000, 1 << 20, 1 << 20);
+  const InferenceCost full = model.network_cost(s, 32);
+  const InferenceCost half = model.network_cost(s, 16);
+  // Memory-bound workload: both latency and energy shrink roughly 2x.
+  EXPECT_NEAR(half.latency_s / full.latency_s, 0.5, 1e-6);
+  EXPECT_LT(half.energy_j, full.energy_j);
+}
+
+TEST(CostModelTest, PrecisionDoesNotChangeComputeEnergy) {
+  HardwareModel hw;
+  hw.energy_per_byte_j = 0.0;  // isolate compute term
+  CostModel model(hw);
+  const nn::CostStats s = stats(1000000, 1000, 1000);
+  EXPECT_DOUBLE_EQ(model.network_cost(s, 32).energy_j,
+                   model.network_cost(s, 14).energy_j);
+}
+
+TEST(CostModelTest, RejectsInvalidBits) {
+  CostModel model;
+  EXPECT_THROW(model.network_cost(stats(1, 1, 1), 0), std::invalid_argument);
+  EXPECT_THROW(model.network_cost(stats(1, 1, 1), 33), std::invalid_argument);
+}
+
+TEST(CostModelTest, SequentialSumsMembersPlusOverheads) {
+  HardwareModel hw;
+  hw.preprocess_fraction = 0.1;
+  hw.decision_latency_s = 1.0;
+  hw.decision_energy_j = 2.0;
+  CostModel model(hw);
+  const std::vector<InferenceCost> members = {{10.0, 100.0}, {20.0, 200.0}};
+  const InferenceCost total = model.system_sequential(members);
+  EXPECT_DOUBLE_EQ(total.latency_s, 10.0 + 1.0 + 20.0 + 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(total.energy_j, 100.0 + 10.0 + 200.0 + 20.0 + 2.0);
+}
+
+TEST(CostModelTest, BatchedHidesLatencyNotEnergy) {
+  HardwareModel hw;
+  hw.preprocess_fraction = 0.0;
+  hw.decision_latency_s = 0.0;
+  hw.decision_energy_j = 0.0;
+  CostModel model(hw);
+  const std::vector<InferenceCost> members = {
+      {10.0, 1.0}, {12.0, 1.0}, {8.0, 1.0}, {9.0, 1.0}};
+  const InferenceCost two_gpus = model.system_batched(members, 2);
+  // Batches: max(10,12) + max(8,9) = 21.
+  EXPECT_DOUBLE_EQ(two_gpus.latency_s, 21.0);
+  EXPECT_DOUBLE_EQ(two_gpus.energy_j, 4.0);
+  const InferenceCost one_gpu = model.system_batched(members, 1);
+  EXPECT_DOUBLE_EQ(one_gpu.latency_s, 39.0);
+  EXPECT_THROW(model.system_batched(members, 0), std::invalid_argument);
+}
+
+TEST(CostModelTest, StagedWeightsPrefixCosts) {
+  HardwareModel hw;
+  hw.preprocess_fraction = 0.0;
+  hw.decision_latency_s = 0.0;
+  hw.decision_energy_j = 0.0;
+  CostModel model(hw);
+  const std::vector<InferenceCost> members = {
+      {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  // Half the samples stop after 2 members, half need all 4.
+  const std::vector<std::int64_t> histogram = {0, 50, 0, 50};
+  const InferenceCost expected = model.system_staged(members, histogram);
+  EXPECT_DOUBLE_EQ(expected.latency_s, 0.5 * 2.0 + 0.5 * 4.0);
+  EXPECT_DOUBLE_EQ(expected.energy_j, 3.0);
+}
+
+TEST(CostModelTest, StagedRejectsBadHistogram) {
+  CostModel model;
+  const std::vector<InferenceCost> members = {{1.0, 1.0}};
+  EXPECT_THROW(model.system_staged(members, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(model.system_staged(members, {0}), std::invalid_argument);
+}
+
+TEST(CostModelTest, StagedNeverExceedsSequential) {
+  CostModel model;
+  const std::vector<InferenceCost> members = {
+      {3.0, 5.0}, {3.0, 5.0}, {3.0, 5.0}};
+  const std::vector<std::int64_t> histogram = {10, 5, 2};
+  const InferenceCost staged = model.system_staged(members, histogram);
+  const InferenceCost full = model.system_sequential(members);
+  EXPECT_LE(staged.latency_s, full.latency_s);
+  EXPECT_LE(staged.energy_j, full.energy_j);
+}
+
+}  // namespace
+}  // namespace pgmr::perf

@@ -1,0 +1,98 @@
+// Delta-profile and greedy-builder tests. Uses the shared repo cache so
+// trained lenet5 variants are reused across runs (training is deterministic
+// either way).
+#include "polygraph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace pgmr::polygraph {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifdef PGMR_TEST_CACHE_DIR
+    ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, 1);
+#endif
+  }
+};
+
+TEST(DeltaProfileTest, SplitsByBaselineCorrectness) {
+  // baseline: right on sample 0 (conf .9), wrong on sample 1 (conf .8).
+  const Tensor baseline(Shape{2, 2}, {0.9F, 0.1F, 0.2F, 0.8F});
+  const Tensor candidate(Shape{2, 2}, {0.7F, 0.3F, 0.4F, 0.6F});
+  const DeltaProfile p =
+      confidence_deltas("cand", baseline, candidate, {0, 0});
+  ASSERT_EQ(p.correct_deltas.size(), 1U);
+  ASSERT_EQ(p.wrong_deltas.size(), 1U);
+  EXPECT_NEAR(p.correct_deltas[0], -0.2F, 1e-6F);
+  EXPECT_NEAR(p.wrong_deltas[0], -0.2F, 1e-6F);
+}
+
+TEST(DeltaProfileTest, ScoreRewardsHesitationOnWrongOnly) {
+  DeltaProfile good;
+  good.wrong_deltas = {-0.3F, -0.2F};   // hesitates where baseline errs
+  good.correct_deltas = {0.1F, 0.0F};   // keeps confidence when right
+  DeltaProfile bad;
+  bad.wrong_deltas = {0.1F, 0.2F};
+  bad.correct_deltas = {-0.3F, -0.2F};  // loses confidence when right
+  EXPECT_GT(good.score(), bad.score());
+  EXPECT_DOUBLE_EQ(good.score(), 1.0);
+  EXPECT_DOUBLE_EQ(bad.score(), -1.0);
+}
+
+TEST(DeltaProfileTest, NegativeFractionEdgeCases) {
+  EXPECT_DOUBLE_EQ(DeltaProfile::negative_fraction({}), 0.0);
+  EXPECT_DOUBLE_EQ(DeltaProfile::negative_fraction({-1.0F, 1.0F}), 0.5);
+}
+
+TEST(DeltaProfileTest, RejectsMismatchedInputs) {
+  const Tensor a(Shape{2, 2});
+  const Tensor b(Shape{3, 2});
+  EXPECT_THROW(confidence_deltas("x", a, b, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(confidence_deltas("x", a, a, {0}), std::invalid_argument);
+}
+
+TEST_F(BuilderTest, RankPreprocessorsCoversPoolAndSorts) {
+  const zoo::Benchmark& bm = zoo::find_benchmark("lenet5");
+  const std::vector<std::string> pool = {"FlipX", "Gamma(2.00)"};
+  const auto profiles = rank_preprocessors(bm, pool);
+  ASSERT_EQ(profiles.size(), 2U);
+  EXPECT_GE(profiles[0].score(), profiles[1].score());
+  for (const auto& p : profiles) {
+    EXPECT_FALSE(p.wrong_deltas.empty());
+    EXPECT_FALSE(p.correct_deltas.empty());
+  }
+}
+
+TEST_F(BuilderTest, GreedyBuildSelectsOrgFirstAndImprovesFp) {
+  const zoo::Benchmark& bm = zoo::find_benchmark("lenet5");
+  const GreedyResult r =
+      greedy_build(bm, {"FlipX", "ConNorm", "Gamma(2.00)"}, 3);
+  ASSERT_EQ(r.selected.size(), 3U);
+  EXPECT_EQ(r.selected[0], "ORG");
+  // FP trajectory is monotone non-increasing: greedy only adds a member
+  // when it helps (the Pareto-selected FP can only improve or stay).
+  for (std::size_t i = 1; i < r.fp_trajectory.size(); ++i) {
+    EXPECT_LE(r.fp_trajectory[i], r.fp_trajectory[i - 1] + 1e-9);
+  }
+  // Validation TP stays at (or above) the baseline accuracy floor.
+  EXPECT_GE(r.operating_point.tp_rate, r.baseline_accuracy - 1e-9);
+  EXPECT_GT(r.baseline_accuracy, 0.9);  // lenet5 tier
+}
+
+TEST_F(BuilderTest, GreedyBuildRejectsDegenerateRequests) {
+  const zoo::Benchmark& bm = zoo::find_benchmark("lenet5");
+  EXPECT_THROW(greedy_build(bm, {"FlipX"}, 1), std::invalid_argument);
+}
+
+TEST_F(BuilderTest, GreedyStopsWhenPoolExhausted) {
+  const zoo::Benchmark& bm = zoo::find_benchmark("lenet5");
+  const GreedyResult r = greedy_build(bm, {"FlipX"}, 5);
+  EXPECT_EQ(r.selected.size(), 2U);  // ORG + the only candidate
+}
+
+}  // namespace
+}  // namespace pgmr::polygraph

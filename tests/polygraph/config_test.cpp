@@ -1,0 +1,95 @@
+// SystemConfig text serialization tests.
+#include "polygraph/config.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace pgmr::polygraph {
+namespace {
+
+std::string temp(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+SystemConfig sample_config() {
+  SystemConfig c;
+  c.benchmark = "convnet";
+  c.members = {"ORG", "AdHist", "FlipX"};
+  c.thresholds = {0.55F, 2};
+  c.bits = 14;
+  c.staged = true;
+  return c;
+}
+
+TEST(ConfigTest, RoundTripPreservesEveryField) {
+  const std::string path = temp("pgmr_config_roundtrip.cfg");
+  save_config(sample_config(), path);
+  const SystemConfig back = load_config(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(back.benchmark, "convnet");
+  EXPECT_EQ(back.members,
+            (std::vector<std::string>{"ORG", "AdHist", "FlipX"}));
+  EXPECT_FLOAT_EQ(back.thresholds.conf, 0.55F);
+  EXPECT_EQ(back.thresholds.freq, 2);
+  EXPECT_EQ(back.bits, 14);
+  EXPECT_TRUE(back.staged);
+}
+
+TEST(ConfigTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = temp("pgmr_config_comments.cfg");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\nbenchmark = lenet5\n"
+        << "members = ORG, FlipY\n\n# trailing comment\n";
+  }
+  const SystemConfig c = load_config(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(c.benchmark, "lenet5");
+  EXPECT_EQ(c.members.size(), 2U);
+  EXPECT_EQ(c.thresholds.freq, 1);  // default
+  EXPECT_FALSE(c.staged);
+}
+
+TEST(ConfigTest, RejectsMalformedInput) {
+  const std::string path = temp("pgmr_config_bad.cfg");
+  auto write_and_expect_throw = [&](const char* contents) {
+    std::ofstream(path) << contents;
+    EXPECT_THROW(load_config(path), std::runtime_error) << contents;
+  };
+  write_and_expect_throw("benchmark = convnet\n");  // no members
+  write_and_expect_throw("members = ORG\n");        // no benchmark
+  write_and_expect_throw("benchmark = x\nmembers = ORG\nbogus = 1\n");
+  write_and_expect_throw("benchmark x\nmembers = ORG\n");  // missing '='
+  write_and_expect_throw(
+      "benchmark = x\nmembers = ORG\nfreq = 5\n");  // freq > members
+  write_and_expect_throw("benchmark = x\nmembers = ORG\nbits = 4\n");
+  std::filesystem::remove(path);
+}
+
+TEST(ConfigTest, MissingFileThrows) {
+  EXPECT_THROW(load_config(temp("pgmr_config_missing.cfg")),
+               std::runtime_error);
+}
+
+#ifdef PGMR_TEST_CACHE_DIR
+TEST(ConfigTest, MakeSystemBuildsRunnableSystem) {
+  ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, 1);
+  SystemConfig c;
+  c.benchmark = "lenet5";
+  c.members = {"ORG", "FlipX"};
+  c.thresholds = {0.5F, 2};
+  PolygraphSystem system = make_system(c);
+  EXPECT_EQ(system.ensemble().size(), 2U);
+  EXPECT_EQ(system.thresholds().freq, 2);
+  EXPECT_FALSE(system.staged());
+
+  c.staged = true;
+  PolygraphSystem staged_system = make_system(c);
+  EXPECT_TRUE(staged_system.staged());
+}
+#endif
+
+}  // namespace
+}  // namespace pgmr::polygraph

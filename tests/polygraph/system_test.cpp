@@ -1,0 +1,152 @@
+// PolygraphSystem tests with small hand-built ensembles.
+#include "polygraph/system.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "tensor/random.h"
+
+namespace pgmr::polygraph {
+namespace {
+
+nn::Network tiny_net(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  auto conv = std::make_unique<nn::Conv2D>(1, 4, 3, 1, 1);
+  conv->init(rng);
+  layers.push_back(std::move(conv));
+  layers.push_back(std::make_unique<nn::ReLU>());
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(4 * 8 * 8, 3);
+  fc->init(rng);
+  layers.push_back(std::move(fc));
+  return nn::Network("tiny", std::move(layers));
+}
+
+mr::Ensemble tiny_ensemble(int members) {
+  mr::Ensemble e;
+  for (int m = 0; m < members; ++m) {
+    e.add(mr::Member(std::make_unique<prep::Identity>(),
+                     tiny_net(static_cast<std::uint64_t>(m) + 1)));
+  }
+  return e;
+}
+
+Tensor random_images(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x(Shape{n, 1, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0F, 1.0F);
+  return x;
+}
+
+std::vector<std::int64_t> random_labels(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (auto& l : labels) l = rng.randint(0, 2);
+  return labels;
+}
+
+TEST(PolygraphSystemTest, RejectsEmptyEnsemble) {
+  EXPECT_THROW(PolygraphSystem(mr::Ensemble{}), std::invalid_argument);
+}
+
+TEST(PolygraphSystemTest, DefaultThresholdsArePermissive) {
+  PolygraphSystem sys(tiny_ensemble(3));
+  EXPECT_FLOAT_EQ(sys.thresholds().conf, 0.0F);
+  EXPECT_EQ(sys.thresholds().freq, 1);
+  EXPECT_FALSE(sys.staged());
+}
+
+TEST(PolygraphSystemTest, ProfileInstallsSweptThresholds) {
+  PolygraphSystem sys(tiny_ensemble(3));
+  const Tensor val = random_images(60, 5);
+  const auto labels = random_labels(60, 6);
+  const mr::SweepPoint chosen = sys.profile(val, labels, 0.0);
+  EXPECT_EQ(sys.thresholds().freq, chosen.thresholds.freq);
+  EXPECT_FLOAT_EQ(sys.thresholds().conf, chosen.thresholds.conf);
+  // With tp_floor 0 the selector minimizes FP outright.
+  EXPECT_LE(chosen.fp_rate, 1.0);
+}
+
+TEST(PolygraphSystemTest, PredictAgreesWithEvaluateTaxonomy) {
+  PolygraphSystem sys(tiny_ensemble(3));
+  sys.set_thresholds({0.4F, 2});
+  const Tensor images = random_images(30, 7);
+  const auto labels = random_labels(30, 8);
+
+  const mr::Outcome outcome = sys.evaluate(images, labels);
+  std::int64_t tp = 0, fp = 0, unreliable = 0;
+  for (std::int64_t n = 0; n < 30; ++n) {
+    const Verdict v = sys.predict(images.slice_sample(n));
+    EXPECT_EQ(v.activated, 3);
+    if (!v.reliable) {
+      ++unreliable;
+    } else if (v.label == labels[static_cast<std::size_t>(n)]) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+  }
+  EXPECT_EQ(tp, outcome.tp);
+  EXPECT_EQ(fp, outcome.fp);
+  EXPECT_EQ(unreliable, outcome.unreliable);
+}
+
+TEST(PolygraphSystemTest, PredictRequiresSingleSample) {
+  PolygraphSystem sys(tiny_ensemble(2));
+  EXPECT_THROW(sys.predict(random_images(2, 9)), std::invalid_argument);
+}
+
+TEST(PolygraphSystemTest, StagedModeLifecycle) {
+  PolygraphSystem sys(tiny_ensemble(4));
+  EXPECT_THROW(sys.priority(), std::logic_error);
+  EXPECT_THROW(sys.evaluate_staged(random_images(5, 1), random_labels(5, 2)),
+               std::logic_error);
+
+  const Tensor val = random_images(40, 10);
+  const auto labels = random_labels(40, 11);
+  sys.enable_staged(val, labels);
+  EXPECT_TRUE(sys.staged());
+  EXPECT_EQ(sys.priority().size(), 4U);
+
+  sys.set_thresholds({0.0F, 2});
+  const mr::StagedOutcome so = sys.evaluate_staged(val, labels);
+  EXPECT_EQ(so.outcome.total, 40);
+  EXPECT_GE(so.mean_activated(), 2.0);
+  EXPECT_LE(so.mean_activated(), 4.0);
+
+  sys.disable_staged();
+  EXPECT_FALSE(sys.staged());
+}
+
+TEST(PolygraphSystemTest, StagedPredictReportsActivationCount) {
+  PolygraphSystem sys(tiny_ensemble(4));
+  const Tensor val = random_images(40, 12);
+  const auto labels = random_labels(40, 13);
+  sys.enable_staged(val, labels);
+  sys.set_thresholds({0.0F, 2});
+  const Verdict v = sys.predict(random_images(1, 14));
+  EXPECT_GE(v.activated, 2);
+  EXPECT_LE(v.activated, 4);
+}
+
+TEST(PolygraphSystemTest, StagedVerdictsMatchFullEngineAtFullActivation) {
+  // With Thr_Freq == ensemble size, staged activation always runs every
+  // member, so staged and full evaluation must agree exactly.
+  PolygraphSystem sys(tiny_ensemble(3));
+  const Tensor val = random_images(50, 15);
+  const auto labels = random_labels(50, 16);
+  sys.enable_staged(val, labels);
+  sys.set_thresholds({0.0F, 3});
+  const mr::StagedOutcome staged = sys.evaluate_staged(val, labels);
+  const mr::Outcome full = sys.evaluate(val, labels);
+  EXPECT_EQ(staged.outcome.tp, full.tp);
+  EXPECT_EQ(staged.outcome.fp, full.fp);
+  EXPECT_EQ(staged.outcome.unreliable, full.unreliable);
+}
+
+}  // namespace
+}  // namespace pgmr::polygraph

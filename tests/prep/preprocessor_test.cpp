@@ -1,0 +1,253 @@
+// Preprocessor pool tests (paper Table I + Scale).
+#include "prep/preprocessor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/random.h"
+
+namespace pgmr::prep {
+namespace {
+
+Tensor random_batch(std::int64_t n, std::int64_t c, std::int64_t hw,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{n, c, hw, hw});
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(0.0F, 1.0F);
+  return t;
+}
+
+// --- Properties that must hold for EVERY preprocessor in the pool. ---
+
+class PoolPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PoolPropertyTest, PreservesShape) {
+  const auto prep = make_preprocessor(GetParam());
+  const Tensor in = random_batch(3, 3, 16, 1);
+  const Tensor out = prep->apply(in);
+  EXPECT_EQ(out.shape(), in.shape());
+}
+
+TEST_P(PoolPropertyTest, StaysInUnitRange) {
+  const auto prep = make_preprocessor(GetParam());
+  const Tensor out = prep->apply(random_batch(2, 3, 16, 2));
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_GE(out[i], -1e-5F);
+    EXPECT_LE(out[i], 1.0F + 1e-5F);
+  }
+}
+
+TEST_P(PoolPropertyTest, DeterministicTransform) {
+  const auto prep = make_preprocessor(GetParam());
+  const Tensor in = random_batch(2, 3, 16, 3);
+  EXPECT_TRUE(allclose(prep->apply(in), prep->apply(in), 0.0F));
+}
+
+TEST_P(PoolPropertyTest, NameRoundTripsThroughFactory) {
+  const auto prep = make_preprocessor(GetParam());
+  EXPECT_EQ(prep->name(), GetParam());
+  // Names printed by instances must be re-parseable.
+  const auto again = make_preprocessor(prep->name());
+  const Tensor in = random_batch(1, 3, 16, 4);
+  EXPECT_TRUE(allclose(prep->apply(in), again->apply(in), 0.0F));
+}
+
+TEST_P(PoolPropertyTest, PerImageIndependence) {
+  // Transforming a batch equals transforming each image separately.
+  const auto prep = make_preprocessor(GetParam());
+  const Tensor batch = random_batch(3, 3, 16, 5);
+  const Tensor whole = prep->apply(batch);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    const Tensor single = prep->apply(batch.slice_sample(i));
+    EXPECT_TRUE(allclose(single, whole.slice_sample(i), 1e-6F))
+        << GetParam() << " sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StandardPool, PoolPropertyTest,
+                         ::testing::ValuesIn(standard_pool()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// --- Transform-specific semantics. ---
+
+TEST(FlipTest, FlipXMirrorsColumns) {
+  Tensor in(Shape{1, 1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor out = FlipX().apply(in);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 3.0F);
+  EXPECT_EQ(out.at(0, 0, 0, 2), 1.0F);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 5.0F);
+}
+
+TEST(FlipTest, FlipYMirrorsRows) {
+  Tensor in(Shape{1, 1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor out = FlipY().apply(in);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 4.0F);
+  EXPECT_EQ(out.at(0, 0, 1, 2), 3.0F);
+}
+
+TEST(FlipTest, FlipsAreInvolutions) {
+  const Tensor in = random_batch(2, 3, 16, 6);
+  EXPECT_TRUE(allclose(FlipX().apply(FlipX().apply(in)), in, 0.0F));
+  EXPECT_TRUE(allclose(FlipY().apply(FlipY().apply(in)), in, 0.0F));
+}
+
+TEST(GammaTest, DarkensForGammaAboveOne) {
+  Tensor in(Shape{1, 1, 2, 2});
+  in.fill(0.5F);
+  const Tensor dark = Gamma(2.0F).apply(in);
+  const Tensor bright = Gamma(0.5F).apply(in);
+  EXPECT_NEAR(dark[0], 0.25F, 1e-5F);
+  EXPECT_NEAR(bright[0], std::sqrt(0.5F), 1e-5F);
+}
+
+TEST(GammaTest, PreservesExtremesAndOrder) {
+  Tensor in(Shape{1, 1, 1, 3}, {0.0F, 0.4F, 1.0F});
+  const Tensor out = Gamma(2.0F).apply(in);
+  EXPECT_EQ(out[0], 0.0F);
+  EXPECT_NEAR(out[2], 1.0F, 1e-5F);
+  EXPECT_LT(out[1], 0.4F);  // gamma > 1 darkens midtones
+}
+
+TEST(GammaTest, RejectsNonPositiveGamma) {
+  EXPECT_THROW(Gamma(0.0F), std::invalid_argument);
+  EXPECT_THROW(Gamma(-1.0F), std::invalid_argument);
+}
+
+TEST(HistTest, EqualizationSpreadsCompressedRange) {
+  // A low-contrast image (all mass in [0.4, 0.6]) must span a wider range
+  // after global equalization.
+  Rng rng(7);
+  Tensor in(Shape{1, 1, 16, 16});
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    in[i] = rng.uniform(0.4F, 0.6F);
+  }
+  const Tensor out = Hist().apply(in);
+  float lo = 1.0F, hi = 0.0F;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    lo = std::min(lo, out[i]);
+    hi = std::max(hi, out[i]);
+  }
+  EXPECT_GT(hi - lo, 0.5F);
+}
+
+TEST(AdHistTest, EnhancesLocalContrastPerTile) {
+  // Left half dark & flat, right half bright & flat; local equalization
+  // must amplify the tiny within-half variation.
+  Rng rng(8);
+  Tensor in(Shape{1, 1, 16, 16});
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      const float base = x < 8 ? 0.2F : 0.8F;
+      in.at(0, 0, y, x) = base + rng.uniform(0.0F, 0.05F);
+    }
+  }
+  const Tensor out = AdHist().apply(in);
+  // Within-left-half spread must grow by at least 2x (the clip limit caps
+  // how far CLAHE-style equalization can stretch a near-flat histogram).
+  float lo = 1.0F, hi = 0.0F;
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 6; ++x) {
+      lo = std::min(lo, out.at(0, 0, y, x));
+      hi = std::max(hi, out.at(0, 0, y, x));
+    }
+  }
+  EXPECT_GT(hi - lo, 0.1F);  // input spread was <= 0.05
+}
+
+TEST(AdHistTest, RejectsBadConfig) {
+  EXPECT_THROW(AdHist(0, 2.0F), std::invalid_argument);
+  EXPECT_THROW(AdHist(2, 0.5F), std::invalid_argument);
+}
+
+TEST(ConNormTest, FlattensGlobalGradient) {
+  // A strong global ramp has high variance; after local contrast
+  // normalization the output concentrates around 0.5.
+  Tensor in(Shape{1, 1, 16, 16});
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      in.at(0, 0, y, x) = static_cast<float>(x) / 15.0F;
+    }
+  }
+  const Tensor out = ConNorm().apply(in);
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) mean += out[i];
+  mean /= static_cast<double>(out.numel());
+  EXPECT_NEAR(mean, 0.5, 0.1);
+}
+
+TEST(ConNormTest, RejectsEvenWindow) {
+  EXPECT_THROW(ConNorm(4), std::invalid_argument);
+  EXPECT_THROW(ConNorm(1), std::invalid_argument);
+}
+
+TEST(ImAdjTest, StretchesToFullRange) {
+  Rng rng(9);
+  Tensor in(Shape{1, 1, 16, 16});
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    in[i] = rng.uniform(0.3F, 0.5F);
+  }
+  const Tensor out = ImAdj().apply(in);
+  float lo = 1.0F, hi = 0.0F;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    lo = std::min(lo, out[i]);
+    hi = std::max(hi, out[i]);
+  }
+  EXPECT_LT(lo, 0.05F);
+  EXPECT_GT(hi, 0.95F);
+}
+
+TEST(ScaleTest, SoftensHighFrequencyContent) {
+  // A checkerboard loses amplitude after down/up scaling; a constant image
+  // is (approximately) unchanged.
+  Tensor checker(Shape{1, 1, 16, 16});
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      checker.at(0, 0, y, x) = ((x + y) % 2 == 0) ? 1.0F : 0.0F;
+    }
+  }
+  const Tensor soft = Scale(0.8F).apply(checker);
+  double amplitude = 0.0;
+  for (std::int64_t i = 0; i < soft.numel(); ++i) {
+    amplitude += std::fabs(soft[i] - 0.5F);
+  }
+  amplitude /= static_cast<double>(soft.numel());
+  EXPECT_LT(amplitude, 0.45);  // original amplitude is 0.5
+
+  Tensor flat(Shape{1, 1, 16, 16});
+  flat.fill(0.7F);
+  EXPECT_TRUE(allclose(Scale(0.8F).apply(flat), flat, 1e-4F));
+}
+
+TEST(ScaleTest, RejectsBadFactor) {
+  EXPECT_THROW(Scale(0.0F), std::invalid_argument);
+  EXPECT_THROW(Scale(1.0F), std::invalid_argument);
+  EXPECT_THROW(Scale(1.5F), std::invalid_argument);
+}
+
+TEST(FactoryTest, ParsesParameterizedSpecs) {
+  EXPECT_EQ(make_preprocessor("Gamma(1.50)")->name(), "Gamma(1.50)");
+  EXPECT_EQ(make_preprocessor("Scale(0.80)")->name(), "Scale(0.80)");
+  EXPECT_EQ(make_preprocessor("ORG")->name(), "ORG");
+}
+
+TEST(FactoryTest, RejectsUnknownSpec) {
+  EXPECT_THROW(make_preprocessor("Sharpen"), std::invalid_argument);
+  EXPECT_THROW(make_preprocessor(""), std::invalid_argument);
+}
+
+TEST(IdentityTest, IsExactPassthrough) {
+  const Tensor in = random_batch(2, 1, 16, 10);
+  EXPECT_TRUE(allclose(Identity().apply(in), in, 0.0F));
+}
+
+}  // namespace
+}  // namespace pgmr::prep

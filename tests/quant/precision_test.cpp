@@ -1,0 +1,111 @@
+// Float truncation (RAMR) property tests.
+#include "quant/precision.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/random.h"
+
+namespace pgmr::quant {
+namespace {
+
+TEST(PrecisionTest, FullWidthIsIdentity) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const float v = rng.uniform(-100.0F, 100.0F);
+    EXPECT_EQ(truncate_value(v, 32), v);
+    EXPECT_EQ(truncate_value(v, 40), v);
+  }
+}
+
+TEST(PrecisionTest, TruncationIsIdempotent) {
+  Rng rng(2);
+  for (int bits : {10, 14, 17, 20, 25}) {
+    for (int i = 0; i < 50; ++i) {
+      const float v = rng.uniform(-10.0F, 10.0F);
+      const float once = truncate_value(v, bits);
+      EXPECT_EQ(truncate_value(once, bits), once) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(PrecisionTest, ErrorShrinksWithMoreBits) {
+  Rng rng(3);
+  double err_low = 0.0, err_high = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(0.5F, 2.0F);
+    err_low += std::fabs(v - truncate_value(v, 12));
+    err_high += std::fabs(v - truncate_value(v, 20));
+  }
+  EXPECT_GT(err_low, 10.0 * err_high);
+}
+
+TEST(PrecisionTest, RelativeErrorBoundedByMantissa) {
+  // Keeping m mantissa bits bounds relative error by 2^-m.
+  Rng rng(4);
+  for (int bits : {13, 17, 21}) {
+    const int mantissa = bits - 9;
+    const double bound = std::ldexp(1.0, -mantissa);
+    for (int i = 0; i < 200; ++i) {
+      const float v = rng.uniform(-50.0F, 50.0F);
+      const float t = truncate_value(v, bits);
+      EXPECT_LE(std::fabs(v - t), bound * std::fabs(v) + 1e-30)
+          << "bits=" << bits << " v=" << v;
+    }
+  }
+}
+
+TEST(PrecisionTest, SignAndZeroPreserved) {
+  EXPECT_EQ(truncate_value(0.0F, 10), 0.0F);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const float v = rng.uniform(-10.0F, 10.0F);
+    const float t = truncate_value(v, 10);
+    EXPECT_EQ(std::signbit(t), std::signbit(v));
+  }
+}
+
+TEST(PrecisionTest, TruncationRoundsTowardZeroInMagnitude) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const float v = rng.uniform(-10.0F, 10.0F);
+    const float t = truncate_value(v, 14);
+    EXPECT_LE(std::fabs(t), std::fabs(v));
+  }
+}
+
+TEST(PrecisionTest, MinimumWidthClampsBelow) {
+  // bits below kMinBits behave like kMinBits (zero mantissa kept): the
+  // result is always a power of two (or zero) with the original sign.
+  const float t = truncate_value(3.7F, 5);
+  EXPECT_EQ(t, 2.0F);  // 3.7 -> exponent-only representation
+  EXPECT_EQ(truncate_value(3.7F, kMinBits), 2.0F);
+}
+
+TEST(PrecisionTest, PowersOfTwoAreExactAtAnyWidth) {
+  for (int bits = kMinBits; bits <= 32; ++bits) {
+    EXPECT_EQ(truncate_value(0.25F, bits), 0.25F);
+    EXPECT_EQ(truncate_value(-8.0F, bits), -8.0F);
+  }
+}
+
+TEST(PrecisionTest, TensorTruncationAppliesElementwise) {
+  Tensor t(Shape{4}, {1.1F, -2.3F, 0.0F, 8.0F});
+  Tensor expected = t;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    expected[i] = truncate_value(expected[i], 14);
+  }
+  truncate_tensor(t, 14);
+  EXPECT_TRUE(allclose(t, expected, 0.0F));
+}
+
+TEST(PrecisionTest, TensorFullWidthIsNoOp) {
+  Tensor t(Shape{3}, {1.234567F, -9.87654F, 3.14159F});
+  const Tensor before = t;
+  truncate_tensor(t, 32);
+  EXPECT_TRUE(allclose(t, before, 0.0F));
+}
+
+}  // namespace
+}  // namespace pgmr::quant

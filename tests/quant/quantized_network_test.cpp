@@ -1,0 +1,104 @@
+// QuantizedNetwork behaviour: agreement at full precision, graceful
+// degradation at reduced precision.
+#include "quant/quantized_network.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "tensor/random.h"
+
+namespace pgmr::quant {
+namespace {
+
+nn::Network make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  auto conv = std::make_unique<nn::Conv2D>(1, 4, 3, 1, 1);
+  conv->init(rng);
+  layers.push_back(std::move(conv));
+  layers.push_back(std::make_unique<nn::ReLU>());
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(4 * 6 * 6, 4);
+  fc->init(rng);
+  layers.push_back(std::move(fc));
+  return nn::Network("qnet", std::move(layers));
+}
+
+Tensor random_input(std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x(Shape{5, 1, 6, 6});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0F, 1.0F);
+  return x;
+}
+
+TEST(QuantizedNetworkTest, FullPrecisionMatchesOriginal) {
+  nn::Network reference = make_net(1);
+  QuantizedNetwork q(make_net(1), 32);
+  const Tensor x = random_input(2);
+  EXPECT_TRUE(allclose(reference.forward(x), q.forward(x), 0.0F));
+}
+
+TEST(QuantizedNetworkTest, ModeratePrecisionStaysClose) {
+  nn::Network reference = make_net(3);
+  QuantizedNetwork q(make_net(3), 20);
+  const Tensor x = random_input(4);
+  const Tensor full = reference.forward(x);
+  const Tensor reduced = q.forward(x);
+  for (std::int64_t i = 0; i < full.numel(); ++i) {
+    EXPECT_NEAR(full[i], reduced[i], 0.05F) << "logit " << i;
+  }
+}
+
+TEST(QuantizedNetworkTest, ErrorGrowsMonotonicallyAsBitsDrop) {
+  nn::Network reference = make_net(5);
+  const Tensor x = random_input(6);
+  const Tensor full = reference.forward(x);
+
+  double prev_err = 0.0;
+  for (int bits : {24, 18, 14, 11}) {
+    QuantizedNetwork q(make_net(5), bits);
+    const Tensor out = q.forward(x);
+    double err = 0.0;
+    for (std::int64_t i = 0; i < full.numel(); ++i) {
+      err += std::abs(full[i] - out[i]);
+    }
+    EXPECT_GE(err, prev_err * 0.5) << bits;  // roughly monotone
+    prev_err = err;
+  }
+  EXPECT_GT(prev_err, 0.0);
+}
+
+TEST(QuantizedNetworkTest, ProbabilitiesRemainNormalized) {
+  QuantizedNetwork q(make_net(7), 12);
+  const Tensor probs = q.probabilities(random_input(8));
+  for (std::int64_t n = 0; n < probs.shape()[0]; ++n) {
+    float row = 0.0F;
+    for (std::int64_t c = 0; c < probs.shape()[1]; ++c) {
+      row += probs.at(n, c);
+    }
+    EXPECT_NEAR(row, 1.0F, 1e-4F);
+  }
+}
+
+TEST(QuantizedNetworkTest, WeightsTruncatedAtConstruction) {
+  QuantizedNetwork q(make_net(9), 14);
+  for (const auto& layer : q.network().layers()) {
+    for (Tensor* p : const_cast<nn::Layer&>(*layer).params()) {
+      for (std::int64_t i = 0; i < p->numel(); ++i) {
+        EXPECT_EQ((*p)[i], truncate_value((*p)[i], 14));
+      }
+    }
+  }
+}
+
+TEST(QuantizedNetworkTest, ExposesNameAndBits) {
+  QuantizedNetwork q(make_net(10), 17);
+  EXPECT_EQ(q.name(), "qnet");
+  EXPECT_EQ(q.bits(), 17);
+}
+
+}  // namespace
+}  // namespace pgmr::quant

@@ -1,0 +1,98 @@
+// Unit tests for the deterministic Rng.
+#include "tensor/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace pgmr {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0.0F, 1.0F), b.uniform(0.0F, 1.0F));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0F, 1.0F) == b.uniform(0.0F, 1.0F)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0F, 3.0F);
+    EXPECT_GE(v, -2.0F);
+    EXPECT_LT(v, 3.0F);
+  }
+}
+
+TEST(RngTest, RandintInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.randint(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0F, 2.0F);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  const std::vector<int> original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to match
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(5);
+  Rng fork_a = a.fork();
+  Rng b(5);
+  Rng fork_b = b.fork();
+  // Forks of identically-seeded parents agree with each other...
+  EXPECT_EQ(fork_a.uniform(0.0F, 1.0F), fork_b.uniform(0.0F, 1.0F));
+  // ...and advance the parent identically.
+  EXPECT_EQ(a.uniform(0.0F, 1.0F), b.uniform(0.0F, 1.0F));
+}
+
+}  // namespace
+}  // namespace pgmr

@@ -1,0 +1,117 @@
+// Unit tests for the binary archive format.
+#include "tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace pgmr {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("pgmr_serialize_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".bin"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SerializeTest, RoundTripScalars) {
+  {
+    BinaryWriter w(path_);
+    w.write_u32(42);
+    w.write_i64(-7);
+    w.write_f32(1.5F);
+    w.write_f64(2.25);
+    w.close();
+  }
+  BinaryReader r(path_);
+  EXPECT_EQ(r.read_u32(), 42U);
+  EXPECT_EQ(r.read_i64(), -7);
+  EXPECT_EQ(r.read_f32(), 1.5F);
+  EXPECT_EQ(r.read_f64(), 2.25);
+}
+
+TEST_F(SerializeTest, RoundTripString) {
+  {
+    BinaryWriter w(path_);
+    w.write_string("Gamma(2.00)");
+    w.write_string("");
+    w.close();
+  }
+  BinaryReader r(path_);
+  EXPECT_EQ(r.read_string(), "Gamma(2.00)");
+  EXPECT_EQ(r.read_string(), "");
+}
+
+TEST_F(SerializeTest, RoundTripTensor) {
+  Tensor t(Shape{2, 3, 4, 5});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(i) * 0.5F;
+  }
+  {
+    BinaryWriter w(path_);
+    w.write_tensor(t);
+    w.close();
+  }
+  BinaryReader r(path_);
+  const Tensor back = r.read_tensor();
+  EXPECT_TRUE(allclose(t, back, 0.0F));
+}
+
+TEST_F(SerializeTest, RoundTripEmptyFloatVector) {
+  {
+    BinaryWriter w(path_);
+    w.write_floats({});
+    w.close();
+  }
+  BinaryReader r(path_);
+  EXPECT_TRUE(r.read_floats().empty());
+}
+
+TEST_F(SerializeTest, TruncatedArchiveThrows) {
+  {
+    BinaryWriter w(path_);
+    w.write_u32(1);
+    w.close();
+  }
+  BinaryReader r(path_);
+  EXPECT_EQ(r.read_u32(), 1U);
+  EXPECT_THROW(r.read_i64(), std::runtime_error);
+}
+
+TEST_F(SerializeTest, BadMagicRejected) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    const std::uint32_t garbage[2] = {0xDEADBEEF, 1};
+    out.write(reinterpret_cast<const char*>(garbage), sizeof(garbage));
+  }
+  EXPECT_THROW(BinaryReader r(path_), std::runtime_error);
+  EXPECT_FALSE(archive_exists(path_));
+}
+
+TEST_F(SerializeTest, ArchiveExists) {
+  EXPECT_FALSE(archive_exists(path_ + ".missing"));
+  {
+    BinaryWriter w(path_);
+    w.close();
+  }
+  EXPECT_TRUE(archive_exists(path_));
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(BinaryReader r(path_ + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pgmr

@@ -1,0 +1,142 @@
+// Unit tests for Shape and Tensor.
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pgmr {
+namespace {
+
+TEST(ShapeTest, RankAndNumel) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4U);
+  EXPECT_EQ(s.numel(), 120);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[3], 5);
+}
+
+TEST(ShapeTest, DefaultIsRankZero) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0U);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, RejectsNonPositiveDimension) {
+  EXPECT_THROW(Shape({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Shape({-1}), std::invalid_argument);
+}
+
+TEST(ShapeTest, RejectsExcessRank) {
+  EXPECT_THROW(Shape({1, 1, 1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(ShapeTest, DimOutOfRangeThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  const Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(TensorTest, ConstructFromValues) {
+  const Tensor t(Shape{2, 2}, {1.0F, 2.0F, 3.0F, 4.0F});
+  EXPECT_EQ(t.at(0, 1), 2.0F);
+  EXPECT_EQ(t.at(1, 0), 3.0F);
+}
+
+TEST(TensorTest, ValueCountMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0F}), std::invalid_argument);
+}
+
+TEST(TensorTest, Rank4Indexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0F;
+  // Flat NCHW index: ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_EQ(t[119], 7.0F);
+}
+
+TEST(TensorTest, WrongRankAccessThrows) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.at(0, 0, 0, 0), std::invalid_argument);
+}
+
+TEST(TensorTest, Reshape) {
+  const Tensor t(Shape{2, 6}, std::vector<float>(12, 1.0F));
+  const Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  EXPECT_THROW(t.reshaped(Shape{5, 5}), std::invalid_argument);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a(Shape{3}, {1.0F, 2.0F, 3.0F});
+  const Tensor b(Shape{3}, {1.0F, 1.0F, 1.0F});
+  a += b;
+  EXPECT_EQ(a[2], 4.0F);
+  a -= b;
+  EXPECT_EQ(a[2], 3.0F);
+  a *= 2.0F;
+  EXPECT_EQ(a[0], 2.0F);
+}
+
+TEST(TensorTest, ElementwiseShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  const Tensor b(Shape{4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(TensorTest, SumAndArgmax) {
+  const Tensor t(Shape{2, 2}, {0.1F, 0.9F, 0.5F, 0.2F});
+  EXPECT_NEAR(t.sum(), 1.7F, 1e-6F);
+  EXPECT_EQ(t.argmax(), 1);
+  EXPECT_EQ(t.argmax_row(0), 1);
+  EXPECT_EQ(t.argmax_row(1), 0);
+  EXPECT_EQ(t.max_row(1), 0.5F);
+}
+
+TEST(TensorTest, SliceSampleRank4) {
+  Tensor t(Shape{2, 1, 2, 2});
+  for (std::int64_t i = 0; i < 8; ++i) t[i] = static_cast<float>(i);
+  const Tensor s = t.slice_sample(1);
+  EXPECT_EQ(s.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_EQ(s[0], 4.0F);
+}
+
+TEST(TensorTest, SliceSampleOutOfRangeThrows) {
+  Tensor t(Shape{2, 1, 2, 2});
+  EXPECT_THROW(t.slice_sample(2), std::out_of_range);
+  EXPECT_THROW(t.slice_sample(-1), std::out_of_range);
+}
+
+TEST(TensorTest, Allclose) {
+  const Tensor a(Shape{2}, {1.0F, 2.0F});
+  Tensor b = a;
+  EXPECT_TRUE(allclose(a, b));
+  b[1] += 1e-3F;
+  EXPECT_FALSE(allclose(a, b, 1e-5F));
+  EXPECT_TRUE(allclose(a, b, 1e-2F));
+}
+
+TEST(TensorTest, FillSetsEveryElement) {
+  Tensor t(Shape{2, 3});
+  t.fill(4.5F);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 4.5F);
+}
+
+}  // namespace
+}  // namespace pgmr

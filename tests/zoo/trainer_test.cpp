@@ -1,0 +1,101 @@
+// Training-loop tests on small synthetic corpora.
+#include "zoo/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "zoo/models.h"
+
+namespace pgmr::zoo {
+namespace {
+
+data::DatasetSplits easy_splits() {
+  data::SyntheticSpec spec;
+  spec.channels = 1;
+  spec.size = 16;
+  spec.num_classes = 4;
+  spec.count = 700;
+  spec.seed = 77;
+  spec.noise_std = 0.02F;
+  spec.jitter = 0.3F;
+  const data::Dataset full = data::generate_synthetic(spec);
+  return data::split_dataset(full, 500, 100, 100);
+}
+
+TEST(TrainerTest, LossDecreasesAndAccuracyBeatsChance) {
+  const data::DatasetSplits splits = easy_splits();
+  Rng rng(1);
+  nn::Network net = make_lenet5(InputSpec{1, 16, 4}, rng);
+  const double before = accuracy(net, splits.test);
+
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.learning_rate = 0.05F;
+  const float first_loss = train_network(net, splits.train, cfg);
+  cfg.epochs = 4;
+  const float later_loss = train_network(net, splits.train, cfg);
+  EXPECT_LT(later_loss, first_loss);
+
+  const double after = accuracy(net, splits.test);
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.8);  // easy 4-class corpus
+}
+
+TEST(TrainerTest, TrainingIsDeterministicGivenSeeds) {
+  const data::DatasetSplits splits = easy_splits();
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.shuffle_seed = 9;
+
+  Rng rng_a(3);
+  nn::Network a = make_lenet5(InputSpec{1, 16, 4}, rng_a);
+  train_network(a, splits.train, cfg);
+
+  Rng rng_b(3);
+  nn::Network b = make_lenet5(InputSpec{1, 16, 4}, rng_b);
+  train_network(b, splits.train, cfg);
+
+  const Tensor pa = probabilities_on(a, splits.test);
+  const Tensor pb = probabilities_on(b, splits.test);
+  EXPECT_TRUE(allclose(pa, pb, 0.0F));
+}
+
+TEST(TrainerTest, LogitsOnCoversWholeDatasetInBatches) {
+  const data::DatasetSplits splits = easy_splits();
+  Rng rng(4);
+  nn::Network net = make_lenet5(InputSpec{1, 16, 4}, rng);
+  const Tensor big_batches = logits_on(net, splits.test, 64);
+  const Tensor small_batches = logits_on(net, splits.test, 7);
+  EXPECT_EQ(big_batches.shape(), Shape({100, 4}));
+  EXPECT_TRUE(allclose(big_batches, small_batches, 1e-5F));
+}
+
+TEST(TrainerTest, ProbabilitiesOnNormalized) {
+  const data::DatasetSplits splits = easy_splits();
+  Rng rng(5);
+  nn::Network net = make_lenet5(InputSpec{1, 16, 4}, rng);
+  const Tensor probs = probabilities_on(net, splits.test);
+  for (std::int64_t n = 0; n < probs.shape()[0]; ++n) {
+    float row = 0.0F;
+    for (std::int64_t c = 0; c < probs.shape()[1]; ++c) {
+      row += probs.at(n, c);
+    }
+    EXPECT_NEAR(row, 1.0F, 1e-4F);
+  }
+}
+
+TEST(TrainerTest, LrDecayLowersRate) {
+  // Indirect check: a decayed schedule must still converge; and epochs= 0
+  // leaves the model untouched.
+  const data::DatasetSplits splits = easy_splits();
+  Rng rng(6);
+  nn::Network net = make_lenet5(InputSpec{1, 16, 4}, rng);
+  TrainConfig cfg;
+  cfg.epochs = 0;
+  const Tensor before = probabilities_on(net, splits.test);
+  train_network(net, splits.train, cfg);
+  EXPECT_TRUE(allclose(before, probabilities_on(net, splits.test), 0.0F));
+}
+
+}  // namespace
+}  // namespace pgmr::zoo

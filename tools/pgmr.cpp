@@ -1,0 +1,144 @@
+// pgmr: command-line front end for designing, evaluating and running
+// PolygraphMR systems from text configuration files.
+//
+//   pgmr design <benchmark> <members> <out.cfg>   greedy-build a system
+//   pgmr eval <config.cfg>                        test-split TP/FP report
+//   pgmr predict <config.cfg> <sample-index>      classify one test sample
+//   pgmr list                                     available benchmarks/preps
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "polygraph/builder.h"
+#include "polygraph/config.h"
+#include "prep/preprocessor.h"
+
+namespace {
+
+using namespace pgmr;
+
+int cmd_list() {
+  std::printf("benchmarks:\n");
+  for (const zoo::Benchmark& bm : zoo::all_benchmarks()) {
+    std::printf("  %-12s dataset=%s classes=%lld input=%lldx%lldx%lld\n",
+                bm.id.c_str(), bm.dataset_id.c_str(),
+                static_cast<long long>(bm.input.classes),
+                static_cast<long long>(bm.input.channels),
+                static_cast<long long>(bm.input.size),
+                static_cast<long long>(bm.input.size));
+  }
+  std::printf("preprocessors:\n ");
+  for (const std::string& spec : prep::standard_pool()) {
+    std::printf(" %s", spec.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_design(const std::string& benchmark_id, int members,
+               const std::string& out_path) {
+  const zoo::Benchmark& bm = zoo::find_benchmark(benchmark_id);
+  std::printf("designing a %d-member system for %s...\n", members,
+              benchmark_id.c_str());
+  const polygraph::GreedyResult result =
+      polygraph::greedy_build(bm, zoo::candidate_pool(bm), members);
+
+  polygraph::SystemConfig config;
+  config.benchmark = benchmark_id;
+  config.members = result.selected;
+  config.thresholds = result.operating_point.thresholds;
+  polygraph::save_config(config, out_path);
+
+  std::printf("selected:");
+  for (const std::string& spec : result.selected) {
+    std::printf(" %s", spec.c_str());
+  }
+  std::printf("\nthresholds: Thr_Conf=%.2f Thr_Freq=%d "
+              "(validation TP %.2f%%, FP %.2f%%)\nwrote %s\n",
+              static_cast<double>(config.thresholds.conf),
+              config.thresholds.freq, 100.0 * result.operating_point.tp_rate,
+              100.0 * result.operating_point.fp_rate, out_path.c_str());
+  return 0;
+}
+
+int cmd_eval(const std::string& config_path) {
+  const polygraph::SystemConfig config = polygraph::load_config(config_path);
+  const zoo::Benchmark& bm = zoo::find_benchmark(config.benchmark);
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+  polygraph::PolygraphSystem system = polygraph::make_system(config);
+
+  nn::Network baseline = zoo::trained_network(bm, "ORG");
+  const mr::Outcome base = mr::evaluate_single(
+      zoo::probabilities_on(baseline, splits.test), splits.test.labels, 0.0F);
+  const mr::Outcome out =
+      system.evaluate(splits.test.images, splits.test.labels);
+  std::printf("baseline: TP %.2f%%  FP %.2f%%\n", 100.0 * base.tp_rate(),
+              100.0 * base.fp_rate());
+  std::printf("system:   TP %.2f%%  FP %.2f%%  unreliable %.2f%%\n",
+              100.0 * out.tp_rate(), 100.0 * out.fp_rate(),
+              100.0 * (1.0 - out.tp_rate() - out.fp_rate()));
+  std::printf("FP detected: %.1f%%\n",
+              100.0 * (1.0 - out.fp_rate() / base.fp_rate()));
+  if (config.staged) {
+    const mr::StagedOutcome staged =
+        system.evaluate_staged(splits.test.images, splits.test.labels);
+    std::printf("mean members activated (RADE): %.2f / %zu\n",
+                staged.mean_activated(), config.members.size());
+  }
+  return 0;
+}
+
+int cmd_predict(const std::string& config_path, std::int64_t index) {
+  const polygraph::SystemConfig config = polygraph::load_config(config_path);
+  const zoo::Benchmark& bm = zoo::find_benchmark(config.benchmark);
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+  if (index < 0 || index >= splits.test.size()) {
+    std::fprintf(stderr, "sample index out of range (0..%lld)\n",
+                 static_cast<long long>(splits.test.size() - 1));
+    return 1;
+  }
+  polygraph::PolygraphSystem system = polygraph::make_system(config);
+  const polygraph::Verdict v = system.predict(splits.test.sample(index));
+  std::printf("sample %lld: predicted %lld (truth %lld) -> %s "
+              "(%d votes, %d members activated)\n",
+              static_cast<long long>(index), static_cast<long long>(v.label),
+              static_cast<long long>(
+                  splits.test.labels[static_cast<std::size_t>(index)]),
+              v.reliable ? "RELIABLE" : "UNRELIABLE", v.votes, v.activated);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pgmr list\n"
+               "  pgmr design <benchmark> <members> <out.cfg>\n"
+               "  pgmr eval <config.cfg>\n"
+               "  pgmr predict <config.cfg> <sample-index>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef PGMR_REPO_CACHE_DIR
+  ::setenv("PGMR_CACHE_DIR", PGMR_REPO_CACHE_DIR, 0);
+#endif
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "design" && argc == 5) {
+      return cmd_design(argv[2], std::atoi(argv[3]), argv[4]);
+    }
+    if (cmd == "eval" && argc == 3) return cmd_eval(argv[2]);
+    if (cmd == "predict" && argc == 4) {
+      return cmd_predict(argv[2], std::atoll(argv[3]));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

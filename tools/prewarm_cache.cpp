@@ -1,0 +1,52 @@
+// Prewarms the zoo cache: trains every network any bench or example needs,
+// so subsequent runs are inference-only. Safe to re-run (cached models are
+// skipped) and to run concurrently with other consumers (atomic publish).
+//
+// Order: cheap tiers first so tests that rely on lenet5/convnet unblock
+// early, then the 100 ConvNet variants for Figs 5/13, then the heavy
+// scifar/simagenet networks.
+#include <cstdio>
+
+#include "zoo/zoo.h"
+
+namespace {
+
+void warm(const pgmr::zoo::Benchmark& bm, const std::string& prep, int variant) {
+  pgmr::zoo::trained_network(bm, prep, variant);
+}
+
+void warm_benchmark(const pgmr::zoo::Benchmark& bm, int mr_variants) {
+  warm(bm, "ORG", 0);
+  for (const std::string& spec : pgmr::zoo::candidate_pool(bm)) {
+    warm(bm, spec, 0);
+  }
+  for (int v = 1; v < mr_variants; ++v) warm(bm, "ORG", v);
+}
+
+}  // namespace
+
+int main() {
+  using pgmr::zoo::find_benchmark;
+  constexpr int kMrVariants = 6;        // 6_MR needs variants 0..5
+  constexpr int kConvnetVariants = 100; // Fig 13's 100_MR_DE
+
+  std::printf("[prewarm] cheap tiers first\n");
+  warm_benchmark(find_benchmark("lenet5"), kMrVariants);
+  warm_benchmark(find_benchmark("convnet"), kMrVariants);
+
+  std::printf("[prewarm] convnet MR variants (Figs 5, 13)\n");
+  for (int v = kMrVariants; v < kConvnetVariants; ++v) {
+    warm(find_benchmark("convnet"), "ORG", v);
+  }
+
+  std::printf("[prewarm] scifar heavy networks\n");
+  warm_benchmark(find_benchmark("resnet20"), kMrVariants);
+  warm_benchmark(find_benchmark("densenet40"), kMrVariants);
+
+  std::printf("[prewarm] simagenet networks\n");
+  warm_benchmark(find_benchmark("alexnet"), kMrVariants);
+  warm_benchmark(find_benchmark("resnet34"), kMrVariants);
+
+  std::printf("[prewarm] done\n");
+  return 0;
+}
