@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rade_priority.dir/ablation_rade_priority.cpp.o"
+  "CMakeFiles/ablation_rade_priority.dir/ablation_rade_priority.cpp.o.d"
+  "ablation_rade_priority"
+  "ablation_rade_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rade_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_rade_priority.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_cost_effectiveness.dir/discussion_cost_effectiveness.cpp.o"
+  "CMakeFiles/discussion_cost_effectiveness.dir/discussion_cost_effectiveness.cpp.o.d"
+  "discussion_cost_effectiveness"
+  "discussion_cost_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_cost_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

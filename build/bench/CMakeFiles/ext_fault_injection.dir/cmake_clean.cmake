@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fault_injection.dir/ext_fault_injection.cpp.o"
+  "CMakeFiles/ext_fault_injection.dir/ext_fault_injection.cpp.o.d"
+  "ext_fault_injection"
+  "ext_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mc_dropout.dir/ext_mc_dropout.cpp.o"
+  "CMakeFiles/ext_mc_dropout.dir/ext_mc_dropout.cpp.o.d"
+  "ext_mc_dropout"
+  "ext_mc_dropout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mc_dropout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ood_detection.dir/ext_ood_detection.cpp.o"
+  "CMakeFiles/ext_ood_detection.dir/ext_ood_detection.cpp.o.d"
+  "ext_ood_detection"
+  "ext_ood_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ood_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

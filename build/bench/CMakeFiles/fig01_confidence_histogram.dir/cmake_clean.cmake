@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_confidence_histogram.dir/fig01_confidence_histogram.cpp.o"
+  "CMakeFiles/fig01_confidence_histogram.dir/fig01_confidence_histogram.cpp.o.d"
+  "fig01_confidence_histogram"
+  "fig01_confidence_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_confidence_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_misclassification.dir/fig03_misclassification.cpp.o"
+  "CMakeFiles/fig03_misclassification.dir/fig03_misclassification.cpp.o.d"
+  "fig03_misclassification"
+  "fig03_misclassification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_misclassification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

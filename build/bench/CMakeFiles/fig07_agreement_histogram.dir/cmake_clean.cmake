@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_agreement_histogram.dir/fig07_agreement_histogram.cpp.o"
+  "CMakeFiles/fig07_agreement_histogram.dir/fig07_agreement_histogram.cpp.o.d"
+  "fig07_agreement_histogram"
+  "fig07_agreement_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_agreement_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fp_reduction.dir/fig09_fp_reduction.cpp.o"
+  "CMakeFiles/fig09_fp_reduction.dir/fig09_fp_reduction.cpp.o.d"
+  "fig09_fp_reduction"
+  "fig09_fp_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fp_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cost_optimizations.dir/fig10_cost_optimizations.cpp.o"
+  "CMakeFiles/fig10_cost_optimizations.dir/fig10_cost_optimizations.cpp.o.d"
+  "fig10_cost_optimizations"
+  "fig10_cost_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cost_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

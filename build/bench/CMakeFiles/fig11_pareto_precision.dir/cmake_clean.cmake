@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pareto_precision.dir/fig11_pareto_precision.cpp.o"
+  "CMakeFiles/fig11_pareto_precision.dir/fig11_pareto_precision.cpp.o.d"
+  "fig11_pareto_precision"
+  "fig11_pareto_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pareto_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

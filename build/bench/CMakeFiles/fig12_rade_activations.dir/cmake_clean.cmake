@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rade_activations.dir/fig12_rade_activations.cpp.o"
+  "CMakeFiles/fig12_rade_activations.dir/fig12_rade_activations.cpp.o.d"
+  "fig12_rade_activations"
+  "fig12_rade_activations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rade_activations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table02_benchmarks.cpp" "bench/CMakeFiles/table02_benchmarks.dir/table02_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/table02_benchmarks.dir/table02_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/polygraph/CMakeFiles/pgmr_polygraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/pgmr_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/pgmr_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/adv/CMakeFiles/pgmr_adv.dir/DependInfo.cmake"
+  "/root/repo/build/src/zoo/CMakeFiles/pgmr_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/pgmr_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/pgmr_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/pgmr_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/prep/CMakeFiles/pgmr_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pgmr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pgmr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pgmr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

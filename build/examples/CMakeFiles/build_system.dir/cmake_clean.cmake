@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_system.dir/build_system.cpp.o"
+  "CMakeFiles/build_system.dir/build_system.cpp.o.d"
+  "build_system"
+  "build_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

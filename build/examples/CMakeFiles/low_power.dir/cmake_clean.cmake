@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_power.dir/low_power.cpp.o"
+  "CMakeFiles/low_power.dir/low_power.cpp.o.d"
+  "low_power"
+  "low_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_gate.dir/safety_gate.cpp.o"
+  "CMakeFiles/safety_gate.dir/safety_gate.cpp.o.d"
+  "safety_gate"
+  "safety_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

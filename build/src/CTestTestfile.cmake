@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("nn")
+subdirs("data")
+subdirs("prep")
+subdirs("quant")
+subdirs("fault")
+subdirs("adv")
+subdirs("perf")
+subdirs("mr")
+subdirs("calib")
+subdirs("zoo")
+subdirs("polygraph")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_adv.dir/fgsm.cpp.o"
+  "CMakeFiles/pgmr_adv.dir/fgsm.cpp.o.d"
+  "libpgmr_adv.a"
+  "libpgmr_adv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_adv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

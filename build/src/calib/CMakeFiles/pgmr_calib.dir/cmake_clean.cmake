@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_calib.dir/mc_dropout.cpp.o"
+  "CMakeFiles/pgmr_calib.dir/mc_dropout.cpp.o.d"
+  "CMakeFiles/pgmr_calib.dir/temperature.cpp.o"
+  "CMakeFiles/pgmr_calib.dir/temperature.cpp.o.d"
+  "libpgmr_calib.a"
+  "libpgmr_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

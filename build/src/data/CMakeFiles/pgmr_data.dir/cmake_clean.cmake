@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_data.dir/dataset.cpp.o"
+  "CMakeFiles/pgmr_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/pgmr_data.dir/ppm.cpp.o"
+  "CMakeFiles/pgmr_data.dir/ppm.cpp.o.d"
+  "CMakeFiles/pgmr_data.dir/synthetic.cpp.o"
+  "CMakeFiles/pgmr_data.dir/synthetic.cpp.o.d"
+  "libpgmr_data.a"
+  "libpgmr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

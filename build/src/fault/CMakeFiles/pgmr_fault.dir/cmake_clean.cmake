@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_fault.dir/injector.cpp.o"
+  "CMakeFiles/pgmr_fault.dir/injector.cpp.o.d"
+  "libpgmr_fault.a"
+  "libpgmr_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/decision.cpp" "src/mr/CMakeFiles/pgmr_mr.dir/decision.cpp.o" "gcc" "src/mr/CMakeFiles/pgmr_mr.dir/decision.cpp.o.d"
+  "/root/repo/src/mr/ensemble.cpp" "src/mr/CMakeFiles/pgmr_mr.dir/ensemble.cpp.o" "gcc" "src/mr/CMakeFiles/pgmr_mr.dir/ensemble.cpp.o.d"
+  "/root/repo/src/mr/evaluate.cpp" "src/mr/CMakeFiles/pgmr_mr.dir/evaluate.cpp.o" "gcc" "src/mr/CMakeFiles/pgmr_mr.dir/evaluate.cpp.o.d"
+  "/root/repo/src/mr/pareto.cpp" "src/mr/CMakeFiles/pgmr_mr.dir/pareto.cpp.o" "gcc" "src/mr/CMakeFiles/pgmr_mr.dir/pareto.cpp.o.d"
+  "/root/repo/src/mr/rade.cpp" "src/mr/CMakeFiles/pgmr_mr.dir/rade.cpp.o" "gcc" "src/mr/CMakeFiles/pgmr_mr.dir/rade.cpp.o.d"
+  "/root/repo/src/mr/soft_vote.cpp" "src/mr/CMakeFiles/pgmr_mr.dir/soft_vote.cpp.o" "gcc" "src/mr/CMakeFiles/pgmr_mr.dir/soft_vote.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pgmr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/prep/CMakeFiles/pgmr_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/pgmr_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/pgmr_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pgmr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_mr.dir/decision.cpp.o"
+  "CMakeFiles/pgmr_mr.dir/decision.cpp.o.d"
+  "CMakeFiles/pgmr_mr.dir/ensemble.cpp.o"
+  "CMakeFiles/pgmr_mr.dir/ensemble.cpp.o.d"
+  "CMakeFiles/pgmr_mr.dir/evaluate.cpp.o"
+  "CMakeFiles/pgmr_mr.dir/evaluate.cpp.o.d"
+  "CMakeFiles/pgmr_mr.dir/pareto.cpp.o"
+  "CMakeFiles/pgmr_mr.dir/pareto.cpp.o.d"
+  "CMakeFiles/pgmr_mr.dir/rade.cpp.o"
+  "CMakeFiles/pgmr_mr.dir/rade.cpp.o.d"
+  "CMakeFiles/pgmr_mr.dir/soft_vote.cpp.o"
+  "CMakeFiles/pgmr_mr.dir/soft_vote.cpp.o.d"
+  "libpgmr_mr.a"
+  "libpgmr_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

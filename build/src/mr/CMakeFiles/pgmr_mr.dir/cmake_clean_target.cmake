@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgmr_mr.a"
+)

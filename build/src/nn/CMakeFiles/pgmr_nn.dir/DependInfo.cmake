@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/blocks.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/blocks.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/blocks.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/extra_layers.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/extra_layers.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/extra_layers.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/im2col.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/im2col.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/im2col.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/nn/CMakeFiles/pgmr_nn.dir/softmax.cpp.o" "gcc" "src/nn/CMakeFiles/pgmr_nn.dir/softmax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pgmr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_nn.dir/activations.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/adam.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/blocks.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/blocks.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/dense.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/extra_layers.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/extra_layers.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/gemm.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/im2col.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/im2col.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/layer.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/loss.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/network.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/network.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/pooling.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/pgmr_nn.dir/softmax.cpp.o"
+  "CMakeFiles/pgmr_nn.dir/softmax.cpp.o.d"
+  "libpgmr_nn.a"
+  "libpgmr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_perf.dir/cost_model.cpp.o"
+  "CMakeFiles/pgmr_perf.dir/cost_model.cpp.o.d"
+  "libpgmr_perf.a"
+  "libpgmr_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

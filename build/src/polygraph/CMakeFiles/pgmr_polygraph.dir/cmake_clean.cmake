@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_polygraph.dir/builder.cpp.o"
+  "CMakeFiles/pgmr_polygraph.dir/builder.cpp.o.d"
+  "CMakeFiles/pgmr_polygraph.dir/config.cpp.o"
+  "CMakeFiles/pgmr_polygraph.dir/config.cpp.o.d"
+  "CMakeFiles/pgmr_polygraph.dir/system.cpp.o"
+  "CMakeFiles/pgmr_polygraph.dir/system.cpp.o.d"
+  "libpgmr_polygraph.a"
+  "libpgmr_polygraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_polygraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

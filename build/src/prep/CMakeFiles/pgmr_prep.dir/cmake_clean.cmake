@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_prep.dir/preprocessor.cpp.o"
+  "CMakeFiles/pgmr_prep.dir/preprocessor.cpp.o.d"
+  "libpgmr_prep.a"
+  "libpgmr_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_quant.dir/precision.cpp.o"
+  "CMakeFiles/pgmr_quant.dir/precision.cpp.o.d"
+  "CMakeFiles/pgmr_quant.dir/quantized_network.cpp.o"
+  "CMakeFiles/pgmr_quant.dir/quantized_network.cpp.o.d"
+  "libpgmr_quant.a"
+  "libpgmr_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

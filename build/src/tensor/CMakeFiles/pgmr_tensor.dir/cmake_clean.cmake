@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/pgmr_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/pgmr_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/pgmr_tensor.dir/tensor.cpp.o.d"
+  "libpgmr_tensor.a"
+  "libpgmr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

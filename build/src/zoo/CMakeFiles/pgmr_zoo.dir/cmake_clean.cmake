@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr_zoo.dir/models.cpp.o"
+  "CMakeFiles/pgmr_zoo.dir/models.cpp.o.d"
+  "CMakeFiles/pgmr_zoo.dir/trainer.cpp.o"
+  "CMakeFiles/pgmr_zoo.dir/trainer.cpp.o.d"
+  "CMakeFiles/pgmr_zoo.dir/zoo.cpp.o"
+  "CMakeFiles/pgmr_zoo.dir/zoo.cpp.o.d"
+  "libpgmr_zoo.a"
+  "libpgmr_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

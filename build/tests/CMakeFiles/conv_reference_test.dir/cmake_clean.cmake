@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_reference_test.dir/nn/conv_reference_test.cpp.o"
+  "CMakeFiles/conv_reference_test.dir/nn/conv_reference_test.cpp.o.d"
+  "conv_reference_test"
+  "conv_reference_test.pdb"
+  "conv_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

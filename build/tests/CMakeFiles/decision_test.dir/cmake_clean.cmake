@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_test.dir/mr/decision_test.cpp.o"
+  "CMakeFiles/decision_test.dir/mr/decision_test.cpp.o.d"
+  "decision_test"
+  "decision_test.pdb"
+  "decision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

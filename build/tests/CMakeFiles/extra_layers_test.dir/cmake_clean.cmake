@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_layers_test.dir/nn/extra_layers_test.cpp.o"
+  "CMakeFiles/extra_layers_test.dir/nn/extra_layers_test.cpp.o.d"
+  "extra_layers_test"
+  "extra_layers_test.pdb"
+  "extra_layers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgsm_test.dir/adv/fgsm_test.cpp.o"
+  "CMakeFiles/fgsm_test.dir/adv/fgsm_test.cpp.o.d"
+  "fgsm_test"
+  "fgsm_test.pdb"
+  "fgsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_property_test.dir/mr/property_test.cpp.o"
+  "CMakeFiles/mr_property_test.dir/mr/property_test.cpp.o.d"
+  "mr_property_test"
+  "mr_property_test.pdb"
+  "mr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

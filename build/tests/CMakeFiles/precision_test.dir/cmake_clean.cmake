@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_test.dir/quant/precision_test.cpp.o"
+  "CMakeFiles/precision_test.dir/quant/precision_test.cpp.o.d"
+  "precision_test"
+  "precision_test.pdb"
+  "precision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

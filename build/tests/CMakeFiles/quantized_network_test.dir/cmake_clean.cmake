@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantized_network_test.dir/quant/quantized_network_test.cpp.o"
+  "CMakeFiles/quantized_network_test.dir/quant/quantized_network_test.cpp.o.d"
+  "quantized_network_test"
+  "quantized_network_test.pdb"
+  "quantized_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantized_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rade_test.dir/mr/rade_test.cpp.o"
+  "CMakeFiles/rade_test.dir/mr/rade_test.cpp.o.d"
+  "rade_test"
+  "rade_test.pdb"
+  "rade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

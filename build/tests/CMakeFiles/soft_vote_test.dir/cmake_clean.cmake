@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_vote_test.dir/mr/soft_vote_test.cpp.o"
+  "CMakeFiles/soft_vote_test.dir/mr/soft_vote_test.cpp.o.d"
+  "soft_vote_test"
+  "soft_vote_test.pdb"
+  "soft_vote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_vote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmax_loss_test.dir/nn/softmax_loss_test.cpp.o"
+  "CMakeFiles/softmax_loss_test.dir/nn/softmax_loss_test.cpp.o.d"
+  "softmax_loss_test"
+  "softmax_loss_test.pdb"
+  "softmax_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmax_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

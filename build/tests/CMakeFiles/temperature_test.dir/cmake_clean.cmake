@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_test.dir/calib/temperature_test.cpp.o"
+  "CMakeFiles/temperature_test.dir/calib/temperature_test.cpp.o.d"
+  "temperature_test"
+  "temperature_test.pdb"
+  "temperature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

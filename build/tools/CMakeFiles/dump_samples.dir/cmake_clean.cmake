@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_samples.dir/dump_samples.cpp.o"
+  "CMakeFiles/dump_samples.dir/dump_samples.cpp.o.d"
+  "dump_samples"
+  "dump_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

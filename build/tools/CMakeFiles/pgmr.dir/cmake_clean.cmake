@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgmr.dir/pgmr.cpp.o"
+  "CMakeFiles/pgmr.dir/pgmr.cpp.o.d"
+  "pgmr"
+  "pgmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prewarm_cache.dir/prewarm_cache.cpp.o"
+  "CMakeFiles/prewarm_cache.dir/prewarm_cache.cpp.o.d"
+  "prewarm_cache"
+  "prewarm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prewarm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
