@@ -1,0 +1,95 @@
+// Serving-runtime throughput: requests/sec, batch coalescing and latency of
+// a 4-member SMNIST (lenet5) PolygraphMR system under an open-loop load, at
+// 1/2/4 worker threads. The verdict tallies must be identical across rows —
+// per-member parallelism never changes the decision.
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench_util.h"
+#include "polygraph/system.h"
+#include "runtime/serving_runtime.h"
+
+namespace {
+
+using namespace pgmr;
+
+struct Row {
+  std::size_t threads = 0;
+  double rps = 0.0;
+  double mean_batch = 0.0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::int64_t tp = 0, fp = 0, unreliable = 0;
+};
+
+Row run_load(const zoo::Benchmark& bm, const data::Dataset& test,
+             std::size_t threads, long long requests) {
+  runtime::RuntimeOptions opts;
+  opts.threads = threads;
+  opts.max_batch = 16;
+  opts.max_delay = std::chrono::microseconds(2000);
+  opts.queue_capacity = 128;
+  polygraph::PolygraphSystem system(zoo::make_ensemble(
+      bm, {"ORG", "FlipX", "ConNorm", "Gamma(2.00)"}));
+  system.set_thresholds({0.5F, mr::majority_threshold(4)});
+  runtime::ServingRuntime rt(std::move(system), opts);
+
+  std::vector<std::future<polygraph::Verdict>> futures;
+  futures.reserve(static_cast<std::size_t>(requests));
+  const std::int64_t pool_n = test.size();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (long long r = 0; r < requests; ++r) {
+    futures.push_back(rt.submit(test.sample(r % pool_n)));
+  }
+  Row row;
+  for (long long r = 0; r < requests; ++r) {
+    const polygraph::Verdict v = futures[static_cast<std::size_t>(r)].get();
+    const std::int64_t truth = test.labels[static_cast<std::size_t>(r % pool_n)];
+    if (!v.reliable) {
+      ++row.unreliable;
+    } else if (v.label == truth) {
+      ++row.tp;
+    } else {
+      ++row.fp;
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  rt.shutdown();
+
+  const runtime::MetricsSnapshot snap = rt.metrics_snapshot();
+  row.threads = threads;
+  row.rps = static_cast<double>(requests) / secs;
+  row.mean_batch = snap.mean_batch_size();
+  row.p50_us = snap.latency_quantile_us(0.5);
+  row.p99_us = snap.latency_quantile_us(0.99);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pgmr::bench::use_repo_cache();
+  const long long requests = argc > 1 ? std::atoll(argv[1]) : 512;
+  const zoo::Benchmark& bm = zoo::find_benchmark("lenet5");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+
+  pgmr::bench::rule("serving throughput (4-member lenet5/SMNIST)");
+  std::printf("%-8s %10s %10s %9s %9s %6s %6s %6s %9s\n", "threads", "req/s",
+              "meanbatch", "p50us", "p99us", "TP", "FP", "unrel", "speedup");
+  double base_rps = 0.0;
+  for (const std::size_t threads : {1U, 2U, 4U}) {
+    const Row row = run_load(bm, splits.test, threads, requests);
+    if (base_rps == 0.0) base_rps = row.rps;
+    std::printf("%-8zu %10.1f %10.2f %9llu %9llu %6lld %6lld %6lld %8.2fx\n",
+                row.threads, row.rps, row.mean_batch,
+                static_cast<unsigned long long>(row.p50_us),
+                static_cast<unsigned long long>(row.p99_us),
+                static_cast<long long>(row.tp), static_cast<long long>(row.fp),
+                static_cast<long long>(row.unreliable), row.rps / base_rps);
+  }
+  return 0;
+}

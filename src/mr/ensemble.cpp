@@ -21,15 +21,16 @@ perf::InferenceCost Member::cost(const Shape& in,
   return model.network_cost(net_.network().cost(in), net_.bits());
 }
 
-std::vector<Tensor> Ensemble::member_probabilities(const Tensor& images) {
-  std::vector<Tensor> out;
-  out.reserve(members_.size());
-  for (Member& m : members_) out.push_back(m.probabilities(images));
+std::vector<Tensor> Ensemble::member_probabilities(const Tensor& images,
+                                                   const Executor& exec) {
+  std::vector<Tensor> out(members_.size());
+  exec(members_.size(),
+       [&](std::size_t m) { out[m] = members_[m].probabilities(images); });
   return out;
 }
 
-MemberVotes Ensemble::member_votes(const Tensor& images) {
-  return votes_from_members(member_probabilities(images));
+MemberVotes Ensemble::member_votes(const Tensor& images, const Executor& exec) {
+  return votes_from_members(member_probabilities(images, exec));
 }
 
 std::vector<perf::InferenceCost> Ensemble::member_costs(

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mr/evaluate.h"
+#include "mr/executor.h"
 #include "nn/network.h"
 #include "perf/cost_model.h"
 #include "prep/preprocessor.h"
@@ -49,10 +50,15 @@ class Ensemble {
   Member& member(std::size_t i) { return members_[i]; }
 
   /// Runs every member on `images`; result[m] is member m's [N, C] softmax.
-  std::vector<Tensor> member_probabilities(const Tensor& images);
+  /// Members are dispatched through `exec`, so the same implementation
+  /// serves the serial path and the runtime's per-member parallelism; the
+  /// result is identical either way (each member writes its own slot).
+  std::vector<Tensor> member_probabilities(
+      const Tensor& images, const Executor& exec = serial_executor());
 
   /// member_probabilities + vote extraction in one call.
-  MemberVotes member_votes(const Tensor& images);
+  MemberVotes member_votes(const Tensor& images,
+                           const Executor& exec = serial_executor());
 
   /// Per-member inference cost on inputs of shape `in`.
   std::vector<perf::InferenceCost> member_costs(

@@ -1,0 +1,34 @@
+// Executor: the minimal parallelism abstraction shared by the ensemble and
+// the serving runtime.
+//
+// An Executor is a parallel-for: exec(n, fn) invokes fn(i) exactly once for
+// every i in [0, n) and returns only after all invocations finished.
+// Implementations are free to run iterations concurrently (the runtime's
+// ThreadPool does) or inline (serial_executor). Callers must make fn safe
+// to run concurrently for distinct indices; results must be written to
+// per-index slots so the outcome is identical regardless of schedule.
+//
+// Living in mr/ keeps the dependency arrow pointing the right way: the
+// ensemble knows nothing about threads, and pgmr::runtime plugs its pool in
+// through this seam.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pgmr::mr {
+
+/// Parallel-for: runs fn(0..n-1), returning after every call completed.
+using Executor =
+    std::function<void(std::size_t n, const std::function<void(std::size_t)>& fn)>;
+
+/// The trivial executor: runs every iteration inline, in index order.
+inline const Executor& serial_executor() {
+  static const Executor exec = [](std::size_t n,
+                                  const std::function<void(std::size_t)>& fn) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  };
+  return exec;
+}
+
+}  // namespace pgmr::mr

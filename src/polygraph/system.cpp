@@ -44,52 +44,60 @@ Verdict PolygraphSystem::predict(const Tensor& image) {
   if (image.shape().rank() != 4 || image.shape()[0] != 1) {
     throw std::invalid_argument("PolygraphSystem::predict: expected [1,C,H,W]");
   }
-  Verdict v;
-  if (priority_) {
-    // RADE path: members run lazily in priority order.
-    std::vector<mr::Vote> ordered;
-    ordered.reserve(ensemble_.size());
-    for (std::size_t m : *priority_) {
-      const Tensor probs = ensemble_.member(m).probabilities(image);
-      ordered.push_back({probs.argmax_row(0), probs.max_row(0)});
-    }
-    // staged_decide only *charges* for the activated prefix; computing the
-    // full vote list here keeps predict() simple while evaluate_staged()
-    // models the cost.
-    const mr::StagedDecision sd = mr::staged_decide(ordered, thresholds_);
-    v.label = sd.decision.label;
-    v.reliable = sd.decision.reliable;
-    v.votes = sd.decision.votes_for_label;
-    v.activated = sd.activated;
-    return v;
-  }
-  std::vector<mr::Vote> votes;
-  votes.reserve(ensemble_.size());
-  for (std::size_t m = 0; m < ensemble_.size(); ++m) {
-    const Tensor probs = ensemble_.member(m).probabilities(image);
-    votes.push_back({probs.argmax_row(0), probs.max_row(0)});
-  }
-  const mr::Decision d = mr::decide(votes, thresholds_);
-  v.label = d.label;
-  v.reliable = d.reliable;
-  v.votes = d.votes_for_label;
-  v.activated = static_cast<int>(ensemble_.size());
-  return v;
+  return predict_batch(image).front();
 }
 
-mr::Outcome PolygraphSystem::evaluate(
-    const Tensor& images, const std::vector<std::int64_t>& labels) {
-  const mr::MemberVotes votes = ensemble_.member_votes(images);
+std::vector<Verdict> PolygraphSystem::predict_batch(const Tensor& images,
+                                                    const mr::Executor& exec) {
+  if (images.shape().rank() != 4 || images.shape()[0] < 1) {
+    throw std::invalid_argument(
+        "PolygraphSystem::predict_batch: expected non-empty [N,C,H,W]");
+  }
+  const mr::MemberVotes votes = ensemble_.member_votes(images, exec);
+  const std::int64_t batch = images.shape()[0];
+  std::vector<Verdict> out(static_cast<std::size_t>(batch));
+  for (std::int64_t n = 0; n < batch; ++n) {
+    Verdict& v = out[static_cast<std::size_t>(n)];
+    if (priority_) {
+      // RADE: staged_decide only *charges* for the activated prefix; every
+      // member's votes are available since the whole batch already ran.
+      std::vector<mr::Vote> ordered;
+      ordered.reserve(ensemble_.size());
+      for (std::size_t m : *priority_) {
+        ordered.push_back(votes[m][static_cast<std::size_t>(n)]);
+      }
+      const mr::StagedDecision sd = mr::staged_decide(ordered, thresholds_);
+      v.label = sd.decision.label;
+      v.reliable = sd.decision.reliable;
+      v.votes = sd.decision.votes_for_label;
+      v.activated = sd.activated;
+    } else {
+      const mr::Decision d =
+          mr::decide(mr::sample_votes(votes, n), thresholds_);
+      v.label = d.label;
+      v.reliable = d.reliable;
+      v.votes = d.votes_for_label;
+      v.activated = static_cast<int>(ensemble_.size());
+    }
+  }
+  return out;
+}
+
+mr::Outcome PolygraphSystem::evaluate(const Tensor& images,
+                                      const std::vector<std::int64_t>& labels,
+                                      const mr::Executor& exec) {
+  const mr::MemberVotes votes = ensemble_.member_votes(images, exec);
   return mr::evaluate(votes, labels, thresholds_);
 }
 
 mr::StagedOutcome PolygraphSystem::evaluate_staged(
-    const Tensor& images, const std::vector<std::int64_t>& labels) {
+    const Tensor& images, const std::vector<std::int64_t>& labels,
+    const mr::Executor& exec) {
   if (!priority_) {
     throw std::logic_error(
         "PolygraphSystem::evaluate_staged: call enable_staged first");
   }
-  const mr::MemberVotes votes = ensemble_.member_votes(images);
+  const mr::MemberVotes votes = ensemble_.member_votes(images, exec);
   return mr::evaluate_staged(votes, labels, *priority_, thresholds_);
 }
 

@@ -60,14 +60,25 @@ class PolygraphSystem {
   /// Classifies one [1, C, H, W] input.
   Verdict predict(const Tensor& image);
 
+  /// Classifies a whole [N, C, H, W] batch, returning one Verdict per
+  /// sample. Ensemble members are dispatched through `exec` (the serving
+  /// runtime passes its thread pool; the default runs them inline), and the
+  /// verdicts are identical regardless of executor. Honours staged (RADE)
+  /// mode: every member's probabilities are computed for the batch, but
+  /// each verdict only charges for (and reports) the activated prefix.
+  std::vector<Verdict> predict_batch(
+      const Tensor& images, const mr::Executor& exec = mr::serial_executor());
+
   /// Full-activation evaluation over a labeled set.
   mr::Outcome evaluate(const Tensor& images,
-                       const std::vector<std::int64_t>& labels);
+                       const std::vector<std::int64_t>& labels,
+                       const mr::Executor& exec = mr::serial_executor());
 
   /// Staged (RADE) evaluation; also reports the activation histogram.
   /// Requires enable_staged() to have been called.
-  mr::StagedOutcome evaluate_staged(const Tensor& images,
-                                    const std::vector<std::int64_t>& labels);
+  mr::StagedOutcome evaluate_staged(
+      const Tensor& images, const std::vector<std::int64_t>& labels,
+      const mr::Executor& exec = mr::serial_executor());
 
  private:
   mr::Ensemble ensemble_;

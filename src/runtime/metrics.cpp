@@ -1,0 +1,104 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pgmr::runtime {
+
+double MetricsSnapshot::mean_batch_size() const {
+  return batches ? static_cast<double>(batch_size_sum) /
+                       static_cast<double>(batches)
+                 : 0.0;
+}
+
+std::uint64_t MetricsSnapshot::latency_quantile_us(double q) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : latency_buckets) total += c;
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest rank r with r/total >= q (at least 1).
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < latency_buckets.size(); ++b) {
+    seen += latency_buckets[b];
+    if (seen >= target) return kLatencyBucketBounds[b];
+  }
+  return kLatencyBucketBounds.back();
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::string out;
+  char line[96];
+  const auto emit = [&out, &line](const char* name, std::uint64_t v) {
+    std::snprintf(line, sizeof(line), "%-24s %llu\n", name,
+                  static_cast<unsigned long long>(v));
+    out += line;
+  };
+  emit("requests_submitted", requests_submitted);
+  emit("requests_completed", requests_completed);
+  emit("requests_rejected", requests_rejected);
+  emit("batches", batches);
+  emit("batch_size_sum", batch_size_sum);
+  emit("max_batch_size", max_batch_size);
+  std::snprintf(line, sizeof(line), "%-24s %.2f\n", "mean_batch_size",
+                mean_batch_size());
+  out += line;
+  emit("reliable", reliable);
+  emit("unreliable", unreliable);
+  for (std::size_t m = 0; m < member_activations.size(); ++m) {
+    std::snprintf(line, sizeof(line), "member_activations[%zu]   %llu\n", m,
+                  static_cast<unsigned long long>(member_activations[m]));
+    out += line;
+  }
+  for (const double q : {0.5, 0.9, 0.99}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "latency_p%.0f_us", q * 100);
+    emit(name, latency_quantile_us(q));
+  }
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t members)
+    : member_activations_(members) {}
+
+void MetricsRegistry::on_batch(std::uint64_t size) {
+  add(batches_);
+  add(batch_size_sum_, size);
+  std::uint64_t seen = max_batch_size_.load(std::memory_order_relaxed);
+  while (size > seen && !max_batch_size_.compare_exchange_weak(
+                            seen, size, std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::on_latency_us(std::uint64_t micros) {
+  for (std::size_t b = 0; b < kLatencyBucketBounds.size(); ++b) {
+    if (micros <= kLatencyBucketBounds[b]) {
+      add(latency_buckets_[b]);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  s.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
+  s.requests_completed = requests_completed_.load(std::memory_order_relaxed);
+  s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_size_sum = batch_size_sum_.load(std::memory_order_relaxed);
+  s.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
+  s.reliable = reliable_.load(std::memory_order_relaxed);
+  s.unreliable = unreliable_.load(std::memory_order_relaxed);
+  s.member_activations.reserve(member_activations_.size());
+  for (const auto& a : member_activations_) {
+    s.member_activations.push_back(a.load(std::memory_order_relaxed));
+  }
+  for (std::size_t b = 0; b < latency_buckets_.size(); ++b) {
+    s.latency_buckets[b] = latency_buckets_[b].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace pgmr::runtime

@@ -1,0 +1,96 @@
+// Embedded serving metrics: atomic counters plus a fixed-bucket latency
+// histogram, so runtime behaviour is observable without external tooling.
+//
+// Writers (submitters, the batcher) bump atomics with relaxed ordering —
+// metrics never synchronize the data path. Readers take a snapshot(),
+// which is a plain value: consistent enough for reporting, free of locks.
+//
+// Schema (all counts cumulative since construction):
+//   requests_submitted / completed / rejected
+//   batches, batch_size_sum, max_batch_size     -> coalescing behaviour
+//   reliable / unreliable                       -> verdict quality split
+//   member_activations[m]                       -> RADE activation counts
+//   latency histogram (end-to-end, microseconds, geometric buckets)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgmr::runtime {
+
+/// Geometric latency buckets: bucket b counts samples with
+/// micros <= kLatencyBucketBounds[b]; the last bucket is unbounded.
+inline constexpr std::array<std::uint64_t, 16> kLatencyBucketBounds = {
+    50,     100,    200,     400,     800,     1600,     3200,     6400,
+    12800,  25600,  51200,   102400,  204800,  409600,   819200,
+    UINT64_MAX};
+
+/// A plain-value copy of every metric, safe to pass around and print.
+struct MetricsSnapshot {
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_rejected = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batch_size_sum = 0;
+  std::uint64_t max_batch_size = 0;
+  std::uint64_t reliable = 0;
+  std::uint64_t unreliable = 0;
+  std::vector<std::uint64_t> member_activations;
+  std::array<std::uint64_t, kLatencyBucketBounds.size()> latency_buckets{};
+
+  double mean_batch_size() const;
+
+  /// Latency value (micros) at quantile q in [0,1], estimated as the upper
+  /// bound of the bucket containing that quantile (conservative).
+  std::uint64_t latency_quantile_us(double q) const;
+
+  /// Multi-line "name value" text dump, one metric per line.
+  std::string to_string() const;
+};
+
+/// The live registry the runtime writes into.
+class MetricsRegistry {
+ public:
+  /// `members` sizes the per-member activation counters.
+  explicit MetricsRegistry(std::size_t members);
+
+  void on_submitted() { add(requests_submitted_); }
+  void on_rejected() { add(requests_rejected_); }
+
+  void on_batch(std::uint64_t size);
+  void on_verdict(bool reliable) {
+    add(reliable ? reliable_ : unreliable_);
+    add(requests_completed_);
+  }
+  void on_member_activated(std::size_t member) {
+    add(member_activations_[member]);
+  }
+  void on_latency_us(std::uint64_t micros);
+
+  std::size_t members() const { return member_activations_.size(); }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  static void add(std::atomic<std::uint64_t>& counter,
+                  std::uint64_t delta = 1) {
+    counter.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> requests_submitted_{0};
+  std::atomic<std::uint64_t> requests_completed_{0};
+  std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_size_sum_{0};
+  std::atomic<std::uint64_t> max_batch_size_{0};
+  std::atomic<std::uint64_t> reliable_{0};
+  std::atomic<std::uint64_t> unreliable_{0};
+  std::vector<std::atomic<std::uint64_t>> member_activations_;
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketBounds.size()>
+      latency_buckets_{};
+};
+
+}  // namespace pgmr::runtime

@@ -1,0 +1,151 @@
+#include "runtime/serving_runtime.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace pgmr::runtime {
+
+namespace {
+
+std::size_t clamped(std::size_t v) { return v == 0 ? 1 : v; }
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(polygraph::PolygraphSystem system,
+                               RuntimeOptions options)
+    : system_(std::move(system)),
+      options_{clamped(options.threads), clamped(options.max_batch),
+               options.max_delay, clamped(options.queue_capacity)},
+      metrics_(system_.ensemble().size()),
+      queue_(options_.queue_capacity),
+      pool_(options_.threads),
+      batcher_([this] { batcher_loop(); }) {}
+
+ServingRuntime::~ServingRuntime() { shutdown(); }
+
+ServingRuntime::Request ServingRuntime::make_request(Tensor image) const {
+  if (image.shape().rank() != 4 || image.shape()[0] != 1) {
+    throw std::invalid_argument("ServingRuntime: expected a [1,C,H,W] image");
+  }
+  Request r;
+  r.image = std::move(image);
+  r.enqueued = std::chrono::steady_clock::now();
+  return r;
+}
+
+std::future<polygraph::Verdict> ServingRuntime::submit(Tensor image) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("ServingRuntime::submit after shutdown");
+  }
+  Request r = make_request(std::move(image));
+  std::future<polygraph::Verdict> future = r.promise.get_future();
+  if (!queue_.push(std::move(r))) {  // lost the race with shutdown()
+    metrics_.on_rejected();
+    throw std::runtime_error("ServingRuntime::submit after shutdown");
+  }
+  metrics_.on_submitted();
+  return future;
+}
+
+std::optional<std::future<polygraph::Verdict>> ServingRuntime::try_submit(
+    Tensor image) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    metrics_.on_rejected();
+    return std::nullopt;
+  }
+  Request r = make_request(std::move(image));
+  std::future<polygraph::Verdict> future = r.promise.get_future();
+  if (!queue_.try_push(std::move(r))) {
+    metrics_.on_rejected();
+    return std::nullopt;
+  }
+  metrics_.on_submitted();
+  return future;
+}
+
+void ServingRuntime::shutdown() {
+  stopped_.store(true, std::memory_order_release);
+  queue_.close();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+void ServingRuntime::batcher_loop() {
+  while (std::optional<Request> first = queue_.pop()) {
+    std::vector<Request> batch;
+    batch.reserve(options_.max_batch);
+    batch.push_back(std::move(*first));
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.max_delay;
+    while (batch.size() < options_.max_batch) {
+      std::optional<Request> next = queue_.pop_until(deadline);
+      if (!next) break;  // linger expired, or closed and drained
+      batch.push_back(std::move(*next));
+    }
+    run_batch(batch);
+  }
+}
+
+void ServingRuntime::run_batch(std::vector<Request>& batch) {
+  // Requests whose geometry disagrees with the batch head fail alone
+  // instead of poisoning the whole batch.
+  const Shape& head = batch.front().image.shape();
+  std::vector<Request*> live;
+  live.reserve(batch.size());
+  for (Request& r : batch) {
+    if (r.image.shape() == head) {
+      live.push_back(&r);
+    } else {
+      r.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+          "ServingRuntime: request shape differs from batch head")));
+    }
+  }
+
+  const std::int64_t n = static_cast<std::int64_t>(live.size());
+  Tensor images(Shape{n, head[1], head[2], head[3]});
+  const std::int64_t stride = head.numel();  // [1,C,H,W] elements per image
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(images.data() + i * stride,
+                live[static_cast<std::size_t>(i)]->image.data(),
+                static_cast<std::size_t>(stride) * sizeof(float));
+  }
+
+  std::vector<polygraph::Verdict> verdicts;
+  try {
+    verdicts = system_.predict_batch(images, pool_.executor());
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Request* r : live) r->promise.set_exception(error);
+    return;
+  }
+
+  metrics_.on_batch(static_cast<std::uint64_t>(n));
+  const auto now = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < n; ++i) {
+    Request& r = *live[static_cast<std::size_t>(i)];
+    const polygraph::Verdict& v = verdicts[static_cast<std::size_t>(i)];
+    record_verdict(v);
+    metrics_.on_latency_us(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - r.enqueued)
+            .count()));
+    r.promise.set_value(v);
+  }
+}
+
+void ServingRuntime::record_verdict(const polygraph::Verdict& verdict) {
+  metrics_.on_verdict(verdict.reliable);
+  if (system_.staged()) {
+    // Only the activated prefix of the priority order did chargeable work.
+    const std::vector<std::size_t>& priority = system_.priority();
+    for (int k = 0; k < verdict.activated; ++k) {
+      metrics_.on_member_activated(priority[static_cast<std::size_t>(k)]);
+    }
+  } else {
+    for (std::size_t m = 0; m < metrics_.members(); ++m) {
+      metrics_.on_member_activated(m);
+    }
+  }
+}
+
+}  // namespace pgmr::runtime

@@ -1,0 +1,98 @@
+// ServingRuntime: the request->batch->verdict serving layer over a
+// PolygraphSystem.
+//
+// Pipeline (one dedicated batcher thread + a worker pool):
+//
+//   submit(image) --> bounded MPMC queue --> dynamic batcher --> [N,C,H,W]
+//       batch --> ensemble members fanned across the ThreadPool -->
+//       decision engine --> promise fulfilled with the Verdict
+//
+// The batcher coalesces queued single-image requests into batches of up to
+// max_batch, waiting at most max_delay after the first request before
+// closing a partial batch. Inside a batch, parallelism is per member (the
+// paper's Layer-2 networks are independent), so verdicts are bit-identical
+// to the serial path regardless of thread count. One batch is in flight at
+// a time, which also keeps member networks single-threaded internally.
+//
+// Backpressure: the queue is bounded; submit() blocks when full,
+// try_submit() refuses. Shutdown drains the queue — every accepted request
+// gets its verdict — then rejects new submissions.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <optional>
+#include <thread>
+
+#include "polygraph/system.h"
+#include "runtime/metrics.h"
+#include "runtime/mpmc_queue.h"
+#include "runtime/thread_pool.h"
+
+namespace pgmr::runtime {
+
+/// Serving knobs. Defaults favour latency (tiny batches, short delay);
+/// benches crank max_batch/max_delay up to show coalescing.
+struct RuntimeOptions {
+  std::size_t threads = 1;              ///< worker pool size
+  std::size_t max_batch = 8;            ///< batch size cap (clamped >= 1)
+  std::chrono::microseconds max_delay{1000};  ///< partial-batch linger
+  std::size_t queue_capacity = 256;     ///< bounded request queue
+};
+
+class ServingRuntime {
+ public:
+  /// Takes ownership of the (already profiled/configured) system.
+  ServingRuntime(polygraph::PolygraphSystem system, RuntimeOptions options);
+
+  /// shutdown(): drains pending requests, then stops the pipeline.
+  ~ServingRuntime();
+
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /// Enqueues one [1, C, H, W] request; blocks while the queue is full.
+  /// The future carries the Verdict, or the error the batch hit. Throws
+  /// std::invalid_argument on bad shape and std::runtime_error after
+  /// shutdown.
+  std::future<polygraph::Verdict> submit(Tensor image);
+
+  /// Non-blocking submit; nullopt (and a rejected tick) when the queue is
+  /// full or the runtime stopped.
+  std::optional<std::future<polygraph::Verdict>> try_submit(Tensor image);
+
+  /// Stops accepting requests, serves everything already queued, and joins
+  /// the pipeline. Idempotent; called by the destructor.
+  void shutdown();
+
+  const RuntimeOptions& options() const { return options_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+
+  /// The owned system; reconfigure (thresholds, staging) only while no
+  /// requests are in flight.
+  polygraph::PolygraphSystem& system() { return system_; }
+
+ private:
+  struct Request {
+    Tensor image;
+    std::promise<polygraph::Verdict> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  Request make_request(Tensor image) const;
+  void batcher_loop();
+  void run_batch(std::vector<Request>& batch);
+  void record_verdict(const polygraph::Verdict& verdict);
+
+  polygraph::PolygraphSystem system_;
+  RuntimeOptions options_;
+  MetricsRegistry metrics_;
+  MpmcQueue<Request> queue_;
+  ThreadPool pool_;
+  std::atomic<bool> stopped_{false};
+  std::jthread batcher_;  // last: must die before the members it uses
+};
+
+}  // namespace pgmr::runtime

@@ -1,10 +1,13 @@
 #include "zoo/zoo.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
 #include <stdexcept>
+#include <system_error>
 
 #include "prep/preprocessor.h"
 #include "tensor/serialize.h"
@@ -105,7 +108,16 @@ nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
                            "_v" + std::to_string(variant) + "_c" +
                            std::to_string(kZooCacheVersion) + ".net";
   if (archive_exists(path)) {
-    return nn::Network::load(path);
+    try {
+      return nn::Network::load(path);
+    } catch (const std::exception& e) {
+      // Self-heal: a stale or foreign-format archive must not wedge every
+      // consumer of the zoo; retrain and republish instead.
+      std::fprintf(stderr, "[zoo] cached archive %s is unreadable (%s); "
+                   "retraining\n", path.c_str(), e.what());
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
   }
 
   Rng rng(variant_seed(bm, prep_spec, variant));
@@ -122,9 +134,11 @@ nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
               prep_spec.c_str(), variant);
   std::fflush(stdout);
   train_network(net, train, config);
-  // Atomic publish: write to a temp file, then rename, so a concurrent
-  // reader never sees a half-written archive.
-  const std::string tmp = path + ".tmp";
+  // Atomic publish: write to a process-unique temp file, then rename, so a
+  // concurrent reader never sees a half-written archive and concurrent
+  // writers (parallel ctest) never clobber each other's temp file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   net.save(tmp);
   std::filesystem::rename(tmp, path);
   return net;

@@ -21,7 +21,7 @@ class EndToEndTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
 #ifdef PGMR_TEST_CACHE_DIR
-    ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, 1);
+    ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, /*overwrite=*/0);
 #endif
   }
 };

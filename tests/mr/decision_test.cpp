@@ -56,6 +56,31 @@ TEST(DecisionTest, NegativeLabelsAreIgnored) {
   EXPECT_TRUE(d.reliable);
 }
 
+TEST(DecisionTest, ExactTieAtThrFreqIsUnreliable) {
+  // Both labels reach exactly Thr_Freq votes: the frequency gate passes but
+  // the tie still forces unreliable. The reported label is the lowest of
+  // the tied modes (histogram iteration order).
+  const std::vector<Vote> votes = {{1, 0.9F}, {1, 0.9F}, {2, 0.9F}, {2, 0.9F}};
+  const Decision d = decide(votes, {0.0F, 2});
+  EXPECT_FALSE(d.reliable);
+  EXPECT_EQ(d.label, 1);
+  EXPECT_EQ(d.votes_for_label, 2);
+  // Breaking the tie with one extra vote makes the same threshold reliable.
+  std::vector<Vote> majority = votes;
+  majority.push_back({2, 0.9F});
+  const Decision m = decide(majority, {0.0F, 2});
+  EXPECT_TRUE(m.reliable);
+  EXPECT_EQ(m.label, 2);
+  EXPECT_EQ(m.votes_for_label, 3);
+}
+
+TEST(DecisionTest, EmptyVoteSetIsUnreliableWithNoLabel) {
+  const Decision d = decide({}, {0.0F, 1});
+  EXPECT_EQ(d.label, -1);
+  EXPECT_FALSE(d.reliable);
+  EXPECT_EQ(d.votes_for_label, 0);
+}
+
 TEST(DecisionTest, MajorityThresholdFormula) {
   EXPECT_EQ(majority_threshold(2), 2);
   EXPECT_EQ(majority_threshold(3), 2);

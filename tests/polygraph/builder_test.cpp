@@ -14,7 +14,7 @@ class BuilderTest : public ::testing::Test {
  protected:
   void SetUp() override {
 #ifdef PGMR_TEST_CACHE_DIR
-    ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, 1);
+    ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, /*overwrite=*/0);
 #endif
   }
 };

@@ -75,7 +75,7 @@ TEST(ConfigTest, MissingFileThrows) {
 
 #ifdef PGMR_TEST_CACHE_DIR
 TEST(ConfigTest, MakeSystemBuildsRunnableSystem) {
-  ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, 1);
+  ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, /*overwrite=*/0);
   SystemConfig c;
   c.benchmark = "lenet5";
   c.members = {"ORG", "FlipX"};

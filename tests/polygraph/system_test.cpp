@@ -95,6 +95,26 @@ TEST(PolygraphSystemTest, PredictAgreesWithEvaluateTaxonomy) {
   EXPECT_EQ(unreliable, outcome.unreliable);
 }
 
+TEST(PolygraphSystemTest, AllMembersBelowThrConfIsUnreliableNoLabel) {
+  // Softmax confidences never exceed 1, so Thr_Conf > 1 drops every vote:
+  // the verdict must be the no-label unreliable sentinel for every sample.
+  PolygraphSystem sys(tiny_ensemble(3));
+  sys.set_thresholds({1.5F, 1});
+  const Tensor images = random_images(10, 17);
+  for (const Verdict& v : sys.predict_batch(images)) {
+    EXPECT_EQ(v.label, -1);
+    EXPECT_FALSE(v.reliable);
+    EXPECT_EQ(v.votes, 0);
+  }
+}
+
+TEST(PolygraphSystemTest, PredictBatchRejectsEmptyOrWrongRank) {
+  PolygraphSystem sys(tiny_ensemble(2));
+  EXPECT_THROW(sys.predict_batch(Tensor(Shape{0, 1, 8, 8})),
+               std::invalid_argument);
+  EXPECT_THROW(sys.predict_batch(Tensor(Shape{8, 8})), std::invalid_argument);
+}
+
 TEST(PolygraphSystemTest, PredictRequiresSingleSample) {
   PolygraphSystem sys(tiny_ensemble(2));
   EXPECT_THROW(sys.predict(random_images(2, 9)), std::invalid_argument);

@@ -1,0 +1,112 @@
+// MetricsRegistry / MetricsSnapshot: counters, batch stats, histogram
+// quantiles and the text dump.
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pgmr::runtime {
+namespace {
+
+TEST(MetricsTest, FreshSnapshotIsAllZero) {
+  MetricsRegistry reg(3);
+  const MetricsSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.requests_submitted, 0U);
+  EXPECT_EQ(s.requests_completed, 0U);
+  EXPECT_EQ(s.requests_rejected, 0U);
+  EXPECT_EQ(s.batches, 0U);
+  EXPECT_EQ(s.reliable, 0U);
+  EXPECT_EQ(s.unreliable, 0U);
+  ASSERT_EQ(s.member_activations.size(), 3U);
+  for (const auto a : s.member_activations) EXPECT_EQ(a, 0U);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size(), 0.0);
+}
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsRegistry reg(2);
+  reg.on_submitted();
+  reg.on_submitted();
+  reg.on_rejected();
+  reg.on_verdict(true);
+  reg.on_verdict(false);
+  reg.on_member_activated(0);
+  reg.on_member_activated(0);
+  reg.on_member_activated(1);
+
+  const MetricsSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.requests_submitted, 2U);
+  EXPECT_EQ(s.requests_rejected, 1U);
+  EXPECT_EQ(s.requests_completed, 2U);  // one per verdict
+  EXPECT_EQ(s.reliable, 1U);
+  EXPECT_EQ(s.unreliable, 1U);
+  EXPECT_EQ(s.member_activations[0], 2U);
+  EXPECT_EQ(s.member_activations[1], 1U);
+}
+
+TEST(MetricsTest, BatchStatsTrackMeanAndMax) {
+  MetricsRegistry reg(1);
+  reg.on_batch(2);
+  reg.on_batch(6);
+  reg.on_batch(4);
+  const MetricsSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.batches, 3U);
+  EXPECT_EQ(s.batch_size_sum, 12U);
+  EXPECT_EQ(s.max_batch_size, 6U);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size(), 4.0);
+}
+
+TEST(MetricsTest, LatencyQuantilesUseBucketUpperBounds) {
+  MetricsRegistry reg(1);
+  // 9 samples at <=50us, 1 sample in the (800, 1600] bucket.
+  for (int i = 0; i < 9; ++i) reg.on_latency_us(10);
+  reg.on_latency_us(1000);
+  const MetricsSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.latency_quantile_us(0.5), 50U);
+  EXPECT_EQ(s.latency_quantile_us(0.9), 50U);
+  EXPECT_EQ(s.latency_quantile_us(0.99), 1600U);
+}
+
+TEST(MetricsTest, LatencyBucketBoundsAreStrictlyIncreasing) {
+  for (std::size_t b = 1; b < kLatencyBucketBounds.size(); ++b) {
+    EXPECT_LT(kLatencyBucketBounds[b - 1], kLatencyBucketBounds[b]);
+  }
+}
+
+TEST(MetricsTest, ToStringListsEveryCounter) {
+  MetricsRegistry reg(2);
+  reg.on_submitted();
+  reg.on_batch(1);
+  const std::string text = reg.snapshot().to_string();
+  EXPECT_NE(text.find("requests_submitted"), std::string::npos);
+  EXPECT_NE(text.find("requests_completed"), std::string::npos);
+  EXPECT_NE(text.find("batches"), std::string::npos);
+  EXPECT_NE(text.find("member_activations"), std::string::npos);
+  EXPECT_NE(text.find("latency"), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentWritersLoseNoIncrements) {
+  MetricsRegistry reg(1);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.on_submitted();
+        reg.on_latency_us(100);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  const MetricsSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.requests_submitted,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t hist_total = 0;
+  for (const auto b : s.latency_buckets) hist_total += b;
+  EXPECT_EQ(hist_total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace pgmr::runtime

@@ -15,7 +15,7 @@ class ZooCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
 #ifdef PGMR_TEST_CACHE_DIR
-    ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, 1);
+    ::setenv("PGMR_CACHE_DIR", PGMR_TEST_CACHE_DIR, /*overwrite=*/0);
 #endif
   }
 };

@@ -4,15 +4,20 @@
 //   pgmr design <benchmark> <members> <out.cfg>   greedy-build a system
 //   pgmr eval <config.cfg>                        test-split TP/FP report
 //   pgmr predict <config.cfg> <sample-index>      classify one test sample
+//   pgmr serve-bench <config.cfg> [flags]         serving-runtime load test
 //   pgmr list                                     available benchmarks/preps
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "polygraph/builder.h"
 #include "polygraph/config.h"
 #include "prep/preprocessor.h"
+#include "runtime/serving_runtime.h"
 
 namespace {
 
@@ -109,13 +114,100 @@ int cmd_predict(const std::string& config_path, std::int64_t index) {
   return 0;
 }
 
+/// Drives the serving runtime with a synthetic open-loop load drawn from
+/// the benchmark's test split and reports throughput, latency and quality.
+int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
+  runtime::RuntimeOptions opts;
+  opts.threads = 1;
+  opts.max_batch = 16;
+  opts.max_delay = std::chrono::microseconds(2000);
+  long long requests = 1000;
+  for (int i = 0; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const long long value = std::atoll(argv[i + 1]);
+    if (flag == "--threads") {
+      opts.threads = static_cast<std::size_t>(value);
+    } else if (flag == "--max-batch") {
+      opts.max_batch = static_cast<std::size_t>(value);
+    } else if (flag == "--max-delay-us") {
+      opts.max_delay = std::chrono::microseconds(value);
+    } else if (flag == "--queue-cap") {
+      opts.queue_capacity = static_cast<std::size_t>(value);
+    } else if (flag == "--requests") {
+      requests = value;
+    } else {
+      std::fprintf(stderr, "serve-bench: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (requests <= 0) {
+    std::fprintf(stderr, "serve-bench: --requests must be positive\n");
+    return 2;
+  }
+
+  const polygraph::SystemConfig config = polygraph::load_config(config_path);
+  const zoo::Benchmark& bm = zoo::find_benchmark(config.benchmark);
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+  const std::int64_t pool_n = splits.test.size();
+  std::printf("serve-bench: %s (%zu members, threads=%zu, max_batch=%zu, "
+              "max_delay=%lldus, requests=%lld)\n",
+              config.benchmark.c_str(), config.members.size(), opts.threads,
+              opts.max_batch,
+              static_cast<long long>(opts.max_delay.count()), requests);
+
+  runtime::ServingRuntime rt(polygraph::make_system(config), opts);
+  std::vector<std::future<polygraph::Verdict>> futures;
+  futures.reserve(static_cast<std::size_t>(requests));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (long long r = 0; r < requests; ++r) {
+    futures.push_back(rt.submit(splits.test.sample(r % pool_n)));
+  }
+  std::int64_t tp = 0, fp = 0, unreliable = 0;
+  for (long long r = 0; r < requests; ++r) {
+    const polygraph::Verdict v = futures[static_cast<std::size_t>(r)].get();
+    const std::int64_t truth =
+        splits.test.labels[static_cast<std::size_t>(r % pool_n)];
+    if (!v.reliable) {
+      ++unreliable;
+    } else if (v.label == truth) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  rt.shutdown();
+
+  const runtime::MetricsSnapshot snap = rt.metrics_snapshot();
+  std::printf("throughput: %.1f req/s (%lld requests in %.3fs)\n",
+              static_cast<double>(requests) / secs, requests, secs);
+  std::printf("quality:    TP %lld  FP %lld  unreliable %lld\n",
+              static_cast<long long>(tp), static_cast<long long>(fp),
+              static_cast<long long>(unreliable));
+  std::printf("batching:   %llu batches, mean size %.2f, max %llu\n",
+              static_cast<unsigned long long>(snap.batches),
+              snap.mean_batch_size(),
+              static_cast<unsigned long long>(snap.max_batch_size));
+  std::printf("latency:    p50 %llu us  p90 %llu us  p99 %llu us\n",
+              static_cast<unsigned long long>(snap.latency_quantile_us(0.5)),
+              static_cast<unsigned long long>(snap.latency_quantile_us(0.9)),
+              static_cast<unsigned long long>(snap.latency_quantile_us(0.99)));
+  std::printf("-- metrics snapshot --\n%s", snap.to_string().c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  pgmr list\n"
                "  pgmr design <benchmark> <members> <out.cfg>\n"
                "  pgmr eval <config.cfg>\n"
-               "  pgmr predict <config.cfg> <sample-index>\n");
+               "  pgmr predict <config.cfg> <sample-index>\n"
+               "  pgmr serve-bench <config.cfg> [--threads N] [--max-batch B]"
+               " [--max-delay-us D] [--queue-cap Q] [--requests R]\n");
   return 2;
 }
 
@@ -135,6 +227,9 @@ int main(int argc, char** argv) {
     if (cmd == "eval" && argc == 3) return cmd_eval(argv[2]);
     if (cmd == "predict" && argc == 4) {
       return cmd_predict(argv[2], std::atoll(argv[3]));
+    }
+    if (cmd == "serve-bench" && argc >= 3) {
+      return cmd_serve_bench(argv[2], argc - 3, argv + 3);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
