@@ -1,0 +1,107 @@
+#include "fault/chaos.h"
+
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace pgmr::fault {
+
+const char* to_string(ChaosFault fault) {
+  switch (fault) {
+    case ChaosFault::none: return "none";
+    case ChaosFault::member_exception: return "member_exception";
+    case ChaosFault::latency_spike: return "latency_spike";
+    case ChaosFault::nan_output: return "nan_output";
+  }
+  return "unknown";
+}
+
+ChaosInjector::ChaosInjector(std::size_t members) : plans_(members) {}
+
+void ChaosInjector::arm(std::size_t member, ChaosFault fault, int count,
+                        std::chrono::milliseconds latency) {
+  std::lock_guard lock(mutex_);
+  Plan& p = plans_.at(member);
+  p.fault = fault;
+  p.remaining = count;
+  p.latency = latency;
+}
+
+void ChaosInjector::disarm(std::size_t member) {
+  std::lock_guard lock(mutex_);
+  Plan& p = plans_.at(member);
+  p.fault = ChaosFault::none;
+  p.remaining = 0;
+}
+
+ChaosFault ChaosInjector::fire(std::size_t member,
+                               std::chrono::milliseconds* latency) {
+  std::lock_guard lock(mutex_);
+  Plan& p = plans_.at(member);
+  if (p.fault == ChaosFault::none || p.remaining == 0) return ChaosFault::none;
+  if (p.remaining > 0) --p.remaining;
+  ++p.fired;
+  if (latency != nullptr) *latency = p.latency;
+  return p.fault;
+}
+
+std::uint64_t ChaosInjector::fired(std::size_t member) const {
+  std::lock_guard lock(mutex_);
+  return plans_.at(member).fired;
+}
+
+namespace {
+
+/// The decorator chaos_wrap() returns.
+class ChaosPreprocessor final : public prep::Preprocessor {
+ public:
+  ChaosPreprocessor(std::unique_ptr<prep::Preprocessor> inner,
+                    std::shared_ptr<ChaosInjector> chaos, std::size_t member)
+      : inner_(std::move(inner)), chaos_(std::move(chaos)), member_(member) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  Tensor apply(const Tensor& images) const override {
+    std::chrono::milliseconds latency{0};
+    switch (chaos_->fire(member_, &latency)) {
+      case ChaosFault::none:
+        break;
+      case ChaosFault::member_exception:
+        throw std::runtime_error("chaos: injected member exception");
+      case ChaosFault::latency_spike:
+        std::this_thread::sleep_for(latency);
+        break;
+      case ChaosFault::nan_output: {
+        // Poison the member's whole view of the input: an all-NaN batch
+        // stays non-finite through every layer (a lone NaN pixel could be
+        // squashed by max-pooling's comparison semantics), so the member's
+        // softmax turns non-finite and the fault-domain finiteness check
+        // catches it downstream.
+        Tensor poisoned = inner_->apply(images);
+        poisoned.fill(std::numeric_limits<float>::quiet_NaN());
+        return poisoned;
+      }
+    }
+    return inner_->apply(images);
+  }
+
+ private:
+  std::unique_ptr<prep::Preprocessor> inner_;
+  std::shared_ptr<ChaosInjector> chaos_;
+  std::size_t member_;
+};
+
+}  // namespace
+
+std::unique_ptr<prep::Preprocessor> chaos_wrap(
+    std::unique_ptr<prep::Preprocessor> inner,
+    std::shared_ptr<ChaosInjector> chaos, std::size_t member) {
+  if (chaos == nullptr || member >= chaos->members()) {
+    throw std::invalid_argument("chaos_wrap: bad injector or member index");
+  }
+  return std::make_unique<ChaosPreprocessor>(std::move(inner),
+                                             std::move(chaos), member);
+}
+
+}  // namespace pgmr::fault

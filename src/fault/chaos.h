@@ -1,0 +1,84 @@
+// Chaos injection for the serving stack.
+//
+// The bit-flip Injector (injector.h) models storage-level soft errors; this
+// module adds the *runtime-level* fault classes a live MR serving system
+// must survive — a member that throws, a member that goes slow, a member
+// whose softmax turns NaN — and a controller to arm them against specific
+// ensemble members while a ServingRuntime is serving.
+//
+// Mechanism: chaos_wrap() decorates a member's Layer-1 preprocessor with a
+// ChaosPreprocessor that consults the shared ChaosInjector on every apply.
+// That reuses the existing Member seam (no hooks in mr/ or runtime/), fires
+// on the worker threads that actually run the member, and composes with the
+// weight-level Injector for bit-flip campaigns (see bench/chaos_resilience).
+//
+// Thread-safety: arm/disarm/fire are mutex-protected; fire() runs on pool
+// worker threads, arm()/disarm() on the chaos driver thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fault/injector.h"
+#include "prep/preprocessor.h"
+
+namespace pgmr::fault {
+
+/// Runtime-level fault classes injectable into a member's inference path.
+enum class ChaosFault {
+  none,
+  member_exception,  ///< the member throws std::runtime_error
+  latency_spike,     ///< the member sleeps `latency` before answering
+  nan_output,        ///< the member's input is poisoned with NaN, so its
+                     ///< softmax output turns non-finite
+};
+
+const char* to_string(ChaosFault fault);
+
+/// Shared controller: arms fault plans per member and serves fire() calls
+/// from the decorated preprocessors.
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(std::size_t members);
+
+  std::size_t members() const { return plans_.size(); }
+
+  /// Arms `fault` on `member` for the next `count` inferences (count < 0 =
+  /// until disarm). `latency` only applies to latency_spike.
+  void arm(std::size_t member, ChaosFault fault, int count = -1,
+           std::chrono::milliseconds latency = std::chrono::milliseconds(20));
+
+  /// Clears the member's plan.
+  void disarm(std::size_t member);
+
+  /// Called by ChaosPreprocessor on every inference of `member`: returns
+  /// the fault to act out now (decrementing the remaining count), plus the
+  /// latency to apply for spikes.
+  ChaosFault fire(std::size_t member, std::chrono::milliseconds* latency);
+
+  /// Total faults acted out on `member` since construction.
+  std::uint64_t fired(std::size_t member) const;
+
+ private:
+  struct Plan {
+    ChaosFault fault = ChaosFault::none;
+    int remaining = 0;  ///< -1 = unbounded
+    std::chrono::milliseconds latency{0};
+    std::uint64_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Plan> plans_;
+};
+
+/// Decorates `inner` so that member `member`'s inferences consult `chaos`
+/// first. name() forwards to the inner preprocessor, so configurations and
+/// member descriptions are unchanged.
+std::unique_ptr<prep::Preprocessor> chaos_wrap(
+    std::unique_ptr<prep::Preprocessor> inner,
+    std::shared_ptr<ChaosInjector> chaos, std::size_t member);
+
+}  // namespace pgmr::fault

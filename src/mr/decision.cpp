@@ -1,5 +1,6 @@
 #include "mr/decision.h"
 
+#include <cmath>
 #include <map>
 #include <stdexcept>
 
@@ -22,7 +23,12 @@ std::vector<Vote> votes_from_probabilities(const Tensor& probs) {
 Decision decide(const std::vector<Vote>& votes, const Thresholds& t) {
   std::map<std::int64_t, int> histogram;
   for (const Vote& v : votes) {
-    if (v.label >= 0 && v.confidence >= t.conf) ++histogram[v.label];
+    // A non-finite confidence (NaN softmax from a corrupted member) must
+    // never count as an acceptable vote; isfinite makes the drop explicit
+    // rather than relying on NaN-comparison semantics.
+    if (v.label >= 0 && std::isfinite(v.confidence) && v.confidence >= t.conf) {
+      ++histogram[v.label];
+    }
   }
   Decision d;
   if (histogram.empty()) return d;  // nothing acceptable: unreliable, no label
@@ -41,6 +47,27 @@ Decision decide(const std::vector<Vote>& votes, const Thresholds& t) {
   d.votes_for_label = best;
   d.reliable = !tie && best >= t.freq;
   return d;
+}
+
+int degraded_threshold(int freq, int active, int total) {
+  if (active <= 0 || total <= 0) {
+    throw std::invalid_argument("degraded_threshold: non-positive quorum");
+  }
+  if (active > total) {
+    throw std::invalid_argument("degraded_threshold: active > total");
+  }
+  // ceil(freq * active / total) in integers, then clamp to [1, active] so
+  // the rule stays satisfiable however aggressive the configured freq was.
+  const int scaled =
+      (freq * active + total - 1) / total;
+  return std::max(1, std::min(scaled, active));
+}
+
+Decision decide(const std::vector<Vote>& votes, const Thresholds& t,
+                int active, int total) {
+  Thresholds scaled = t;
+  scaled.freq = degraded_threshold(t.freq, active, total);
+  return decide(votes, scaled);
 }
 
 int majority_threshold(int members) { return members / 2 + 1; }

@@ -36,8 +36,21 @@ struct Decision {
 /// Extracts per-sample votes from a member's [N, C] probability matrix.
 std::vector<Vote> votes_from_probabilities(const Tensor& probs);
 
-/// Runs the decision engine over one sample's member votes.
+/// Runs the decision engine over one sample's member votes. Votes with a
+/// non-finite confidence (NaN/Inf softmax from a corrupted member) are
+/// treated as below Thr_Conf and never counted.
 Decision decide(const std::vector<Vote>& votes, const Thresholds& t);
+
+/// Degraded-quorum overload: `active` of `total` configured members
+/// survived (the rest are faulted or quarantined), so Thr_Freq is
+/// re-normalized to ceil(freq * active / total), clamped to [1, active].
+/// A 4-of-6 agreement rule becomes 3-of-4 with two members down instead of
+/// an unsatisfiable 4-of-4+. With active == total this is exactly decide().
+Decision decide(const std::vector<Vote>& votes, const Thresholds& t,
+                int active, int total);
+
+/// The re-normalized Thr_Freq used by the degraded-quorum overload.
+int degraded_threshold(int freq, int active, int total);
 
 /// Thr_Freq for classic majority voting over `members` networks.
 int majority_threshold(int members);

@@ -1,6 +1,20 @@
 #include "mr/ensemble.h"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace pgmr::mr {
+
+const char* to_string(MemberFault fault) {
+  switch (fault) {
+    case MemberFault::none: return "none";
+    case MemberFault::skipped: return "skipped";
+    case MemberFault::exception: return "exception";
+    case MemberFault::non_finite: return "non_finite";
+    case MemberFault::checksum: return "checksum";
+  }
+  return "unknown";
+}
 
 Member::Member(std::unique_ptr<prep::Preprocessor> preprocessor,
                nn::Network network, int bits)
@@ -16,6 +30,36 @@ Tensor Member::probabilities(const Tensor& images) {
   return net_.probabilities(prep_->apply(images));
 }
 
+MemberOutcome Member::try_probabilities(const Tensor& images) {
+  MemberOutcome out;
+  quant::AbftCheck abft;
+  try {
+    out.probabilities = net_.probabilities(prep_->apply(images), &abft);
+  } catch (const std::exception& e) {
+    out.fault = MemberFault::exception;
+    out.error = std::current_exception();
+    out.message = e.what();
+    return out;
+  } catch (...) {
+    out.fault = MemberFault::exception;
+    out.error = std::current_exception();
+    out.message = "non-standard exception";
+    return out;
+  }
+  for (std::int64_t i = 0; i < out.probabilities.numel(); ++i) {
+    if (!std::isfinite(out.probabilities[i])) {
+      out.fault = MemberFault::non_finite;
+      out.message = "non-finite softmax output";
+      return out;
+    }
+  }
+  if (abft.checked && !abft.ok) {
+    out.fault = MemberFault::checksum;
+    out.message = "ABFT column-sum mismatch on the final FC";
+  }
+  return out;
+}
+
 perf::InferenceCost Member::cost(const Shape& in,
                                  const perf::CostModel& model) const {
   return model.network_cost(net_.network().cost(in), net_.bits());
@@ -26,6 +70,24 @@ std::vector<Tensor> Ensemble::member_probabilities(const Tensor& images,
   std::vector<Tensor> out(members_.size());
   exec(members_.size(),
        [&](std::size_t m) { out[m] = members_[m].probabilities(images); });
+  return out;
+}
+
+std::vector<MemberOutcome> Ensemble::member_outcomes(
+    const Tensor& images, const Executor& exec,
+    const std::vector<bool>* active) {
+  if (active != nullptr && active->size() != members_.size()) {
+    throw std::invalid_argument("Ensemble::member_outcomes: mask size");
+  }
+  std::vector<MemberOutcome> out(members_.size());
+  exec(members_.size(), [&](std::size_t m) {
+    if (active != nullptr && !(*active)[m]) {
+      out[m].fault = MemberFault::skipped;
+      out[m].message = "inactive (quarantined or masked)";
+      return;
+    }
+    out[m] = members_[m].try_probabilities(images);
+  });
   return out;
 }
 

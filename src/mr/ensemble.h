@@ -1,7 +1,15 @@
 // Ensemble: Layers 1+2 bound together — each member pairs a preprocessor
 // with a (possibly precision-reduced) CNN.
+//
+// Each member is also a *fault domain*: try_probabilities /
+// member_outcomes capture per-member failures (thrown exceptions,
+// non-finite softmax outputs, ABFT checksum mismatches on the final FC)
+// as MemberOutcome values instead of letting one bad member take down the
+// whole inference — the seam the serving runtime's quarantine and
+// degraded-quorum machinery is built on.
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +23,29 @@
 
 namespace pgmr::mr {
 
+/// Why a member failed to contribute a usable softmax output.
+enum class MemberFault {
+  none,        ///< healthy output
+  skipped,     ///< not run (inactive in the caller's run mask)
+  exception,   ///< preprocessor or network threw
+  non_finite,  ///< softmax contained NaN/Inf
+  checksum,    ///< ABFT column-sum mismatch on the final FC GEMM
+};
+
+const char* to_string(MemberFault fault);
+
+/// One member's isolated inference result.
+struct MemberOutcome {
+  /// [N, C] softmax. Valid for fault == none; still populated (but suspect)
+  /// for non_finite/checksum faults; empty for skipped/exception.
+  Tensor probabilities;
+  MemberFault fault = MemberFault::none;
+  std::exception_ptr error;  ///< set for exception faults
+  std::string message;       ///< human-readable fault description
+
+  bool ok() const { return fault == MemberFault::none; }
+};
+
 /// One preprocessor + network pair. bits == 32 runs at full precision.
 class Member {
  public:
@@ -27,7 +58,15 @@ class Member {
   int bits() const { return net_.bits(); }
 
   /// Applies the preprocessor then the network; returns [N, C] softmax.
+  /// Exceptions propagate — this is the strict path.
   Tensor probabilities(const Tensor& images);
+
+  /// Fault-isolated inference: exceptions, non-finite outputs and ABFT
+  /// checksum failures are reported in the outcome, never thrown.
+  MemberOutcome try_probabilities(const Tensor& images);
+
+  /// The wrapped network, exposed for fault-injection campaigns.
+  quant::QuantizedNetwork& net() { return net_; }
 
   /// Static cost of one inference on inputs of shape `in` at this member's
   /// precision.
@@ -55,6 +94,13 @@ class Ensemble {
   /// result is identical either way (each member writes its own slot).
   std::vector<Tensor> member_probabilities(
       const Tensor& images, const Executor& exec = serial_executor());
+
+  /// Fault-isolated variant: every member runs inside its own fault domain
+  /// (see MemberOutcome). `active` (when non-null, sized like the ensemble)
+  /// marks members to skip — the runtime passes its quarantine mask.
+  std::vector<MemberOutcome> member_outcomes(
+      const Tensor& images, const Executor& exec = serial_executor(),
+      const std::vector<bool>* active = nullptr);
 
   /// member_probabilities + vote extraction in one call.
   MemberVotes member_votes(const Tensor& images,

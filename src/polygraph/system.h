@@ -25,6 +25,20 @@ struct Verdict {
   bool reliable = false;
   int votes = 0;      ///< acceptable votes behind `label`
   int activated = 0;  ///< members actually run (== size unless staged)
+  /// True when the verdict was reached without full quorum — some members
+  /// were quarantined or faulted, and Thr_Freq was re-normalized against
+  /// the survivors. A degraded TP is honest but weaker than a full-quorum
+  /// TP; callers who need the distinction read this flag.
+  bool degraded = false;
+};
+
+/// Result of one fault-isolated batch: verdicts plus per-member fault
+/// classes, so the serving runtime can feed its health tracker.
+struct BatchReport {
+  std::vector<Verdict> verdicts;
+  std::vector<mr::MemberFault> member_faults;  ///< one entry per member
+  int active = 0;  ///< members that contributed usable probabilities
+  bool degraded = false;  ///< active < ensemble size
 };
 
 /// The assembled PolygraphMR system.
@@ -69,6 +83,20 @@ class PolygraphSystem {
   std::vector<Verdict> predict_batch(
       const Tensor& images, const mr::Executor& exec = mr::serial_executor());
 
+  /// Fault-isolated predict_batch: every member runs in its own fault
+  /// domain (exceptions, non-finite softmax and ABFT checksum failures are
+  /// captured per member, cf. mr::MemberOutcome), `run_mask` (empty = all)
+  /// skips quarantined members, and verdicts fall back to a degraded
+  /// quorum — Thr_Freq re-normalized against the surviving member count —
+  /// whenever any member is down. With a full mask and zero faults the
+  /// verdicts are bit-identical to predict_batch (RADE staging included).
+  /// When *no* member produces output and at least one threw, the first
+  /// exception is rethrown: a whole-ensemble failure is indistinguishable
+  /// from a poison input, and quarantining everyone on it would be wrong.
+  BatchReport predict_batch_resilient(
+      const Tensor& images, const std::vector<bool>& run_mask = {},
+      const mr::Executor& exec = mr::serial_executor());
+
   /// Full-activation evaluation over a labeled set.
   mr::Outcome evaluate(const Tensor& images,
                        const std::vector<std::int64_t>& labels,
@@ -81,6 +109,12 @@ class PolygraphSystem {
       const mr::Executor& exec = mr::serial_executor());
 
  private:
+  /// The full-quorum per-sample decision (staged or flat), shared by
+  /// predict_batch and the zero-fault path of predict_batch_resilient so
+  /// the two are bit-identical by construction.
+  Verdict full_quorum_verdict(const mr::MemberVotes& votes,
+                              std::int64_t n) const;
+
   mr::Ensemble ensemble_;
   mr::Thresholds thresholds_;
   std::optional<std::vector<std::size_t>> priority_;

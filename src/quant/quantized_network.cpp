@@ -1,28 +1,99 @@
 #include "quant/quantized_network.h"
 
+#include <cmath>
+#include <cstdlib>
+
 #include "nn/softmax.h"
 
 namespace pgmr::quant {
+namespace {
+
+/// The final Dense layer, or nullptr when the network ends differently.
+nn::Layer* final_dense(nn::Network& net) {
+  if (net.mutable_layers().empty()) return nullptr;
+  nn::Layer* last = net.mutable_layers().back().get();
+  return last->kind() == "dense" ? last : nullptr;
+}
+
+}  // namespace
 
 QuantizedNetwork::QuantizedNetwork(nn::Network network, int bits)
     : network_(std::move(network)), bits_(bits) {
   for (Tensor* p : network_.params()) {
     truncate_tensor(*p, bits_);
   }
+  refresh_checksum();
 }
 
-Tensor QuantizedNetwork::forward(const Tensor& input) {
+void QuantizedNetwork::refresh_checksum() {
+  abft_colsum_ = Tensor();
+  abft_bias_sum_ = 0.0F;
+  nn::Layer* fc = final_dense(network_);
+  if (fc == nullptr) return;
+  const auto params = fc->params();
+  if (params.size() < 2 || params[0]->shape().rank() != 2) return;
+  const Tensor& weight = *params[0];  // [out_f, in_f]
+  const Tensor& bias = *params[1];    // [out_f]
+  const std::int64_t out_f = weight.shape()[0];
+  const std::int64_t in_f = weight.shape()[1];
+  abft_colsum_ = Tensor(Shape{in_f});
+  for (std::int64_t o = 0; o < out_f; ++o) {
+    for (std::int64_t i = 0; i < in_f; ++i) {
+      abft_colsum_[i] += weight[o * in_f + i];
+    }
+  }
+  abft_bias_sum_ = bias.sum();
+}
+
+Tensor QuantizedNetwork::forward(const Tensor& input, AbftCheck* abft) {
+  if (abft != nullptr) *abft = AbftCheck{};
   Tensor x = input;
   truncate_tensor(x, bits_);
-  for (auto& layer : network_.mutable_layers()) {
-    x = layer->forward(x, /*train=*/false);
+  auto& layers = network_.mutable_layers();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const bool verify = abft != nullptr && l + 1 == layers.size() &&
+                        !abft_colsum_.empty() &&
+                        x.shape().rank() == 2 &&
+                        x.shape()[1] == abft_colsum_.numel();
+    if (!verify) {
+      x = layers[l]->forward(x, /*train=*/false);
+      truncate_tensor(x, bits_);
+      continue;
+    }
+    // ABFT verification of the final FC GEMM: compare each output row sum
+    // against the golden-column-sum prediction from the FC input. Runs on
+    // the pre-truncation output (truncation would add its own error).
+    const Tensor fc_in = x;
+    x = layers[l]->forward(x, /*train=*/false);
+    abft->checked = true;
+    const std::int64_t n = x.shape()[0];
+    const std::int64_t out_f = x.shape()[1];
+    const std::int64_t in_f = abft_colsum_.numel();
+    for (std::int64_t row = 0; row < n; ++row) {
+      float expected = abft_bias_sum_;
+      for (std::int64_t i = 0; i < in_f; ++i) {
+        expected += fc_in[row * in_f + i] * abft_colsum_[i];
+      }
+      float actual = 0.0F;
+      for (std::int64_t o = 0; o < out_f; ++o) {
+        actual += x[row * out_f + o];
+      }
+      const float rel =
+          std::abs(actual - expected) / (1.0F + std::abs(expected));
+      // A NaN/Inf discrepancy (corrupted weights overflowing the GEMM)
+      // must fail the check, so compare through the negation.
+      if (!(rel <= kAbftTolerance)) abft->ok = false;
+      if (std::isfinite(rel)) {
+        abft->max_rel_error = std::max(abft->max_rel_error, rel);
+      }
+    }
     truncate_tensor(x, bits_);
   }
   return x;
 }
 
-Tensor QuantizedNetwork::probabilities(const Tensor& input) {
-  return nn::softmax(forward(input));
+Tensor QuantizedNetwork::probabilities(const Tensor& input, AbftCheck* abft) {
+  return nn::softmax(forward(input, abft));
 }
 
 }  // namespace pgmr::quant

@@ -2,6 +2,14 @@
 //
 // Weights are truncated once at construction; activations are truncated
 // after every layer, simulating the paper's truncating load/store path.
+//
+// The wrapper also carries an ABFT-style column-sum checksum over the final
+// fully-connected layer (FT-CNN style): the column sums of the FC weight
+// matrix are captured once at construction, when the weights are known
+// good. At inference, sum_o y[n,o] must equal dot(x[n,:], colsum) + sum(b);
+// a stored-weight corruption (e.g. a high-exponent bit flip from the fault
+// injector) breaks that identity and is reported through AbftCheck without
+// any second GEMM.
 #pragma once
 
 #include "nn/network.h"
@@ -9,30 +17,57 @@
 
 namespace pgmr::quant {
 
+/// Result of the final-FC checksum verification for one forward pass.
+struct AbftCheck {
+  bool checked = false;  ///< false when the net has no final Dense layer
+  bool ok = true;        ///< false on checksum mismatch (or non-finite sums)
+  float max_rel_error = 0.0F;  ///< worst row |actual-expected|/(1+|expected|)
+};
+
+/// Relative tolerance for the FC checksum; float GEMM accumulation over the
+/// fan-in stays orders of magnitude below this, while exponent-bit weight
+/// corruption overshoots it by many orders.
+inline constexpr float kAbftTolerance = 2e-3F;
+
 /// Owns an independent copy of a network and runs it at `bits` precision.
 /// Obtain the copy by re-loading the cached model from disk (Network is
 /// move-only by design).
 class QuantizedNetwork {
  public:
-  /// Takes ownership of `network` and truncates all its parameters.
+  /// Takes ownership of `network`, truncates all its parameters and caches
+  /// the golden FC column checksums.
   QuantizedNetwork(nn::Network network, int bits);
 
   const std::string& name() const { return network_.name(); }
   int bits() const { return bits_; }
 
   /// Forward pass with per-layer activation truncation; returns logits.
-  Tensor forward(const Tensor& input);
+  /// When `abft` is non-null the final-FC checksum is verified into it.
+  Tensor forward(const Tensor& input, AbftCheck* abft = nullptr);
 
   /// forward() followed by softmax — the layer-2 output PolygraphMR uses.
-  Tensor probabilities(const Tensor& input);
+  Tensor probabilities(const Tensor& input, AbftCheck* abft = nullptr);
 
   /// Cost of one forward pass at the wrapped precision is derived by the
   /// perf module from this plus bits(); expose the underlying network.
   const nn::Network& network() const { return network_; }
 
+  /// Mutable access for fault injection (chaos/injector campaigns). Note
+  /// that deliberate weight edits are exactly what the ABFT checksum
+  /// detects; call refresh_checksum() after a *legitimate* weight change.
+  nn::Network& mutable_network() { return network_; }
+
+  /// Recaptures the golden FC column sums from the current weights.
+  void refresh_checksum();
+
  private:
   nn::Network network_;
   int bits_;
+  // Golden checksum state for the final Dense layer (empty when absent):
+  // abft_colsum_[i] = sum_o W[o,i] and abft_bias_sum_ = sum_o b[o], taken
+  // when the weights were known good.
+  Tensor abft_colsum_;
+  float abft_bias_sum_ = 0.0F;
 };
 
 }  // namespace pgmr::quant

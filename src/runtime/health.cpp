@@ -1,0 +1,69 @@
+#include "runtime/health.h"
+
+#include <algorithm>
+
+namespace pgmr::runtime {
+
+const char* to_string(MemberState state) {
+  switch (state) {
+    case MemberState::healthy: return "healthy";
+    case MemberState::quarantined: return "quarantined";
+    case MemberState::half_open: return "half_open";
+  }
+  return "unknown";
+}
+
+MemberHealth::MemberHealth(std::size_t members, Options options)
+    : options_{std::max(1, options.quarantine_after),
+               std::max(options.cooldown, std::chrono::milliseconds(0))},
+      states_(members),
+      faults_(members),
+      probe_at_(members) {}
+
+std::vector<bool> MemberHealth::run_mask(
+    std::chrono::steady_clock::time_point now) {
+  std::vector<bool> mask(states_.size());
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    switch (state(m)) {
+      case MemberState::healthy:
+      case MemberState::half_open:
+        mask[m] = true;
+        break;
+      case MemberState::quarantined:
+        if (now >= probe_at_[m]) {
+          set_state(m, MemberState::half_open);
+          mask[m] = true;
+        }
+        break;
+    }
+  }
+  return mask;
+}
+
+bool MemberHealth::on_result(std::size_t member, bool ok,
+                             std::chrono::steady_clock::time_point now) {
+  if (ok) {
+    faults_[member].store(0, std::memory_order_relaxed);
+    set_state(member, MemberState::healthy);
+    return false;
+  }
+  const int streak =
+      faults_[member].fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool trip = state(member) == MemberState::half_open ||
+                    streak >= options_.quarantine_after;
+  if (trip) {
+    set_state(member, MemberState::quarantined);
+    probe_at_[member] = now + options_.cooldown;
+  }
+  return trip;
+}
+
+std::size_t MemberHealth::quarantined_count() const {
+  std::size_t n = 0;
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    if (state(m) == MemberState::quarantined) ++n;
+  }
+  return n;
+}
+
+}  // namespace pgmr::runtime

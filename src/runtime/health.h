@@ -1,0 +1,72 @@
+// MemberHealth: the per-member circuit breaker behind the serving
+// runtime's fault isolation.
+//
+// Each ensemble member moves through three states:
+//
+//   healthy ──(quarantine_after consecutive faults)──► quarantined
+//   quarantined ──(cooldown elapsed)──► half_open (runs as a probe)
+//   half_open ──(probe ok)──► healthy      (fault streak reset)
+//   half_open ──(probe fault)──► quarantined (fresh cooldown)
+//
+// Threading: run_mask() and on_result() are called by the batcher thread
+// only (one batch in flight at a time); state() / consecutive_faults()
+// are safe from any thread — state lives in relaxed atomics, and the
+// deadline bookkeeping is batcher-private.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace pgmr::runtime {
+
+enum class MemberState : int { healthy = 0, quarantined = 1, half_open = 2 };
+
+const char* to_string(MemberState state);
+
+class MemberHealth {
+ public:
+  struct Options {
+    int quarantine_after = 3;  ///< consecutive faults before quarantine
+    std::chrono::milliseconds cooldown{250};  ///< quarantine -> half-open
+  };
+
+  MemberHealth(std::size_t members, Options options);
+
+  std::size_t members() const { return states_.size(); }
+  const Options& options() const { return options_; }
+
+  /// Which members the next batch should run: healthy and half-open ones,
+  /// plus quarantined members whose cooldown has expired (they transition
+  /// to half_open and run as probes). Batcher thread only.
+  std::vector<bool> run_mask(std::chrono::steady_clock::time_point now);
+
+  /// Records one member's batch result. Returns true when this result
+  /// transitioned the member *into* quarantine (a quarantine event, for
+  /// metrics). Batcher thread only; call only for members that ran.
+  bool on_result(std::size_t member, bool ok,
+                 std::chrono::steady_clock::time_point now);
+
+  MemberState state(std::size_t member) const {
+    return static_cast<MemberState>(
+        states_[member].load(std::memory_order_relaxed));
+  }
+  int consecutive_faults(std::size_t member) const {
+    return faults_[member].load(std::memory_order_relaxed);
+  }
+  std::size_t quarantined_count() const;
+
+ private:
+  void set_state(std::size_t member, MemberState s) {
+    states_[member].store(static_cast<int>(s), std::memory_order_relaxed);
+  }
+
+  Options options_;
+  std::vector<std::atomic<int>> states_;
+  std::vector<std::atomic<int>> faults_;
+  // Batcher-private: when each quarantined member may probe again.
+  std::vector<std::chrono::steady_clock::time_point> probe_at_;
+};
+
+}  // namespace pgmr::runtime

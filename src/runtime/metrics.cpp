@@ -39,6 +39,7 @@ std::string MetricsSnapshot::to_string() const {
   emit("requests_submitted", requests_submitted);
   emit("requests_completed", requests_completed);
   emit("requests_rejected", requests_rejected);
+  emit("requests_shed", requests_shed);
   emit("batches", batches);
   emit("batch_size_sum", batch_size_sum);
   emit("max_batch_size", max_batch_size);
@@ -47,9 +48,20 @@ std::string MetricsSnapshot::to_string() const {
   out += line;
   emit("reliable", reliable);
   emit("unreliable", unreliable);
+  emit("degraded_verdicts", degraded_verdicts);
   for (std::size_t m = 0; m < member_activations.size(); ++m) {
     std::snprintf(line, sizeof(line), "member_activations[%zu]   %llu\n", m,
                   static_cast<unsigned long long>(member_activations[m]));
+    out += line;
+  }
+  for (std::size_t m = 0; m < member_faults.size(); ++m) {
+    std::snprintf(line, sizeof(line), "member_faults[%zu]        %llu\n", m,
+                  static_cast<unsigned long long>(member_faults[m]));
+    out += line;
+  }
+  for (std::size_t m = 0; m < quarantine_events.size(); ++m) {
+    std::snprintf(line, sizeof(line), "quarantine_events[%zu]    %llu\n", m,
+                  static_cast<unsigned long long>(quarantine_events[m]));
     out += line;
   }
   for (const double q : {0.5, 0.9, 0.99}) {
@@ -61,7 +73,9 @@ std::string MetricsSnapshot::to_string() const {
 }
 
 MetricsRegistry::MetricsRegistry(std::size_t members)
-    : member_activations_(members) {}
+    : member_activations_(members),
+      member_faults_(members),
+      quarantine_events_(members) {}
 
 void MetricsRegistry::on_batch(std::uint64_t size) {
   add(batches_);
@@ -86,14 +100,24 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
   s.requests_completed = requests_completed_.load(std::memory_order_relaxed);
   s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  s.requests_shed = requests_shed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batch_size_sum = batch_size_sum_.load(std::memory_order_relaxed);
   s.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
   s.reliable = reliable_.load(std::memory_order_relaxed);
   s.unreliable = unreliable_.load(std::memory_order_relaxed);
+  s.degraded_verdicts = degraded_verdicts_.load(std::memory_order_relaxed);
   s.member_activations.reserve(member_activations_.size());
   for (const auto& a : member_activations_) {
     s.member_activations.push_back(a.load(std::memory_order_relaxed));
+  }
+  s.member_faults.reserve(member_faults_.size());
+  for (const auto& f : member_faults_) {
+    s.member_faults.push_back(f.load(std::memory_order_relaxed));
+  }
+  s.quarantine_events.reserve(quarantine_events_.size());
+  for (const auto& q : quarantine_events_) {
+    s.quarantine_events.push_back(q.load(std::memory_order_relaxed));
   }
   for (std::size_t b = 0; b < latency_buckets_.size(); ++b) {
     s.latency_buckets[b] = latency_buckets_[b].load(std::memory_order_relaxed);

@@ -7,9 +7,12 @@
 //
 // Schema (all counts cumulative since construction):
 //   requests_submitted / completed / rejected
+//   requests_shed                               -> deadline-expired drops
 //   batches, batch_size_sum, max_batch_size     -> coalescing behaviour
 //   reliable / unreliable                       -> verdict quality split
+//   degraded_verdicts                           -> served without full quorum
 //   member_activations[m]                       -> RADE activation counts
+//   member_faults[m] / quarantine_events[m]     -> fault-isolation activity
 //   latency histogram (end-to-end, microseconds, geometric buckets)
 #pragma once
 
@@ -33,12 +36,16 @@ struct MetricsSnapshot {
   std::uint64_t requests_submitted = 0;
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_rejected = 0;
+  std::uint64_t requests_shed = 0;
   std::uint64_t batches = 0;
   std::uint64_t batch_size_sum = 0;
   std::uint64_t max_batch_size = 0;
   std::uint64_t reliable = 0;
   std::uint64_t unreliable = 0;
+  std::uint64_t degraded_verdicts = 0;
   std::vector<std::uint64_t> member_activations;
+  std::vector<std::uint64_t> member_faults;
+  std::vector<std::uint64_t> quarantine_events;
   std::array<std::uint64_t, kLatencyBucketBounds.size()> latency_buckets{};
 
   double mean_batch_size() const;
@@ -59,15 +66,19 @@ class MetricsRegistry {
 
   void on_submitted() { add(requests_submitted_); }
   void on_rejected() { add(requests_rejected_); }
+  void on_shed() { add(requests_shed_); }
 
   void on_batch(std::uint64_t size);
   void on_verdict(bool reliable) {
     add(reliable ? reliable_ : unreliable_);
     add(requests_completed_);
   }
+  void on_degraded_verdict() { add(degraded_verdicts_); }
   void on_member_activated(std::size_t member) {
     add(member_activations_[member]);
   }
+  void on_member_fault(std::size_t member) { add(member_faults_[member]); }
+  void on_quarantine(std::size_t member) { add(quarantine_events_[member]); }
   void on_latency_us(std::uint64_t micros);
 
   std::size_t members() const { return member_activations_.size(); }
@@ -83,12 +94,16 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> requests_submitted_{0};
   std::atomic<std::uint64_t> requests_completed_{0};
   std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batch_size_sum_{0};
   std::atomic<std::uint64_t> max_batch_size_{0};
   std::atomic<std::uint64_t> reliable_{0};
   std::atomic<std::uint64_t> unreliable_{0};
+  std::atomic<std::uint64_t> degraded_verdicts_{0};
   std::vector<std::atomic<std::uint64_t>> member_activations_;
+  std::vector<std::atomic<std::uint64_t>> member_faults_;
+  std::vector<std::atomic<std::uint64_t>> quarantine_events_;
   std::array<std::atomic<std::uint64_t>, kLatencyBucketBounds.size()>
       latency_buckets_{};
 };

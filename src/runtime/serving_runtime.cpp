@@ -17,29 +17,38 @@ ServingRuntime::ServingRuntime(polygraph::PolygraphSystem system,
                                RuntimeOptions options)
     : system_(std::move(system)),
       options_{clamped(options.threads), clamped(options.max_batch),
-               options.max_delay, clamped(options.queue_capacity)},
+               options.max_delay, clamped(options.queue_capacity),
+               options.quarantine_after, options.quarantine_cooldown},
       metrics_(system_.ensemble().size()),
+      health_(system_.ensemble().size(),
+              MemberHealth::Options{options_.quarantine_after,
+                                    options_.quarantine_cooldown}),
       queue_(options_.queue_capacity),
       pool_(options_.threads),
       batcher_([this] { batcher_loop(); }) {}
 
 ServingRuntime::~ServingRuntime() { shutdown(); }
 
-ServingRuntime::Request ServingRuntime::make_request(Tensor image) const {
+ServingRuntime::Request ServingRuntime::make_request(
+    Tensor image,
+    std::optional<std::chrono::steady_clock::time_point> deadline) const {
   if (image.shape().rank() != 4 || image.shape()[0] != 1) {
     throw std::invalid_argument("ServingRuntime: expected a [1,C,H,W] image");
   }
   Request r;
   r.image = std::move(image);
   r.enqueued = std::chrono::steady_clock::now();
+  r.deadline = deadline;
   return r;
 }
 
-std::future<polygraph::Verdict> ServingRuntime::submit(Tensor image) {
+std::future<polygraph::Verdict> ServingRuntime::submit(
+    Tensor image,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
   if (stopped_.load(std::memory_order_acquire)) {
     throw std::runtime_error("ServingRuntime::submit after shutdown");
   }
-  Request r = make_request(std::move(image));
+  Request r = make_request(std::move(image), deadline);
   std::future<polygraph::Verdict> future = r.promise.get_future();
   if (!queue_.push(std::move(r))) {  // lost the race with shutdown()
     metrics_.on_rejected();
@@ -50,12 +59,13 @@ std::future<polygraph::Verdict> ServingRuntime::submit(Tensor image) {
 }
 
 std::optional<std::future<polygraph::Verdict>> ServingRuntime::try_submit(
-    Tensor image) {
+    Tensor image,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
   if (stopped_.load(std::memory_order_acquire)) {
     metrics_.on_rejected();
     return std::nullopt;
   }
-  Request r = make_request(std::move(image));
+  Request r = make_request(std::move(image), deadline);
   std::future<polygraph::Verdict> future = r.promise.get_future();
   if (!queue_.try_push(std::move(r))) {
     metrics_.on_rejected();
@@ -88,44 +98,69 @@ void ServingRuntime::batcher_loop() {
 }
 
 void ServingRuntime::run_batch(std::vector<Request>& batch) {
-  // Requests whose geometry disagrees with the batch head fail alone
-  // instead of poisoning the whole batch.
-  const Shape& head = batch.front().image.shape();
+  // Load shedding: requests whose deadline already passed get a distinct
+  // error without spending any inference on them. Then requests whose
+  // geometry disagrees with the (surviving) batch head fail alone instead
+  // of poisoning the whole batch.
+  const auto entered = std::chrono::steady_clock::now();
   std::vector<Request*> live;
   live.reserve(batch.size());
+  const Shape* head = nullptr;
   for (Request& r : batch) {
-    if (r.image.shape() == head) {
+    if (r.deadline && *r.deadline < entered) {
+      metrics_.on_shed();
+      r.promise.set_exception(std::make_exception_ptr(DeadlineExceeded()));
+      continue;
+    }
+    if (head == nullptr) head = &r.image.shape();
+    if (r.image.shape() == *head) {
       live.push_back(&r);
     } else {
       r.promise.set_exception(std::make_exception_ptr(std::invalid_argument(
           "ServingRuntime: request shape differs from batch head")));
     }
   }
+  if (live.empty()) return;  // everything shed or rejected
 
   const std::int64_t n = static_cast<std::int64_t>(live.size());
-  Tensor images(Shape{n, head[1], head[2], head[3]});
-  const std::int64_t stride = head.numel();  // [1,C,H,W] elements per image
+  Tensor images(Shape{n, (*head)[1], (*head)[2], (*head)[3]});
+  const std::int64_t stride = head->numel();  // [1,C,H,W] elements per image
   for (std::int64_t i = 0; i < n; ++i) {
     std::memcpy(images.data() + i * stride,
                 live[static_cast<std::size_t>(i)]->image.data(),
                 static_cast<std::size_t>(stride) * sizeof(float));
   }
 
-  std::vector<polygraph::Verdict> verdicts;
+  // Member fault domains + circuit breaker: quarantined members are
+  // skipped via the mask; per-member faults are isolated inside
+  // predict_batch_resilient. Only a whole-ensemble failure (every active
+  // member threw — indistinguishable from a poison input) escapes as an
+  // exception, and deliberately does not count against member health.
+  const std::vector<bool> mask = health_.run_mask(entered);
+  polygraph::BatchReport report;
   try {
-    verdicts = system_.predict_batch(images, pool_.executor());
+    report = system_.predict_batch_resilient(images, mask, pool_.executor());
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     for (Request* r : live) r->promise.set_exception(error);
     return;
   }
 
-  metrics_.on_batch(static_cast<std::uint64_t>(n));
   const auto now = std::chrono::steady_clock::now();
+  for (std::size_t m = 0; m < report.member_faults.size(); ++m) {
+    const mr::MemberFault fault = report.member_faults[m];
+    if (fault == mr::MemberFault::skipped) continue;
+    const bool ok = fault == mr::MemberFault::none;
+    if (!ok) metrics_.on_member_fault(m);
+    if (health_.on_result(m, ok, now)) metrics_.on_quarantine(m);
+  }
+
+  metrics_.on_batch(static_cast<std::uint64_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
     Request& r = *live[static_cast<std::size_t>(i)];
-    const polygraph::Verdict& v = verdicts[static_cast<std::size_t>(i)];
-    record_verdict(v);
+    const polygraph::Verdict& v =
+        report.verdicts[static_cast<std::size_t>(i)];
+    record_verdict(v, report);
     metrics_.on_latency_us(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(now - r.enqueued)
             .count()));
@@ -133,9 +168,19 @@ void ServingRuntime::run_batch(std::vector<Request>& batch) {
   }
 }
 
-void ServingRuntime::record_verdict(const polygraph::Verdict& verdict) {
+void ServingRuntime::record_verdict(const polygraph::Verdict& verdict,
+                                    const polygraph::BatchReport& report) {
   metrics_.on_verdict(verdict.reliable);
-  if (system_.staged()) {
+  if (verdict.degraded) {
+    metrics_.on_degraded_verdict();
+    // Charge exactly the members that contributed under degraded quorum
+    // (RADE staging is suspended while degraded).
+    for (std::size_t m = 0; m < report.member_faults.size(); ++m) {
+      if (report.member_faults[m] == mr::MemberFault::none) {
+        metrics_.on_member_activated(m);
+      }
+    }
+  } else if (system_.staged()) {
     // Only the activated prefix of the priority order did chargeable work.
     const std::vector<std::size_t>& priority = system_.priority();
     for (int k = 0; k < verdict.activated; ++k) {

@@ -17,20 +17,43 @@
 // Backpressure: the queue is bounded; submit() blocks when full,
 // try_submit() refuses. Shutdown drains the queue — every accepted request
 // gets its verdict — then rejects new submissions.
+//
+// Resilience (see DESIGN.md "Resilience & chaos testing"):
+//  * Every member runs in its own fault domain
+//    (PolygraphSystem::predict_batch_resilient): a member that throws,
+//    emits NaN softmax or fails the final-FC ABFT checksum loses its vote
+//    for that batch instead of failing the batch.
+//  * A MemberHealth circuit breaker quarantines a member after
+//    quarantine_after consecutive faults and probes it half-open after
+//    quarantine_cooldown; quarantined members are skipped entirely.
+//  * Verdicts decided without full quorum carry Verdict::degraded, with
+//    Thr_Freq re-normalized against the surviving member count.
+//  * submit() takes an optional absolute deadline; the batcher sheds
+//    expired requests with a DeadlineExceeded error instead of spending
+//    inference on them.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <future>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "polygraph/system.h"
+#include "runtime/health.h"
 #include "runtime/metrics.h"
 #include "runtime/mpmc_queue.h"
 #include "runtime/thread_pool.h"
 
 namespace pgmr::runtime {
+
+/// The error a request's future carries when its deadline passed before
+/// the batcher could serve it (load shedding).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded() : std::runtime_error("request deadline exceeded") {}
+};
 
 /// Serving knobs. Defaults favour latency (tiny batches, short delay);
 /// benches crank max_batch/max_delay up to show coalescing.
@@ -39,6 +62,8 @@ struct RuntimeOptions {
   std::size_t max_batch = 8;            ///< batch size cap (clamped >= 1)
   std::chrono::microseconds max_delay{1000};  ///< partial-batch linger
   std::size_t queue_capacity = 256;     ///< bounded request queue
+  int quarantine_after = 3;             ///< consecutive faults to quarantine
+  std::chrono::milliseconds quarantine_cooldown{250};  ///< half-open delay
 };
 
 class ServingRuntime {
@@ -55,12 +80,19 @@ class ServingRuntime {
   /// Enqueues one [1, C, H, W] request; blocks while the queue is full.
   /// The future carries the Verdict, or the error the batch hit. Throws
   /// std::invalid_argument on bad shape and std::runtime_error after
-  /// shutdown.
-  std::future<polygraph::Verdict> submit(Tensor image);
+  /// shutdown. When `deadline` is set and passes before the batcher
+  /// reaches the request, the future carries DeadlineExceeded instead.
+  std::future<polygraph::Verdict> submit(
+      Tensor image,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt);
 
   /// Non-blocking submit; nullopt (and a rejected tick) when the queue is
   /// full or the runtime stopped.
-  std::optional<std::future<polygraph::Verdict>> try_submit(Tensor image);
+  std::optional<std::future<polygraph::Verdict>> try_submit(
+      Tensor image,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt);
 
   /// Stops accepting requests, serves everything already queued, and joins
   /// the pipeline. Idempotent; called by the destructor.
@@ -69,6 +101,9 @@ class ServingRuntime {
   const RuntimeOptions& options() const { return options_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
+
+  /// Live circuit-breaker state (thread-safe reads).
+  const MemberHealth& health() const { return health_; }
 
   /// The owned system; reconfigure (thresholds, staging) only while no
   /// requests are in flight.
@@ -79,16 +114,21 @@ class ServingRuntime {
     Tensor image;
     std::promise<polygraph::Verdict> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
   };
 
-  Request make_request(Tensor image) const;
+  Request make_request(
+      Tensor image,
+      std::optional<std::chrono::steady_clock::time_point> deadline) const;
   void batcher_loop();
   void run_batch(std::vector<Request>& batch);
-  void record_verdict(const polygraph::Verdict& verdict);
+  void record_verdict(const polygraph::Verdict& verdict,
+                      const polygraph::BatchReport& report);
 
   polygraph::PolygraphSystem system_;
   RuntimeOptions options_;
   MetricsRegistry metrics_;
+  MemberHealth health_;
   MpmcQueue<Request> queue_;
   ThreadPool pool_;
   std::atomic<bool> stopped_{false};

@@ -1,0 +1,115 @@
+// ChaosInjector / chaos_wrap unit tests.
+#include "fault/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace pgmr::fault {
+namespace {
+
+using std::chrono::milliseconds;
+
+Tensor small_batch() {
+  Tensor x(Shape{2, 1, 2, 2});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(i);
+  }
+  return x;
+}
+
+TEST(ChaosInjectorTest, UnarmedMembersNeverFire) {
+  ChaosInjector chaos(2);
+  EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::none);
+  EXPECT_EQ(chaos.fired(0), 0U);
+}
+
+TEST(ChaosInjectorTest, BoundedPlanExhaustsAfterCount) {
+  ChaosInjector chaos(1);
+  chaos.arm(0, ChaosFault::member_exception, /*count=*/2);
+  EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::member_exception);
+  EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::member_exception);
+  EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::none);
+  EXPECT_EQ(chaos.fired(0), 2U);
+}
+
+TEST(ChaosInjectorTest, NegativeCountFiresUntilDisarm) {
+  ChaosInjector chaos(1);
+  chaos.arm(0, ChaosFault::nan_output, /*count=*/-1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::nan_output);
+  }
+  chaos.disarm(0);
+  EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::none);
+  EXPECT_EQ(chaos.fired(0), 10U);
+}
+
+TEST(ChaosInjectorTest, RejectsOutOfRangeMember) {
+  ChaosInjector chaos(2);
+  EXPECT_THROW(chaos.arm(2, ChaosFault::member_exception), std::out_of_range);
+  EXPECT_THROW(chaos.fire(5, nullptr), std::out_of_range);
+}
+
+TEST(ChaosWrapTest, PassesThroughWhenUnarmed) {
+  auto chaos = std::make_shared<ChaosInjector>(1);
+  auto prep = chaos_wrap(std::make_unique<prep::Identity>(), chaos, 0);
+  EXPECT_EQ(prep->name(), prep::Identity().name());
+  const Tensor in = small_batch();
+  const Tensor out = prep->apply(in);
+  ASSERT_EQ(out.numel(), in.numel());
+  for (std::int64_t i = 0; i < in.numel(); ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(ChaosWrapTest, InjectsExceptionWhenArmed) {
+  auto chaos = std::make_shared<ChaosInjector>(1);
+  auto prep = chaos_wrap(std::make_unique<prep::Identity>(), chaos, 0);
+  chaos->arm(0, ChaosFault::member_exception, 1);
+  EXPECT_THROW(prep->apply(small_batch()), std::runtime_error);
+  // Plan exhausted: back to pass-through.
+  EXPECT_NO_THROW(prep->apply(small_batch()));
+}
+
+TEST(ChaosWrapTest, NanOutputPoisonsTheWholeTensor) {
+  // A lone NaN could be squashed by max-pooling comparisons, so the fault
+  // poisons every element — guaranteeing a non-finite softmax downstream.
+  auto chaos = std::make_shared<ChaosInjector>(1);
+  auto prep = chaos_wrap(std::make_unique<prep::Identity>(), chaos, 0);
+  chaos->arm(0, ChaosFault::nan_output, 1);
+  const Tensor out = prep->apply(small_batch());
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_TRUE(std::isnan(out[i]));
+  }
+}
+
+TEST(ChaosWrapTest, LatencySpikeDelaysButPreservesOutput) {
+  auto chaos = std::make_shared<ChaosInjector>(1);
+  auto prep = chaos_wrap(std::make_unique<prep::Identity>(), chaos, 0);
+  chaos->arm(0, ChaosFault::latency_spike, 1, milliseconds(30));
+  const auto start = std::chrono::steady_clock::now();
+  const Tensor in = small_batch();
+  const Tensor out = prep->apply(in);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, milliseconds(30));
+  for (std::int64_t i = 0; i < in.numel(); ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(ChaosWrapTest, RejectsBadInjectorOrMember) {
+  auto chaos = std::make_shared<ChaosInjector>(1);
+  EXPECT_THROW(chaos_wrap(std::make_unique<prep::Identity>(), nullptr, 0),
+               std::invalid_argument);
+  EXPECT_THROW(chaos_wrap(std::make_unique<prep::Identity>(), chaos, 1),
+               std::invalid_argument);
+}
+
+TEST(ChaosFaultTest, ToStringCoversEveryFault) {
+  EXPECT_STREQ(to_string(ChaosFault::none), "none");
+  EXPECT_STREQ(to_string(ChaosFault::member_exception), "member_exception");
+  EXPECT_STREQ(to_string(ChaosFault::latency_spike), "latency_spike");
+  EXPECT_STREQ(to_string(ChaosFault::nan_output), "nan_output");
+}
+
+}  // namespace
+}  // namespace pgmr::fault

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "mr/decision.h"
+#include "mr/ensemble.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
@@ -113,6 +115,78 @@ TEST(InjectorTest, LowMantissaBitsAreMostlyMasked) {
   const auto sites = sample_sites(net, 40, rng, /*max_bit=*/3);
   const CampaignResult result = run_campaign(net, images, labels, sites);
   EXPECT_EQ(result.masked, result.trials);
+}
+
+/// Flatten + Dense(2,2) identity net: predictions == argmax(input), so
+/// campaign outcomes are exactly constructible.
+nn::Network identity_net() {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(2, 2);
+  Tensor* w = fc->params()[0];
+  (*w)[0] = 1.0F;
+  (*w)[3] = 1.0F;
+  layers.push_back(std::move(fc));
+  return nn::Network("identity", std::move(layers));
+}
+
+TEST(InjectorTest, CampaignDropExactlyAtThresholdIsDegradedNotCorrupted) {
+  // Hand-built so the accuracy drop is *exactly* representable: four
+  // samples, a sign-bit flip on W[0][0] flips only sample 0's prediction,
+  // so accuracy falls 1.0 -> 0.75 — a drop of exactly 0.25.
+  nn::Network net = identity_net();
+  Tensor images(Shape{4, 1, 1, 2});
+  images.at(0, 0, 0, 0) = 1.0F;  // (1,0) -> class 0, breaks under the flip
+  images.at(1, 0, 0, 1) = 1.0F;  // (0,k) -> class 1, unaffected
+  images.at(2, 0, 0, 1) = 2.0F;
+  images.at(3, 0, 0, 1) = 3.0F;
+  const std::vector<std::int64_t> labels = {0, 1, 1, 1};
+  const std::vector<FaultSite> sign_flip = {{0, 0, 31}};
+
+  // Drop == threshold: degraded (predictions changed, accuracy within
+  // tolerance). The > comparison makes the boundary inclusive.
+  const CampaignResult at = run_campaign(net, images, labels, sign_flip, 0.25);
+  EXPECT_EQ(at.trials, 1);
+  EXPECT_EQ(at.degraded, 1);
+  EXPECT_EQ(at.corrupted, 0);
+  EXPECT_EQ(at.masked, 0);
+
+  // Any tighter threshold reclassifies the same flip as corrupted.
+  const CampaignResult tight =
+      run_campaign(net, images, labels, sign_flip, 0.2);
+  EXPECT_EQ(tight.corrupted, 1);
+  EXPECT_EQ(tight.degraded, 0);
+
+  // A mantissa-LSB flip on the same weight perturbs by ~2^-23: masked.
+  const CampaignResult lsb =
+      run_campaign(net, images, labels, {{0, 0, 0}}, 0.25);
+  EXPECT_EQ(lsb.masked, 1);
+}
+
+TEST(InjectorTest, EnsembleMasksCorruptionThatBreaksASingleNet) {
+  // The same sign-bit flip that misclassifies (1,0) on a lone identity net
+  // is outvoted 2-of-3 by the uncorrupted MR members.
+  mr::Ensemble e;
+  for (int m = 0; m < 3; ++m) {
+    e.add(mr::Member(std::make_unique<prep::Identity>(), identity_net()));
+  }
+  Tensor image(Shape{1, 1, 1, 2});
+  image[0] = 1.0F;  // class 0
+
+  inject(e.member(0).net().mutable_network(), {0, 0, 31});
+  e.member(0).net().refresh_checksum();  // study voting, not ABFT detection
+
+  // The corrupted member alone now gets it wrong...
+  const auto solo = mr::votes_from_probabilities(
+      e.member(0).probabilities(image));
+  EXPECT_EQ(solo[0].label, 1);
+  // ...but majority voting over the ensemble masks the fault.
+  const mr::MemberVotes votes = e.member_votes(image);
+  const mr::Decision d = mr::decide(
+      {votes[0][0], votes[1][0], votes[2][0]}, {0.5F, 2});
+  EXPECT_TRUE(d.reliable);
+  EXPECT_EQ(d.label, 0);
+  EXPECT_EQ(d.votes_for_label, 2);
 }
 
 TEST(InjectorTest, HighExponentBitsCorruptMoreThanLowMantissa) {

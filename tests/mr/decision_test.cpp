@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace pgmr::mr {
 namespace {
 
@@ -79,6 +81,52 @@ TEST(DecisionTest, EmptyVoteSetIsUnreliableWithNoLabel) {
   EXPECT_EQ(d.label, -1);
   EXPECT_FALSE(d.reliable);
   EXPECT_EQ(d.votes_for_label, 0);
+}
+
+TEST(DecisionTest, NonFiniteConfidenceIsBelowThrConf) {
+  // Regression: a NaN max-softmax (corrupted member) must be treated as
+  // below Thr_Conf even when Thr_Conf is 0, and Inf must not pass either.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<Vote> votes = {{1, nan}, {1, inf}, {2, 0.9F}};
+  const Decision d = decide(votes, {0.0F, 1});
+  EXPECT_EQ(d.label, 2);
+  EXPECT_EQ(d.votes_for_label, 1);
+  EXPECT_TRUE(d.reliable);
+  // A vote set of only non-finite confidences yields no label at all.
+  const Decision none = decide({{1, nan}, {3, inf}}, {0.0F, 1});
+  EXPECT_EQ(none.label, -1);
+  EXPECT_FALSE(none.reliable);
+}
+
+TEST(DecisionTest, DegradedThresholdRenormalizesAgainstSurvivors) {
+  // 4-of-6 with two members quarantined becomes 3-of-4, not 4-of-4.
+  EXPECT_EQ(degraded_threshold(4, 4, 6), 3);
+  // Full quorum is the identity.
+  EXPECT_EQ(degraded_threshold(4, 6, 6), 4);
+  EXPECT_EQ(degraded_threshold(1, 6, 6), 1);
+  // Never below 1, never above the surviving count.
+  EXPECT_EQ(degraded_threshold(1, 2, 6), 1);
+  EXPECT_EQ(degraded_threshold(12, 3, 6), 3);
+  // Lone survivor: any rule collapses to 1-of-1.
+  EXPECT_EQ(degraded_threshold(4, 1, 6), 1);
+  EXPECT_THROW(degraded_threshold(4, 0, 6), std::invalid_argument);
+  EXPECT_THROW(degraded_threshold(4, 7, 6), std::invalid_argument);
+}
+
+TEST(DecisionTest, DegradedOverloadKeepsQuorumSatisfiable) {
+  // Four survivors of a 4-of-6 rule, three agreeing: unsatisfiable under
+  // the raw threshold, reliable under the re-normalized one.
+  const std::vector<Vote> votes = {
+      {7, 0.9F}, {7, 0.8F}, {7, 0.95F}, {2, 0.9F}};
+  EXPECT_FALSE(decide(votes, {0.5F, 4}).reliable);
+  const Decision d = decide(votes, {0.5F, 4}, /*active=*/4, /*total=*/6);
+  EXPECT_TRUE(d.reliable);
+  EXPECT_EQ(d.label, 7);
+  EXPECT_EQ(d.votes_for_label, 3);
+  // With active == total the overload is exactly decide().
+  const Decision full = decide(votes, {0.5F, 4}, 6, 6);
+  EXPECT_FALSE(full.reliable);
 }
 
 TEST(DecisionTest, MajorityThresholdFormula) {

@@ -1,0 +1,115 @@
+// Member fault domains: try_probabilities / member_outcomes must capture
+// exceptions, non-finite softmax and ABFT checksum mismatches per member
+// instead of propagating them, and honour the caller's run mask.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "mr/ensemble.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+
+namespace pgmr::mr {
+namespace {
+
+/// A Layer-1 preprocessor that always throws, standing in for a crashed
+/// member.
+class ThrowingPrep final : public prep::Preprocessor {
+ public:
+  std::string name() const override { return "ORG"; }
+  Tensor apply(const Tensor&) const override {
+    throw std::runtime_error("injected preprocessor failure");
+  }
+};
+
+/// Flatten + Dense(2,2) with identity weights: softmax(logits == input).
+nn::Network identity_net() {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(2, 2);
+  Tensor* w = fc->params()[0];  // [2, 2] row-major
+  (*w)[0] = 1.0F;
+  (*w)[3] = 1.0F;
+  layers.push_back(std::move(fc));
+  return nn::Network("identity", std::move(layers));
+}
+
+Tensor one_hot_input() {
+  Tensor x(Shape{1, 1, 1, 2});
+  x[0] = 1.0F;
+  return x;
+}
+
+TEST(FaultDomainTest, HealthyMemberReportsOkOutcome) {
+  Member m(std::make_unique<prep::Identity>(), identity_net());
+  MemberOutcome out = m.try_probabilities(one_hot_input());
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.fault, MemberFault::none);
+  ASSERT_EQ(out.probabilities.shape().rank(), 2U);
+  EXPECT_EQ(out.probabilities.argmax_row(0), 0);
+}
+
+TEST(FaultDomainTest, ExceptionIsCapturedNotThrown) {
+  Member m(std::make_unique<ThrowingPrep>(), identity_net());
+  MemberOutcome out;
+  EXPECT_NO_THROW(out = m.try_probabilities(one_hot_input()));
+  EXPECT_EQ(out.fault, MemberFault::exception);
+  EXPECT_NE(out.message.find("injected"), std::string::npos);
+  ASSERT_TRUE(out.error);
+  EXPECT_THROW(std::rethrow_exception(out.error), std::runtime_error);
+  // The strict path still propagates.
+  EXPECT_THROW(m.probabilities(one_hot_input()), std::runtime_error);
+}
+
+TEST(FaultDomainTest, NonFiniteSoftmaxIsFlagged) {
+  nn::Network net = identity_net();
+  (*net.params()[0])[0] = std::numeric_limits<float>::quiet_NaN();
+  Member m(std::make_unique<prep::Identity>(), std::move(net));
+  const MemberOutcome out = m.try_probabilities(one_hot_input());
+  EXPECT_EQ(out.fault, MemberFault::non_finite);
+}
+
+TEST(FaultDomainTest, AbftChecksumCatchesSilentWeightCorruption) {
+  // The checksum columns are captured at construction; a later weight
+  // corruption that still yields a *finite* softmax (a huge weight makes
+  // the softmax a confident one-hot, not NaN) must be caught by ABFT.
+  Member m(std::make_unique<prep::Identity>(), identity_net());
+  ASSERT_TRUE(m.try_probabilities(one_hot_input()).ok());
+
+  Tensor* w = m.net().mutable_network().params()[0];
+  (*w)[0] = 1.0e8F;  // silent corruption: output stays finite
+  const MemberOutcome out = m.try_probabilities(one_hot_input());
+  for (std::int64_t i = 0; i < out.probabilities.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(out.probabilities[i]));
+  }
+  EXPECT_EQ(out.fault, MemberFault::checksum);
+  // refresh_checksum() blesses the current weights again.
+  m.net().refresh_checksum();
+  EXPECT_TRUE(m.try_probabilities(one_hot_input()).ok());
+}
+
+TEST(FaultDomainTest, MemberOutcomesHonourRunMask) {
+  Ensemble e;
+  e.add(Member(std::make_unique<prep::Identity>(), identity_net()));
+  e.add(Member(std::make_unique<ThrowingPrep>(), identity_net()));
+  e.add(Member(std::make_unique<prep::Identity>(), identity_net()));
+
+  const std::vector<bool> mask = {true, true, false};
+  const auto outcomes =
+      e.member_outcomes(one_hot_input(), serial_executor(), &mask);
+  ASSERT_EQ(outcomes.size(), 3U);
+  EXPECT_EQ(outcomes[0].fault, MemberFault::none);
+  EXPECT_EQ(outcomes[1].fault, MemberFault::exception);
+  EXPECT_EQ(outcomes[2].fault, MemberFault::skipped);
+
+  const std::vector<bool> bad_mask = {true, false};
+  EXPECT_THROW(e.member_outcomes(one_hot_input(), serial_executor(), &bad_mask),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pgmr::mr

@@ -1,0 +1,225 @@
+// predict_batch_resilient: fault-isolated batch classification with
+// degraded-quorum fallback. The zero-fault path must be bit-identical to
+// predict_batch; faulted members must be excluded, reported and survivable.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "polygraph/system.h"
+#include "tensor/random.h"
+
+namespace pgmr::polygraph {
+namespace {
+
+class ThrowingPrep final : public prep::Preprocessor {
+ public:
+  std::string name() const override { return "ORG"; }
+  Tensor apply(const Tensor&) const override {
+    throw std::runtime_error("injected member crash");
+  }
+};
+
+nn::Network tiny_net(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  auto conv = std::make_unique<nn::Conv2D>(1, 4, 3, 1, 1);
+  conv->init(rng);
+  layers.push_back(std::move(conv));
+  layers.push_back(std::make_unique<nn::ReLU>());
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(4 * 8 * 8, 3);
+  fc->init(rng);
+  layers.push_back(std::move(fc));
+  return nn::Network("tiny", std::move(layers));
+}
+
+mr::Ensemble tiny_ensemble(int members) {
+  mr::Ensemble e;
+  for (int m = 0; m < members; ++m) {
+    e.add(mr::Member(std::make_unique<prep::Identity>(),
+                     tiny_net(static_cast<std::uint64_t>(m) + 1)));
+  }
+  return e;
+}
+
+Tensor random_images(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x(Shape{n, 1, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0F, 1.0F);
+  return x;
+}
+
+/// Flatten + Dense(2,2) identity: logits == input, so every identity
+/// member votes argmax(input) with a deterministic confidence.
+nn::Network identity_net() {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(2, 2);
+  Tensor* w = fc->params()[0];
+  (*w)[0] = 1.0F;
+  (*w)[3] = 1.0F;
+  layers.push_back(std::move(fc));
+  return nn::Network("identity", std::move(layers));
+}
+
+/// `members` identical identity members; `throwing` of them crash.
+mr::Ensemble identity_ensemble(int members, int throwing = 0) {
+  mr::Ensemble e;
+  for (int m = 0; m < members; ++m) {
+    std::unique_ptr<prep::Preprocessor> prep;
+    if (m < throwing) {
+      prep = std::make_unique<ThrowingPrep>();
+    } else {
+      prep = std::make_unique<prep::Identity>();
+    }
+    e.add(mr::Member(std::move(prep), identity_net()));
+  }
+  return e;
+}
+
+/// One sample whose logits are (5, 0): confident class 0.
+Tensor confident_input() {
+  Tensor x(Shape{1, 1, 1, 2});
+  x[0] = 5.0F;
+  return x;
+}
+
+void expect_same_verdict(const Verdict& a, const Verdict& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.reliable, b.reliable);
+  EXPECT_EQ(a.votes, b.votes);
+  EXPECT_EQ(a.activated, b.activated);
+}
+
+TEST(ResilientBatchTest, ZeroFaultPathMatchesPredictBatchExactly) {
+  PolygraphSystem sys(tiny_ensemble(3));
+  sys.set_thresholds({0.4F, 2});
+  const Tensor images = random_images(20, 3);
+
+  const std::vector<Verdict> plain = sys.predict_batch(images);
+  const BatchReport report = sys.predict_batch_resilient(images);
+  EXPECT_EQ(report.active, 3);
+  EXPECT_FALSE(report.degraded);
+  ASSERT_EQ(report.verdicts.size(), plain.size());
+  for (std::size_t n = 0; n < plain.size(); ++n) {
+    expect_same_verdict(report.verdicts[n], plain[n]);
+    EXPECT_FALSE(report.verdicts[n].degraded);
+  }
+  for (const mr::MemberFault f : report.member_faults) {
+    EXPECT_EQ(f, mr::MemberFault::none);
+  }
+}
+
+TEST(ResilientBatchTest, ZeroFaultPathMatchesStagedPredictBatch) {
+  PolygraphSystem sys(tiny_ensemble(4));
+  const Tensor val = random_images(40, 5);
+  std::vector<std::int64_t> labels(40);
+  Rng rng(6);
+  for (auto& l : labels) l = rng.randint(0, 2);
+  sys.enable_staged(val, labels);
+  sys.set_thresholds({0.0F, 2});
+
+  const Tensor images = random_images(15, 7);
+  const std::vector<Verdict> plain = sys.predict_batch(images);
+  const BatchReport report = sys.predict_batch_resilient(images);
+  ASSERT_EQ(report.verdicts.size(), plain.size());
+  for (std::size_t n = 0; n < plain.size(); ++n) {
+    expect_same_verdict(report.verdicts[n], plain[n]);
+  }
+}
+
+TEST(ResilientBatchTest, CrashedMemberYieldsDegradedVerdicts) {
+  PolygraphSystem sys(identity_ensemble(3, /*throwing=*/1));
+  sys.set_thresholds({0.5F, 2});
+  const BatchReport report = sys.predict_batch_resilient(confident_input());
+  EXPECT_EQ(report.active, 2);
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.member_faults.size(), 3U);
+  EXPECT_EQ(report.member_faults[0], mr::MemberFault::exception);
+  EXPECT_EQ(report.member_faults[1], mr::MemberFault::none);
+  EXPECT_EQ(report.member_faults[2], mr::MemberFault::none);
+  ASSERT_EQ(report.verdicts.size(), 1U);
+  const Verdict& v = report.verdicts[0];
+  EXPECT_TRUE(v.degraded);
+  EXPECT_EQ(v.activated, 2);
+  EXPECT_TRUE(v.reliable);
+  EXPECT_EQ(v.label, 0);
+}
+
+TEST(ResilientBatchTest, DegradedQuorumRenormalizesThrFreq) {
+  // Thr_Freq == 3 over 3 members with one down: the raw rule would be
+  // unsatisfiable (only 2 survivors), the renormalized one is 2-of-2.
+  PolygraphSystem sys(identity_ensemble(3, /*throwing=*/1));
+  sys.set_thresholds({0.5F, 3});
+  const BatchReport report = sys.predict_batch_resilient(confident_input());
+  ASSERT_EQ(report.verdicts.size(), 1U);
+  EXPECT_TRUE(report.verdicts[0].reliable);
+  EXPECT_EQ(report.verdicts[0].label, 0);
+  EXPECT_EQ(report.verdicts[0].votes, 2);
+  EXPECT_TRUE(report.verdicts[0].degraded);
+}
+
+TEST(ResilientBatchTest, RunMaskSkipsQuarantinedMembers) {
+  PolygraphSystem sys(identity_ensemble(3));
+  sys.set_thresholds({0.5F, 2});
+  const std::vector<bool> mask = {true, false, true};
+  const BatchReport report =
+      sys.predict_batch_resilient(confident_input(), mask);
+  EXPECT_EQ(report.active, 2);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.member_faults[1], mr::MemberFault::skipped);
+  EXPECT_TRUE(report.verdicts[0].reliable);
+  EXPECT_EQ(report.verdicts[0].activated, 2);
+}
+
+TEST(ResilientBatchTest, ChecksumCorruptedMemberIsExcluded) {
+  PolygraphSystem sys(identity_ensemble(3));
+  sys.set_thresholds({0.5F, 2});
+  // Silent weight corruption in member 0's final FC: finite but wrong.
+  Tensor* w = sys.ensemble().member(0).net().mutable_network().params()[0];
+  (*w)[0] = 1.0e8F;
+  const BatchReport report = sys.predict_batch_resilient(confident_input());
+  EXPECT_EQ(report.member_faults[0], mr::MemberFault::checksum);
+  EXPECT_EQ(report.active, 2);
+  EXPECT_TRUE(report.verdicts[0].reliable);
+  EXPECT_EQ(report.verdicts[0].label, 0);
+}
+
+TEST(ResilientBatchTest, WholeEnsembleFailureRethrows) {
+  // Every member throwing is indistinguishable from a poison input, so the
+  // batch must fail loudly instead of fabricating a verdict.
+  PolygraphSystem sys(identity_ensemble(2, /*throwing=*/2));
+  EXPECT_THROW(sys.predict_batch_resilient(confident_input()),
+               std::runtime_error);
+}
+
+TEST(ResilientBatchTest, AllMembersMaskedServesUnreliableVerdicts) {
+  // Nothing ran and nothing threw (all quarantined): serve honest
+  // no-label unreliable verdicts rather than failing the requests.
+  PolygraphSystem sys(identity_ensemble(2));
+  const std::vector<bool> mask = {false, false};
+  const BatchReport report =
+      sys.predict_batch_resilient(confident_input(), mask);
+  EXPECT_EQ(report.active, 0);
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.verdicts.size(), 1U);
+  EXPECT_EQ(report.verdicts[0].label, -1);
+  EXPECT_FALSE(report.verdicts[0].reliable);
+  EXPECT_TRUE(report.verdicts[0].degraded);
+}
+
+TEST(ResilientBatchTest, RejectsWrongSizedMask) {
+  PolygraphSystem sys(identity_ensemble(3));
+  const std::vector<bool> mask = {true, false};
+  EXPECT_THROW(sys.predict_batch_resilient(confident_input(), mask),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pgmr::polygraph

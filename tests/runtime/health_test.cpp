@@ -1,0 +1,104 @@
+// MemberHealth circuit-breaker state machine, driven with synthetic time
+// points (no sleeping).
+#include "runtime/health.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace pgmr::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+Clock::time_point t0() { return Clock::time_point{}; }
+
+TEST(MemberHealthTest, StartsHealthyAndRunsEveryone) {
+  MemberHealth h(3, {2, milliseconds(100)});
+  EXPECT_EQ(h.members(), 3U);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(h.state(m), MemberState::healthy);
+    EXPECT_EQ(h.consecutive_faults(m), 0);
+  }
+  const auto mask = h.run_mask(t0());
+  EXPECT_EQ(mask, (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(h.quarantined_count(), 0U);
+}
+
+TEST(MemberHealthTest, QuarantinesAfterConsecutiveFaults) {
+  MemberHealth h(2, {3, milliseconds(100)});
+  EXPECT_FALSE(h.on_result(0, false, t0()));
+  EXPECT_FALSE(h.on_result(0, false, t0()));
+  EXPECT_EQ(h.state(0), MemberState::healthy);
+  EXPECT_EQ(h.consecutive_faults(0), 2);
+  // The third consecutive fault is the quarantine event.
+  EXPECT_TRUE(h.on_result(0, false, t0()));
+  EXPECT_EQ(h.state(0), MemberState::quarantined);
+  EXPECT_EQ(h.quarantined_count(), 1U);
+  // Member 1 is untouched.
+  EXPECT_EQ(h.state(1), MemberState::healthy);
+  const auto mask = h.run_mask(t0() + milliseconds(1));
+  EXPECT_EQ(mask, (std::vector<bool>{false, true}));
+}
+
+TEST(MemberHealthTest, SuccessResetsTheFaultStreak) {
+  MemberHealth h(1, {2, milliseconds(100)});
+  EXPECT_FALSE(h.on_result(0, false, t0()));
+  EXPECT_FALSE(h.on_result(0, true, t0()));
+  EXPECT_EQ(h.consecutive_faults(0), 0);
+  // Non-consecutive faults never trip the breaker.
+  EXPECT_FALSE(h.on_result(0, false, t0()));
+  EXPECT_EQ(h.state(0), MemberState::healthy);
+}
+
+TEST(MemberHealthTest, CooldownExpiryOpensHalfOpenProbe) {
+  MemberHealth h(1, {1, milliseconds(100)});
+  EXPECT_TRUE(h.on_result(0, false, t0()));
+  EXPECT_EQ(h.state(0), MemberState::quarantined);
+  // Before the cooldown: still fenced off.
+  EXPECT_EQ(h.run_mask(t0() + milliseconds(50)),
+            (std::vector<bool>{false}));
+  EXPECT_EQ(h.state(0), MemberState::quarantined);
+  // After the cooldown: runs once as a probe.
+  EXPECT_EQ(h.run_mask(t0() + milliseconds(100)),
+            (std::vector<bool>{true}));
+  EXPECT_EQ(h.state(0), MemberState::half_open);
+}
+
+TEST(MemberHealthTest, SuccessfulProbeRestoresHealthy) {
+  MemberHealth h(1, {1, milliseconds(100)});
+  h.on_result(0, false, t0());
+  h.run_mask(t0() + milliseconds(100));  // -> half_open
+  EXPECT_FALSE(h.on_result(0, true, t0() + milliseconds(101)));
+  EXPECT_EQ(h.state(0), MemberState::healthy);
+  EXPECT_EQ(h.consecutive_faults(0), 0);
+}
+
+TEST(MemberHealthTest, FailedProbeRequarantinesImmediately) {
+  // In half_open a single fault re-trips the breaker even when the
+  // configured streak is longer.
+  MemberHealth h(1, {3, milliseconds(100)});
+  h.on_result(0, false, t0());
+  h.on_result(0, false, t0());
+  EXPECT_TRUE(h.on_result(0, false, t0()));
+  h.run_mask(t0() + milliseconds(100));  // -> half_open
+  EXPECT_TRUE(h.on_result(0, false, t0() + milliseconds(101)));
+  EXPECT_EQ(h.state(0), MemberState::quarantined);
+  // Fresh cooldown from the failed probe.
+  EXPECT_EQ(h.run_mask(t0() + milliseconds(150)),
+            (std::vector<bool>{false}));
+  EXPECT_EQ(h.run_mask(t0() + milliseconds(201)),
+            (std::vector<bool>{true}));
+}
+
+TEST(MemberHealthTest, OptionsAreClampedToSaneValues) {
+  MemberHealth h(1, {0, milliseconds(-5)});
+  EXPECT_EQ(h.options().quarantine_after, 1);
+  EXPECT_EQ(h.options().cooldown, milliseconds(0));
+  // quarantine_after clamped to 1: the first fault trips.
+  EXPECT_TRUE(h.on_result(0, false, t0()));
+}
+
+}  // namespace
+}  // namespace pgmr::runtime

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,7 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   opts.max_batch = 16;
   opts.max_delay = std::chrono::microseconds(2000);
   long long requests = 1000;
+  long long deadline_us = 0;  // 0 = no per-request deadline
   for (int i = 0; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const long long value = std::atoll(argv[i + 1]);
@@ -135,6 +137,8 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       opts.queue_capacity = static_cast<std::size_t>(value);
     } else if (flag == "--requests") {
       requests = value;
+    } else if (flag == "--deadline-us") {
+      deadline_us = value;
     } else {
       std::fprintf(stderr, "serve-bench: unknown flag %s\n", flag.c_str());
       return 2;
@@ -161,19 +165,32 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
 
   const auto t0 = std::chrono::steady_clock::now();
   for (long long r = 0; r < requests; ++r) {
-    futures.push_back(rt.submit(splits.test.sample(r % pool_n)));
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (deadline_us > 0) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(deadline_us);
+    }
+    futures.push_back(rt.submit(splits.test.sample(r % pool_n), deadline));
   }
-  std::int64_t tp = 0, fp = 0, unreliable = 0;
+  std::int64_t tp = 0, fp = 0, unreliable = 0, degraded = 0, shed = 0,
+               failed = 0;
   for (long long r = 0; r < requests; ++r) {
-    const polygraph::Verdict v = futures[static_cast<std::size_t>(r)].get();
-    const std::int64_t truth =
-        splits.test.labels[static_cast<std::size_t>(r % pool_n)];
-    if (!v.reliable) {
-      ++unreliable;
-    } else if (v.label == truth) {
-      ++tp;
-    } else {
-      ++fp;
+    try {
+      const polygraph::Verdict v = futures[static_cast<std::size_t>(r)].get();
+      const std::int64_t truth =
+          splits.test.labels[static_cast<std::size_t>(r % pool_n)];
+      if (v.degraded) ++degraded;
+      if (!v.reliable) {
+        ++unreliable;
+      } else if (v.label == truth) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    } catch (const runtime::DeadlineExceeded&) {
+      ++shed;
+    } catch (const std::exception&) {
+      ++failed;
     }
   }
   const double secs =
@@ -184,9 +201,22 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   const runtime::MetricsSnapshot snap = rt.metrics_snapshot();
   std::printf("throughput: %.1f req/s (%lld requests in %.3fs)\n",
               static_cast<double>(requests) / secs, requests, secs);
-  std::printf("quality:    TP %lld  FP %lld  unreliable %lld\n",
+  std::printf("quality:    TP %lld  FP %lld  unreliable %lld  "
+              "degraded %lld (%.2f%%)\n",
               static_cast<long long>(tp), static_cast<long long>(fp),
-              static_cast<long long>(unreliable));
+              static_cast<long long>(unreliable),
+              static_cast<long long>(degraded),
+              100.0 * static_cast<double>(degraded) /
+                  static_cast<double>(requests));
+  std::uint64_t member_faults = 0, quarantines = 0;
+  for (const std::uint64_t f : snap.member_faults) member_faults += f;
+  for (const std::uint64_t q : snap.quarantine_events) quarantines += q;
+  std::printf("resilience: shed %lld  failed %lld  member_faults %llu  "
+              "quarantines %llu (%zu member(s) quarantined now)\n",
+              static_cast<long long>(shed), static_cast<long long>(failed),
+              static_cast<unsigned long long>(member_faults),
+              static_cast<unsigned long long>(quarantines),
+              rt.health().quarantined_count());
   std::printf("batching:   %llu batches, mean size %.2f, max %llu\n",
               static_cast<unsigned long long>(snap.batches),
               snap.mean_batch_size(),
@@ -207,7 +237,8 @@ int usage() {
                "  pgmr eval <config.cfg>\n"
                "  pgmr predict <config.cfg> <sample-index>\n"
                "  pgmr serve-bench <config.cfg> [--threads N] [--max-batch B]"
-               " [--max-delay-us D] [--queue-cap Q] [--requests R]\n");
+               " [--max-delay-us D] [--queue-cap Q] [--requests R]"
+               " [--deadline-us T]\n");
   return 2;
 }
 
