@@ -1,7 +1,9 @@
 #include "fault/injector.h"
 
 #include <bit>
+#include <set>
 #include <stdexcept>
+#include <tuple>
 
 namespace pgmr::fault {
 namespace {
@@ -43,14 +45,29 @@ std::vector<FaultSite> sample_sites(nn::Network& net, int count, Rng& rng,
   if (max_bit < 0 || max_bit > 31) {
     throw std::invalid_argument("fault: max_bit out of range");
   }
+  // A multi-fault campaign injects every site of a batch at once, so a
+  // duplicate (tensor, element, bit) triple would flip the same bit twice
+  // and silently cancel itself out. Reject duplicates and redraw; bail out
+  // only if the parameter space is too small to hold `count` distinct sites.
+  std::int64_t space = 0;
+  for (const Tensor* p : params) space += p->numel();
+  space *= static_cast<std::int64_t>(max_bit) + 1;
+  if (static_cast<std::int64_t>(count) > space) {
+    throw std::invalid_argument(
+        "fault: count exceeds number of distinct fault sites");
+  }
+  std::set<std::tuple<std::size_t, std::int64_t, int>> seen;
   std::vector<FaultSite> sites;
   sites.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
+  while (static_cast<int>(sites.size()) < count) {
     FaultSite site;
-    site.param_index =
-        static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(params.size()) - 1));
+    site.param_index = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(params.size()) - 1));
     site.element = rng.randint(0, params[site.param_index]->numel() - 1);
     site.bit = static_cast<int>(rng.randint(0, max_bit));
+    if (!seen.insert({site.param_index, site.element, site.bit}).second) {
+      continue;
+    }
     sites.push_back(site);
   }
   return sites;

@@ -16,6 +16,16 @@ const char* to_string(MemberFault fault) {
   return "unknown";
 }
 
+const char* to_string(Member::ReloadStatus status) {
+  switch (status) {
+    case Member::ReloadStatus::healed: return "healed";
+    case Member::ReloadStatus::no_source: return "no_source";
+    case Member::ReloadStatus::load_failed: return "load_failed";
+    case Member::ReloadStatus::mismatch: return "mismatch";
+  }
+  return "unknown";
+}
+
 Member::Member(std::unique_ptr<prep::Preprocessor> preprocessor,
                nn::Network network, int bits)
     : prep_(std::move(preprocessor)),
@@ -55,14 +65,36 @@ MemberOutcome Member::try_probabilities(const Tensor& images) {
   }
   if (abft.checked && !abft.ok) {
     out.fault = MemberFault::checksum;
-    out.message = "ABFT column-sum mismatch on the final FC";
+    out.failed_layer = abft.failed_layer;
+    out.message = "ABFT column-sum mismatch at layer " +
+                  std::to_string(abft.failed_layer) +
+                  (abft.failed_kind.empty() ? "" : " (" + abft.failed_kind + ")");
   }
   return out;
 }
 
+Member::ReloadStatus Member::reload_params() {
+  if (archive_source_.empty()) return ReloadStatus::no_source;
+  try {
+    quant::QuantizedNetwork fresh(nn::Network::load(archive_source_),
+                                  net_.bits(), net_.protection());
+    // Construction is deterministic (load + truncate + bless), so a healthy
+    // archive reproduces the exact CRCs blessed at member construction. A
+    // difference means the archive itself has rotted since.
+    if (fresh.golden_param_crcs() != net_.golden_param_crcs()) {
+      return ReloadStatus::mismatch;
+    }
+    net_ = std::move(fresh);
+    return ReloadStatus::healed;
+  } catch (const std::exception&) {
+    return ReloadStatus::load_failed;
+  }
+}
+
 perf::InferenceCost Member::cost(const Shape& in,
                                  const perf::CostModel& model) const {
-  return model.network_cost(net_.network().cost(in), net_.bits());
+  return model.network_cost(net_.network().cost(in), net_.bits(),
+                            net_.protection());
 }
 
 std::vector<Tensor> Ensemble::member_probabilities(const Tensor& images,

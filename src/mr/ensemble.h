@@ -42,6 +42,8 @@ struct MemberOutcome {
   MemberFault fault = MemberFault::none;
   std::exception_ptr error;  ///< set for exception faults
   std::string message;       ///< human-readable fault description
+  /// For checksum faults: first failing top-level layer index, -1 otherwise.
+  int failed_layer = -1;
 
   bool ok() const { return fault == MemberFault::none; }
 };
@@ -56,6 +58,35 @@ class Member {
   std::string description() const;
   const std::string& prep_name() const { return prep_name_; }
   int bits() const { return net_.bits(); }
+
+  /// ABFT protection level of the wrapped network (see nn/abft.h). Changing
+  /// it re-blesses the current weights; do so only while they are good.
+  nn::Protection protection() const { return net_.protection(); }
+  void set_protection(nn::Protection p) { net_.set_protection(p); }
+
+  /// Zoo archive this member's weights were loaded from — the scrubber's
+  /// reload source. Empty when the member was built from an in-memory net.
+  const std::string& archive_source() const { return archive_source_; }
+  void set_archive_source(std::string path) {
+    archive_source_ = std::move(path);
+  }
+
+  /// True when every parameter CRC still matches its blessed snapshot.
+  bool params_intact() { return net_.params_intact(); }
+
+  /// Outcome of a reload_params() self-heal attempt.
+  enum class ReloadStatus {
+    healed,       ///< weights replaced from the archive, CRCs match again
+    no_source,    ///< no archive_source recorded
+    load_failed,  ///< archive unreadable (bad CRC / truncated / missing)
+    mismatch,     ///< archive loads but its CRCs differ from the blessed set
+  };
+
+  /// Rebuilds this member's network from archive_source(). The fresh copy
+  /// must reproduce the originally blessed parameter CRCs (construction is
+  /// deterministic: load + truncate), otherwise the archive itself is
+  /// suspect and the member is left untouched.
+  ReloadStatus reload_params();
 
   /// Applies the preprocessor then the network; returns [N, C] softmax.
   /// Exceptions propagate — this is the strict path.
@@ -76,7 +107,10 @@ class Member {
   std::unique_ptr<prep::Preprocessor> prep_;
   std::string prep_name_;
   quant::QuantizedNetwork net_;
+  std::string archive_source_;
 };
+
+const char* to_string(Member::ReloadStatus status);
 
 /// The heterogeneous modular-redundant group (paper Layer 2).
 class Ensemble {

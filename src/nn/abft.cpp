@@ -1,0 +1,73 @@
+#include "nn/abft.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgmr::nn {
+namespace {
+
+/// Folds one (actual, expected) pair into the aggregate check. The
+/// comparison goes through the negation so a NaN/Inf discrepancy
+/// (corrupted weights overflowing the GEMM) fails instead of passing.
+void fold(double actual, double expected, AbftLayerCheck* check) {
+  const double rel = std::abs(actual - expected) / (1.0 + std::abs(expected));
+  if (!(rel <= static_cast<double>(kAbftTolerance))) check->ok = false;
+  if (std::isfinite(rel)) {
+    check->max_rel_error =
+        std::max(check->max_rel_error, static_cast<float>(rel));
+  }
+}
+
+}  // namespace
+
+const char* to_string(Protection p) {
+  switch (p) {
+    case Protection::off: return "off";
+    case Protection::final_fc: return "final_fc";
+    case Protection::full: return "full";
+  }
+  return "unknown";
+}
+
+void abft_verify_rows(const float* a, const float* c, std::int64_t m,
+                      std::int64_t k, std::int64_t n,
+                      const AbftChecksum& golden, AbftLayerCheck* check) {
+  check->checked = true;
+  const float* colsum = golden.colsum.data();
+  for (std::int64_t r = 0; r < m; ++r) {
+    double expected = golden.bias_sum;
+    const float* arow = a + r * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      expected += static_cast<double>(arow[p]) * colsum[p];
+    }
+    double actual = 0.0;
+    const float* crow = c + r * n;
+    for (std::int64_t j = 0; j < n; ++j) actual += crow[j];
+    fold(actual, expected, check);
+  }
+}
+
+void abft_verify_cols(const float* b, const float* c, std::int64_t m,
+                      std::int64_t k, std::int64_t n,
+                      const AbftChecksum& golden, AbftLayerCheck* check) {
+  check->checked = true;
+  const float* colsum = golden.colsum.data();
+  // expected[j] = sum_p colsum[p]·B[p,j] + bias_sum, accumulated in double
+  // so the check adds no rounding noise of its own.
+  std::vector<double> expected(static_cast<std::size_t>(n), golden.bias_sum);
+  for (std::int64_t p = 0; p < k; ++p) {
+    const double w = colsum[p];
+    if (w == 0.0) continue;
+    const float* brow = b + p * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      expected[static_cast<std::size_t>(j)] += w * brow[j];
+    }
+  }
+  for (std::int64_t j = 0; j < n; ++j) {
+    double actual = 0.0;
+    for (std::int64_t i = 0; i < m; ++i) actual += c[i * n + j];
+    fold(actual, expected[static_cast<std::size_t>(j)], check);
+  }
+}
+
+}  // namespace pgmr::nn

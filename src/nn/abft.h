@@ -1,0 +1,78 @@
+// Algorithm-based fault tolerance (ABFT) for GEMM-backed layers.
+//
+// Every Conv2D and Dense forward pass is a GEMM C = A·B (+bias). The
+// classic Huang–Abraham check verifies e^T·C = (e^T·A)·B: capture the
+// column sums of the weight matrix once, when the weights are known good,
+// and at inference compare the output's sums against the prediction those
+// golden sums make from the layer *input*. A stored-weight corruption (a
+// high-exponent bit flip from the fault injector, a DRAM upset) breaks the
+// identity by many orders of magnitude; the check costs one extra "output
+// channel" of GEMM work (~1/out_channels overhead) and no second GEMM.
+//
+// This header carries the protection-level vocabulary shared by quant
+// (QuantizedNetwork), mr (per-member protection) and perf (cost model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pgmr::nn {
+
+/// How much of a network's datapath is ABFT-verified per forward pass.
+enum class Protection {
+  off,       ///< no checks (bit-identical fast path)
+  final_fc,  ///< final Dense layer only (the pre-PR-3 behaviour)
+  full,      ///< every Conv2D and Dense layer
+};
+
+const char* to_string(Protection p);
+
+/// Golden weight checksum for one layer, captured while the weights are
+/// known good. For a GEMM layer, `colsum[k]` sums the weight matrix over
+/// its output dimension (Dense: sum_o W[o,k]; Conv2D: sum_oc W[oc,k]) and
+/// `bias_sum` sums the bias vector. Composite layers (Sequential,
+/// ResidualBlock, DenseBlock) carry one child checksum per inner layer
+/// instead, so full-network protection reaches nested convolutions.
+struct AbftChecksum {
+  Tensor colsum;
+  double bias_sum = 0.0;
+  std::vector<AbftChecksum> children;
+
+  bool empty() const {
+    if (!colsum.empty()) return false;
+    for (const AbftChecksum& c : children) {
+      if (!c.empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// Outcome of verifying one layer's forward GEMM.
+struct AbftLayerCheck {
+  bool checked = false;        ///< a verification actually ran
+  bool ok = true;              ///< false on mismatch (or non-finite sums)
+  float max_rel_error = 0.0F;  ///< worst |actual-expected|/(1+|expected|)
+};
+
+/// Relative tolerance for the checks: float GEMM accumulation over these
+/// fan-ins stays orders of magnitude below it, while exponent-bit weight
+/// corruption overshoots it by many orders.
+inline constexpr float kAbftTolerance = 2e-3F;
+
+/// Row-sum verification for C[M,N] = A[M,K]·B^T (+bias), the Dense layout:
+/// expected row sum r is dot(A[r,:], golden.colsum) + golden.bias_sum.
+/// Aggregates into `check` (checked set true, ok sticky-false).
+void abft_verify_rows(const float* a, const float* c, std::int64_t m,
+                      std::int64_t k, std::int64_t n,
+                      const AbftChecksum& golden, AbftLayerCheck* check);
+
+/// Column-sum verification for C[M,N] = A[M,K]·B[K,N] (+bias per row of C),
+/// the im2col Conv2D layout: expected column sum j is
+/// sum_k golden.colsum[k]·B[k,j] + golden.bias_sum.
+void abft_verify_cols(const float* b, const float* c, std::int64_t m,
+                      std::int64_t k, std::int64_t n,
+                      const AbftChecksum& golden, AbftLayerCheck* check);
+
+}  // namespace pgmr::nn

@@ -100,6 +100,27 @@ CostStats Sequential::cost(const Shape& in) const {
   return total;
 }
 
+AbftChecksum Sequential::abft_checksum() const {
+  AbftChecksum golden;
+  golden.children.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    golden.children.push_back(layer->abft_checksum());
+  }
+  return golden;
+}
+
+Tensor Sequential::forward_abft(const Tensor& input, const AbftChecksum& golden,
+                                AbftLayerCheck* check) {
+  Tensor x = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const bool protect =
+        i < golden.children.size() && !golden.children[i].empty();
+    x = protect ? layers_[i]->forward_abft(x, golden.children[i], check)
+                : layers_[i]->forward(x, /*train=*/false);
+  }
+  return x;
+}
+
 void Sequential::save(BinaryWriter& w) const {
   w.write_u32(static_cast<std::uint32_t>(layers_.size()));
   for (const auto& layer : layers_) save_layer(w, *layer);
@@ -131,6 +152,44 @@ Tensor ResidualBlock::forward(const Tensor& input, bool train) {
   main += shortcut;
   if (train) cached_sum_ = main;
   // Post-add ReLU, as in the original ResNet basic block.
+  for (std::int64_t i = 0; i < main.numel(); ++i) {
+    if (main[i] < 0.0F) main[i] = 0.0F;
+  }
+  return main;
+}
+
+AbftChecksum ResidualBlock::abft_checksum() const {
+  AbftChecksum golden;
+  golden.children.push_back(body_->abft_checksum());
+  golden.children.push_back(projection_ ? projection_->abft_checksum()
+                                        : AbftChecksum{});
+  return golden;
+}
+
+Tensor ResidualBlock::forward_abft(const Tensor& input,
+                                   const AbftChecksum& golden,
+                                   AbftLayerCheck* check) {
+  const AbftChecksum* body_golden =
+      golden.children.size() > 0 && !golden.children[0].empty()
+          ? &golden.children[0]
+          : nullptr;
+  const AbftChecksum* proj_golden =
+      golden.children.size() > 1 && !golden.children[1].empty()
+          ? &golden.children[1]
+          : nullptr;
+  Tensor main = body_golden ? body_->forward_abft(input, *body_golden, check)
+                            : body_->forward(input, false);
+  Tensor shortcut =
+      projection_ ? (proj_golden
+                         ? projection_->forward_abft(input, *proj_golden, check)
+                         : projection_->forward(input, false))
+                  : input;
+  if (main.shape() != shortcut.shape()) {
+    throw std::invalid_argument(
+        "ResidualBlock: body/shortcut shape mismatch " +
+        main.shape().to_string() + " vs " + shortcut.shape().to_string());
+  }
+  main += shortcut;
   for (std::int64_t i = 0; i < main.numel(); ++i) {
     if (main[i] < 0.0F) main[i] = 0.0F;
   }
@@ -208,6 +267,29 @@ Tensor DenseBlock::forward(const Tensor& input, bool train) {
   Tensor features = input;
   for (auto& unit : units_) {
     Tensor contribution = unit->forward(features, train);
+    features = concat_channels(features, contribution);
+  }
+  return features;
+}
+
+AbftChecksum DenseBlock::abft_checksum() const {
+  AbftChecksum golden;
+  golden.children.reserve(units_.size());
+  for (const auto& unit : units_) {
+    golden.children.push_back(unit->abft_checksum());
+  }
+  return golden;
+}
+
+Tensor DenseBlock::forward_abft(const Tensor& input, const AbftChecksum& golden,
+                                AbftLayerCheck* check) {
+  Tensor features = input;
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    const bool protect =
+        i < golden.children.size() && !golden.children[i].empty();
+    Tensor contribution =
+        protect ? units_[i]->forward_abft(features, golden.children[i], check)
+                : units_[i]->forward(features, false);
     features = concat_channels(features, contribution);
   }
   return features;

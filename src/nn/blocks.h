@@ -27,6 +27,9 @@ class Sequential final : public Layer {
   std::vector<Tensor*> grads() override;
   Shape output_shape(const Shape& in) const override;
   CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter& w) const override;
   static std::unique_ptr<Sequential> load(BinaryReader& r);
 
@@ -55,6 +58,9 @@ class ResidualBlock final : public Layer {
   std::vector<Tensor*> grads() override;
   Shape output_shape(const Shape& in) const override;
   CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter& w) const override;
   static std::unique_ptr<ResidualBlock> load(BinaryReader& r);
 
@@ -80,6 +86,9 @@ class DenseBlock final : public Layer {
   std::vector<Tensor*> grads() override;
   Shape output_shape(const Shape& in) const override;
   CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter& w) const override;
   static std::unique_ptr<DenseBlock> load(BinaryReader& r);
 

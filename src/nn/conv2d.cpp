@@ -52,6 +52,29 @@ Shape Conv2D::output_shape(const Shape& in) const {
 }
 
 Tensor Conv2D::forward(const Tensor& input, bool train) {
+  return forward_impl(input, train, nullptr, nullptr);
+}
+
+AbftChecksum Conv2D::abft_checksum() const {
+  const std::int64_t patch = weight_.shape()[1];
+  AbftChecksum golden;
+  golden.colsum = Tensor(Shape{patch});
+  gemm_col_sums(weight_.data(), out_c_, patch, golden.colsum.data());
+  for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+    golden.bias_sum += static_cast<double>(bias_[oc]);
+  }
+  return golden;
+}
+
+Tensor Conv2D::forward_abft(const Tensor& input, const AbftChecksum& golden,
+                            AbftLayerCheck* check) {
+  if (golden.empty()) return forward_impl(input, false, nullptr, nullptr);
+  return forward_impl(input, false, &golden, check);
+}
+
+Tensor Conv2D::forward_impl(const Tensor& input, bool train,
+                            const AbftChecksum* golden,
+                            AbftLayerCheck* check) {
   const ConvGeometry geo = geometry(input.shape());
   const std::int64_t batch = input.shape()[0];
   const std::int64_t oh = geo.out_h();
@@ -78,6 +101,12 @@ Tensor Conv2D::forward(const Tensor& input, bool train) {
       for (std::int64_t s = 0; s < spatial; ++s) row[s] = b;
     }
     gemm_accumulate(weight_.data(), col.data(), dst, out_c_, patch, spatial);
+    if (golden) {
+      // Verify against the live im2col buffer; re-running im2col for the
+      // check would double the layer's memory traffic.
+      abft_verify_cols(col.data(), dst, out_c_, patch, spatial, *golden,
+                       check);
+    }
     if (train) {
       std::copy(col.begin(), col.end(),
                 cached_cols_.begin() + n * patch * spatial);
@@ -127,6 +156,8 @@ CostStats Conv2D::cost(const Shape& in) const {
   s.param_count = weight_.numel() + bias_.numel();
   s.weight_bytes = s.param_count * 4;
   s.activation_bytes = (in.numel() + in[0] * out_c_ * spatial) * 4;
+  // expected[j] over the patch dim plus the actual column sums of the output.
+  s.abft_macs = in[0] * spatial * (geo.patch_size() + out_c_);
   return s;
 }
 

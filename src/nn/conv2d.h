@@ -26,6 +26,9 @@ class Conv2D final : public Layer {
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
   Shape output_shape(const Shape& in) const override;
   CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter& w) const override;
 
   /// Deserializer counterpart of save(); used by load_layer.
@@ -36,6 +39,8 @@ class Conv2D final : public Layer {
 
  private:
   ConvGeometry geometry(const Shape& in) const;
+  Tensor forward_impl(const Tensor& input, bool train,
+                      const AbftChecksum* golden, AbftLayerCheck* check);
 
   std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
   Tensor weight_;       // [out_c, in_c*k*k]

@@ -15,12 +15,14 @@ struct CostStats {
   std::int64_t param_count = 0;       ///< trainable scalars
   std::int64_t weight_bytes = 0;      ///< parameter traffic at fp32
   std::int64_t activation_bytes = 0;  ///< input+output activation traffic at fp32
+  std::int64_t abft_macs = 0;         ///< extra work under full ABFT protection
 
   CostStats& operator+=(const CostStats& o) {
     macs += o.macs;
     param_count += o.param_count;
     weight_bytes += o.weight_bytes;
     activation_bytes += o.activation_bytes;
+    abft_macs += o.abft_macs;
     return *this;
   }
 };

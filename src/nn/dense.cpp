@@ -44,6 +44,26 @@ Tensor Dense::forward(const Tensor& input, bool train) {
   return out;
 }
 
+AbftChecksum Dense::abft_checksum() const {
+  AbftChecksum golden;
+  golden.colsum = Tensor(Shape{in_f_});
+  gemm_col_sums(weight_.data(), out_f_, in_f_, golden.colsum.data());
+  for (std::int64_t f = 0; f < out_f_; ++f) {
+    golden.bias_sum += static_cast<double>(bias_[f]);
+  }
+  return golden;
+}
+
+Tensor Dense::forward_abft(const Tensor& input, const AbftChecksum& golden,
+                           AbftLayerCheck* check) {
+  Tensor out = forward(input, /*train=*/false);
+  if (!golden.empty()) {
+    abft_verify_rows(input.data(), out.data(), input.shape()[0], in_f_, out_f_,
+                     golden, check);
+  }
+  return out;
+}
+
 Tensor Dense::backward(const Tensor& grad_output) {
   if (cached_input_.empty()) {
     throw std::logic_error("Dense::backward before forward(train=true)");
@@ -72,6 +92,8 @@ CostStats Dense::cost(const Shape& in) const {
   s.param_count = weight_.numel() + bias_.numel();
   s.weight_bytes = s.param_count * 4;
   s.activation_bytes = (in.numel() + in[0] * out_f_) * 4;
+  // dot(x, colsum) per row plus the actual row sums of the output.
+  s.abft_macs = in[0] * (in_f_ + out_f_);
   return s;
 }
 

@@ -20,6 +20,9 @@ class Dense final : public Layer {
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
   Shape output_shape(const Shape& in) const override;
   CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter& w) const override;
   static std::unique_ptr<Dense> load(BinaryReader& r);
 

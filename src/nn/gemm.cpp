@@ -30,6 +30,15 @@ void gemm_at_b(const float* a, const float* b, float* c,
   }
 }
 
+void gemm_col_sums(const float* a, std::int64_t m, std::int64_t n,
+                   float* out) {
+  for (std::int64_t j = 0; j < n; ++j) out[j] = 0.0F;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    for (std::int64_t j = 0; j < n; ++j) out[j] += arow[j];
+  }
+}
+
 void gemm_a_bt(const float* a, const float* b, float* c,
                std::int64_t m, std::int64_t k, std::int64_t n) {
   // B stored [N, K]; C[i,j] += dot(A[i,:], B[j,:]).

@@ -21,4 +21,9 @@ void gemm_at_b(const float* a, const float* b, float* c,
 void gemm_a_bt(const float* a, const float* b, float* c,
                std::int64_t m, std::int64_t k, std::int64_t n);
 
+/// out[j] = sum_i A[i,j] for row-major A[M,N] — the e^T·A vector the ABFT
+/// checks capture from a weight matrix while it is known good.
+void gemm_col_sums(const float* a, std::int64_t m, std::int64_t n,
+                   float* out);
+
 }  // namespace pgmr::nn

@@ -19,6 +19,14 @@ CostStats Layer::cost(const Shape& in) const {
   return s;
 }
 
+Tensor Layer::forward_abft(const Tensor& input, const AbftChecksum& golden,
+                           AbftLayerCheck* check) {
+  // Default for layers without GEMM support: plain eval-mode forward.
+  (void)golden;
+  (void)check;
+  return forward(input, /*train=*/false);
+}
+
 void save_layer(BinaryWriter& w, const Layer& layer) {
   w.write_string(layer.kind());
   layer.save(w);

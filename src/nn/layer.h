@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/abft.h"
 #include "nn/cost.h"
 #include "tensor/random.h"
 #include "tensor/serialize.h"
@@ -51,6 +52,18 @@ class Layer {
 
   /// Static cost of one forward pass for an input of shape `in`.
   virtual CostStats cost(const Shape& in) const;
+
+  /// Golden column-sum checksum over this layer's current GEMM weights,
+  /// for ABFT verification. Empty for layers without GEMM support
+  /// (activations, pooling, batchnorm, ...).
+  virtual AbftChecksum abft_checksum() const { return {}; }
+
+  /// Eval-mode forward with ABFT verification of the layer's GEMM against
+  /// `golden` (a checksum previously returned by abft_checksum). The output
+  /// is bit-identical to forward(input, false); the verdict is aggregated
+  /// into `check`. Layers without ABFT support run unchecked.
+  virtual Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                              AbftLayerCheck* check);
 
   /// Serializes hyperparameters and parameters (not optimizer state).
   virtual void save(BinaryWriter& w) const = 0;

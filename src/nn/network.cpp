@@ -71,6 +71,10 @@ void Network::save(const std::string& path) const {
 
 Network Network::load(const std::string& path) {
   BinaryReader r(path);
+  return load_from(r);
+}
+
+Network Network::load_from(BinaryReader& r) {
   std::string name = r.read_string();
   const std::uint32_t count = r.read_u32();
   std::vector<std::unique_ptr<Layer>> layers;

@@ -54,6 +54,10 @@ class Network {
   /// Loads a network previously written by save().
   static Network load(const std::string& path);
 
+  /// Loads from an already-opened reader (e.g. a legacy-compat reader in
+  /// migration tooling); the caller owns header validation policy.
+  static Network load_from(BinaryReader& r);
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Layer>> layers_;

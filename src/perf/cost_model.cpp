@@ -23,6 +23,13 @@ InferenceCost CostModel::network_cost(const nn::CostStats& stats,
   return c;
 }
 
+InferenceCost CostModel::network_cost(const nn::CostStats& stats, int bits,
+                                      nn::Protection protection) const {
+  nn::CostStats adjusted = stats;
+  if (protection == nn::Protection::full) adjusted.macs += stats.abft_macs;
+  return network_cost(adjusted, bits);
+}
+
 InferenceCost CostModel::preprocess_cost(const InferenceCost& member) const {
   InferenceCost c;
   c.latency_s = member.latency_s * hw_.preprocess_fraction;

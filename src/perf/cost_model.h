@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "nn/abft.h"
 #include "nn/cost.h"
 
 namespace pgmr::perf {
@@ -58,6 +59,14 @@ class CostModel {
   /// Cost of one forward pass with the given static stats at `bits`
   /// unified precision (32 = fp32 baseline).
   InferenceCost network_cost(const nn::CostStats& stats, int bits) const;
+
+  /// As above, but accounting for the member's ABFT protection level: full
+  /// protection adds stats.abft_macs of verification work per pass.
+  /// final_fc verification is one dot product over the FC fan-in — orders
+  /// of magnitude below any conv layer — and is priced as free, matching
+  /// the historical cost model.
+  InferenceCost network_cost(const nn::CostStats& stats, int bits,
+                             nn::Protection protection) const;
 
   /// Sequential single-GPU schedule: members run back to back, each with
   /// preprocessing overhead, plus one decision-engine invocation.

@@ -1,48 +1,65 @@
 #include "quant/quantized_network.h"
 
-#include <cmath>
-#include <cstdlib>
+#include <algorithm>
 
 #include "nn/softmax.h"
+#include "tensor/crc32.h"
 
 namespace pgmr::quant {
-namespace {
 
-/// The final Dense layer, or nullptr when the network ends differently.
-nn::Layer* final_dense(nn::Network& net) {
-  if (net.mutable_layers().empty()) return nullptr;
-  nn::Layer* last = net.mutable_layers().back().get();
-  return last->kind() == "dense" ? last : nullptr;
-}
-
-}  // namespace
-
-QuantizedNetwork::QuantizedNetwork(nn::Network network, int bits)
-    : network_(std::move(network)), bits_(bits) {
+QuantizedNetwork::QuantizedNetwork(nn::Network network, int bits,
+                                   nn::Protection protection)
+    : network_(std::move(network)), bits_(bits), protection_(protection) {
   for (Tensor* p : network_.params()) {
     truncate_tensor(*p, bits_);
   }
   refresh_checksum();
 }
 
+void QuantizedNetwork::set_protection(nn::Protection protection) {
+  protection_ = protection;
+  refresh_checksum();
+}
+
 void QuantizedNetwork::refresh_checksum() {
-  abft_colsum_ = Tensor();
-  abft_bias_sum_ = 0.0F;
-  nn::Layer* fc = final_dense(network_);
-  if (fc == nullptr) return;
-  const auto params = fc->params();
-  if (params.size() < 2 || params[0]->shape().rank() != 2) return;
-  const Tensor& weight = *params[0];  // [out_f, in_f]
-  const Tensor& bias = *params[1];    // [out_f]
-  const std::int64_t out_f = weight.shape()[0];
-  const std::int64_t in_f = weight.shape()[1];
-  abft_colsum_ = Tensor(Shape{in_f});
-  for (std::int64_t o = 0; o < out_f; ++o) {
-    for (std::int64_t i = 0; i < in_f; ++i) {
-      abft_colsum_[i] += weight[o * in_f + i];
-    }
+  auto& layers = network_.mutable_layers();
+  layer_golden_.assign(layers.size(), nn::AbftChecksum{});
+  switch (protection_) {
+    case nn::Protection::off:
+      break;
+    case nn::Protection::final_fc:
+      if (!layers.empty() && layers.back()->kind() == "dense") {
+        layer_golden_.back() = layers.back()->abft_checksum();
+      }
+      break;
+    case nn::Protection::full:
+      for (std::size_t l = 0; l < layers.size(); ++l) {
+        layer_golden_[l] = layers[l]->abft_checksum();
+      }
+      break;
   }
-  abft_bias_sum_ = bias.sum();
+  golden_crcs_ = current_param_crcs();
+}
+
+std::vector<std::uint32_t> QuantizedNetwork::current_param_crcs() {
+  std::vector<std::uint32_t> crcs;
+  for (Tensor* p : network_.params()) {
+    crcs.push_back(crc32(p->data(), static_cast<std::size_t>(p->numel()) *
+                                        sizeof(float)));
+  }
+  return crcs;
+}
+
+bool QuantizedNetwork::params_intact() { return first_corrupt_param() < 0; }
+
+int QuantizedNetwork::first_corrupt_param() {
+  const std::vector<std::uint32_t> now = current_param_crcs();
+  const std::size_t n = std::min(now.size(), golden_crcs_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (now[i] != golden_crcs_[i]) return static_cast<int>(i);
+  }
+  if (now.size() != golden_crcs_.size()) return static_cast<int>(n);
+  return -1;
 }
 
 Tensor QuantizedNetwork::forward(const Tensor& input, AbftCheck* abft) {
@@ -51,40 +68,26 @@ Tensor QuantizedNetwork::forward(const Tensor& input, AbftCheck* abft) {
   truncate_tensor(x, bits_);
   auto& layers = network_.mutable_layers();
   for (std::size_t l = 0; l < layers.size(); ++l) {
-    const bool verify = abft != nullptr && l + 1 == layers.size() &&
-                        !abft_colsum_.empty() &&
-                        x.shape().rank() == 2 &&
-                        x.shape()[1] == abft_colsum_.numel();
+    const bool verify = abft != nullptr && l < layer_golden_.size() &&
+                        !layer_golden_[l].empty();
     if (!verify) {
       x = layers[l]->forward(x, /*train=*/false);
       truncate_tensor(x, bits_);
       continue;
     }
-    // ABFT verification of the final FC GEMM: compare each output row sum
-    // against the golden-column-sum prediction from the FC input. Runs on
-    // the pre-truncation output (truncation would add its own error).
-    const Tensor fc_in = x;
-    x = layers[l]->forward(x, /*train=*/false);
-    abft->checked = true;
-    const std::int64_t n = x.shape()[0];
-    const std::int64_t out_f = x.shape()[1];
-    const std::int64_t in_f = abft_colsum_.numel();
-    for (std::int64_t row = 0; row < n; ++row) {
-      float expected = abft_bias_sum_;
-      for (std::int64_t i = 0; i < in_f; ++i) {
-        expected += fc_in[row * in_f + i] * abft_colsum_[i];
-      }
-      float actual = 0.0F;
-      for (std::int64_t o = 0; o < out_f; ++o) {
-        actual += x[row * out_f + o];
-      }
-      const float rel =
-          std::abs(actual - expected) / (1.0F + std::abs(expected));
-      // A NaN/Inf discrepancy (corrupted weights overflowing the GEMM)
-      // must fail the check, so compare through the negation.
-      if (!(rel <= kAbftTolerance)) abft->ok = false;
-      if (std::isfinite(rel)) {
-        abft->max_rel_error = std::max(abft->max_rel_error, rel);
+    // Verification runs on the pre-truncation output (truncation would add
+    // its own error on top of the GEMM's).
+    nn::AbftLayerCheck check;
+    x = layers[l]->forward_abft(x, layer_golden_[l], &check);
+    if (check.checked) {
+      abft->checked = true;
+      ++abft->layers_checked;
+      abft->max_rel_error =
+          std::max(abft->max_rel_error, check.max_rel_error);
+      if (!check.ok && abft->ok) {
+        abft->ok = false;
+        abft->failed_layer = static_cast<int>(l);
+        abft->failed_kind = layers[l]->kind();
       }
     }
     truncate_tensor(x, bits_);

@@ -3,46 +3,70 @@
 // Weights are truncated once at construction; activations are truncated
 // after every layer, simulating the paper's truncating load/store path.
 //
-// The wrapper also carries an ABFT-style column-sum checksum over the final
-// fully-connected layer (FT-CNN style): the column sums of the FC weight
-// matrix are captured once at construction, when the weights are known
-// good. At inference, sum_o y[n,o] must equal dot(x[n,:], colsum) + sum(b);
-// a stored-weight corruption (e.g. a high-exponent bit flip from the fault
-// injector) breaks that identity and is reported through AbftCheck without
-// any second GEMM.
+// The wrapper also carries ABFT (Huang–Abraham) column-sum checksums over
+// the network's GEMM layers, captured while the weights are known good.
+// Three protection levels (nn::Protection):
+//   off       — no checksums, bit-identical fast path;
+//   final_fc  — the final Dense layer only (FT-CNN style, the historical
+//               default): sum_o y[n,o] must equal dot(x[n,:], colsum) + sum(b);
+//   full      — every Conv2D and Dense layer, including those nested in
+//               Sequential/ResidualBlock/DenseBlock composites.
+// A stored-weight corruption (e.g. a high-exponent bit flip from the fault
+// injector) breaks the checked identity by orders of magnitude and is
+// reported through AbftCheck with the first failing layer — without any
+// second GEMM.
+//
+// Independently of ABFT, the wrapper snapshots a CRC32 of every parameter
+// tensor at blessing time; the runtime's weight scrubber re-computes these
+// off the hot path to catch corruptions ABFT's tolerance hides (e.g.
+// mantissa-LSB flips) and to decide when a member needs reloading.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/abft.h"
 #include "nn/network.h"
 #include "quant/precision.h"
 
 namespace pgmr::quant {
 
-/// Result of the final-FC checksum verification for one forward pass.
+/// Result of the ABFT checksum verification for one forward pass.
 struct AbftCheck {
-  bool checked = false;  ///< false when the net has no final Dense layer
+  bool checked = false;  ///< at least one layer verification ran
   bool ok = true;        ///< false on checksum mismatch (or non-finite sums)
-  float max_rel_error = 0.0F;  ///< worst row |actual-expected|/(1+|expected|)
+  float max_rel_error = 0.0F;  ///< worst |actual-expected|/(1+|expected|)
+  int layers_checked = 0;      ///< top-level layers that ran a verification
+  int failed_layer = -1;       ///< first failing top-level layer index
+  std::string failed_kind;     ///< kind() of the first failing layer
 };
 
-/// Relative tolerance for the FC checksum; float GEMM accumulation over the
-/// fan-in stays orders of magnitude below this, while exponent-bit weight
-/// corruption overshoots it by many orders.
-inline constexpr float kAbftTolerance = 2e-3F;
+/// Relative tolerance for the checksum comparisons (see nn/abft.h).
+inline constexpr float kAbftTolerance = nn::kAbftTolerance;
 
 /// Owns an independent copy of a network and runs it at `bits` precision.
 /// Obtain the copy by re-loading the cached model from disk (Network is
 /// move-only by design).
 class QuantizedNetwork {
  public:
-  /// Takes ownership of `network`, truncates all its parameters and caches
-  /// the golden FC column checksums.
-  QuantizedNetwork(nn::Network network, int bits);
+  /// Takes ownership of `network`, truncates all its parameters and blesses
+  /// the result: captures the golden ABFT checksums for `protection` and
+  /// the golden parameter CRCs.
+  QuantizedNetwork(nn::Network network, int bits,
+                   nn::Protection protection = nn::Protection::final_fc);
 
   const std::string& name() const { return network_.name(); }
   int bits() const { return bits_; }
 
+  nn::Protection protection() const { return protection_; }
+
+  /// Switches the protection level and re-blesses the *current* weights
+  /// (recaptures checksums and CRCs) — call only while they are known good.
+  void set_protection(nn::Protection protection);
+
   /// Forward pass with per-layer activation truncation; returns logits.
-  /// When `abft` is non-null the final-FC checksum is verified into it.
+  /// When `abft` is non-null the protected layers are verified into it.
   Tensor forward(const Tensor& input, AbftCheck* abft = nullptr);
 
   /// forward() followed by softmax — the layer-2 output PolygraphMR uses.
@@ -53,21 +77,37 @@ class QuantizedNetwork {
   const nn::Network& network() const { return network_; }
 
   /// Mutable access for fault injection (chaos/injector campaigns). Note
-  /// that deliberate weight edits are exactly what the ABFT checksum
-  /// detects; call refresh_checksum() after a *legitimate* weight change.
+  /// that deliberate weight edits are exactly what the ABFT checksum and
+  /// parameter CRCs detect; call refresh_checksum() after a *legitimate*
+  /// weight change.
   nn::Network& mutable_network() { return network_; }
 
-  /// Recaptures the golden FC column sums from the current weights.
+  /// Re-blesses the current weights: recaptures the golden ABFT checksums
+  /// at the active protection level and re-snapshots the parameter CRCs.
   void refresh_checksum();
+
+  /// Golden CRC32 per parameter tensor, in params() order, taken at the
+  /// last blessing (construction / refresh_checksum / set_protection).
+  const std::vector<std::uint32_t>& golden_param_crcs() const {
+    return golden_crcs_;
+  }
+
+  /// CRC32 per parameter tensor over the *current* weights.
+  std::vector<std::uint32_t> current_param_crcs();
+
+  /// True when every current parameter CRC matches its golden snapshot.
+  bool params_intact();
+
+  /// Index (params() order) of the first corrupted parameter, -1 if intact.
+  int first_corrupt_param();
 
  private:
   nn::Network network_;
   int bits_;
-  // Golden checksum state for the final Dense layer (empty when absent):
-  // abft_colsum_[i] = sum_o W[o,i] and abft_bias_sum_ = sum_o b[o], taken
-  // when the weights were known good.
-  Tensor abft_colsum_;
-  float abft_bias_sum_ = 0.0F;
+  nn::Protection protection_;
+  /// Golden checksum per top-level layer; empty entries are unprotected.
+  std::vector<nn::AbftChecksum> layer_golden_;
+  std::vector<std::uint32_t> golden_crcs_;
 };
 
 }  // namespace pgmr::quant

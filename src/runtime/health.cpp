@@ -9,6 +9,7 @@ const char* to_string(MemberState state) {
     case MemberState::healthy: return "healthy";
     case MemberState::quarantined: return "quarantined";
     case MemberState::half_open: return "half_open";
+    case MemberState::fenced: return "fenced";
   }
   return "unknown";
 }
@@ -35,6 +36,8 @@ std::vector<bool> MemberHealth::run_mask(
           mask[m] = true;
         }
         break;
+      case MemberState::fenced:
+        break;  // terminal: never runs, never probes
     }
   }
   return mask;
@@ -42,6 +45,7 @@ std::vector<bool> MemberHealth::run_mask(
 
 bool MemberHealth::on_result(std::size_t member, bool ok,
                              std::chrono::steady_clock::time_point now) {
+  if (state(member) == MemberState::fenced) return false;  // terminal
   if (ok) {
     faults_[member].store(0, std::memory_order_relaxed);
     set_state(member, MemberState::healthy);

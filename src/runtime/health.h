@@ -7,11 +7,19 @@
 //   quarantined ──(cooldown elapsed)──► half_open (runs as a probe)
 //   half_open ──(probe ok)──► healthy      (fault streak reset)
 //   half_open ──(probe fault)──► quarantined (fresh cooldown)
+//   any ──(force_fence: weights corrupt, archive unrecoverable)──► fenced
+//
+// fenced is terminal: the member never probes again and never runs —
+// unlike quarantine it reflects *known-bad stored state*, not a transient
+// fault streak, so only operator intervention (restart with a good
+// archive) clears it.
 //
 // Threading: run_mask() and on_result() are called by the batcher thread
 // only (one batch in flight at a time); state() / consecutive_faults()
 // are safe from any thread — state lives in relaxed atomics, and the
-// deadline bookkeeping is batcher-private.
+// deadline bookkeeping is batcher-private. force_fence() touches only the
+// atomic state, so the weight scrubber may call it from its own thread;
+// callers serialize it against on_result via the runtime's swap mutex.
 #pragma once
 
 #include <atomic>
@@ -21,7 +29,12 @@
 
 namespace pgmr::runtime {
 
-enum class MemberState : int { healthy = 0, quarantined = 1, half_open = 2 };
+enum class MemberState : int {
+  healthy = 0,
+  quarantined = 1,
+  half_open = 2,
+  fenced = 3,
+};
 
 const char* to_string(MemberState state);
 
@@ -47,6 +60,12 @@ class MemberHealth {
   /// metrics). Batcher thread only; call only for members that ran.
   bool on_result(std::size_t member, bool ok,
                  std::chrono::steady_clock::time_point now);
+
+  /// Permanently removes a member from service (see header comment).
+  /// Safe from any thread; serialize against on_result externally.
+  void force_fence(std::size_t member) {
+    set_state(member, MemberState::fenced);
+  }
 
   MemberState state(std::size_t member) const {
     return static_cast<MemberState>(

@@ -64,6 +64,17 @@ std::string MetricsSnapshot::to_string() const {
                   static_cast<unsigned long long>(quarantine_events[m]));
     out += line;
   }
+  emit("scrub_cycles", scrub_cycles);
+  for (std::size_t m = 0; m < crc_mismatches.size(); ++m) {
+    std::snprintf(line, sizeof(line), "crc_mismatches[%zu]       %llu\n", m,
+                  static_cast<unsigned long long>(crc_mismatches[m]));
+    out += line;
+  }
+  for (std::size_t m = 0; m < weight_reloads.size(); ++m) {
+    std::snprintf(line, sizeof(line), "weight_reloads[%zu]       %llu\n", m,
+                  static_cast<unsigned long long>(weight_reloads[m]));
+    out += line;
+  }
   for (const double q : {0.5, 0.9, 0.99}) {
     char name[32];
     std::snprintf(name, sizeof(name), "latency_p%.0f_us", q * 100);
@@ -75,7 +86,9 @@ std::string MetricsSnapshot::to_string() const {
 MetricsRegistry::MetricsRegistry(std::size_t members)
     : member_activations_(members),
       member_faults_(members),
-      quarantine_events_(members) {}
+      quarantine_events_(members),
+      crc_mismatches_(members),
+      weight_reloads_(members) {}
 
 void MetricsRegistry::on_batch(std::uint64_t size) {
   add(batches_);
@@ -118,6 +131,15 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.quarantine_events.reserve(quarantine_events_.size());
   for (const auto& q : quarantine_events_) {
     s.quarantine_events.push_back(q.load(std::memory_order_relaxed));
+  }
+  s.scrub_cycles = scrub_cycles_.load(std::memory_order_relaxed);
+  s.crc_mismatches.reserve(crc_mismatches_.size());
+  for (const auto& c : crc_mismatches_) {
+    s.crc_mismatches.push_back(c.load(std::memory_order_relaxed));
+  }
+  s.weight_reloads.reserve(weight_reloads_.size());
+  for (const auto& r : weight_reloads_) {
+    s.weight_reloads.push_back(r.load(std::memory_order_relaxed));
   }
   for (std::size_t b = 0; b < latency_buckets_.size(); ++b) {
     s.latency_buckets[b] = latency_buckets_[b].load(std::memory_order_relaxed);

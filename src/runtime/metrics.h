@@ -13,6 +13,8 @@
 //   degraded_verdicts                           -> served without full quorum
 //   member_activations[m]                       -> RADE activation counts
 //   member_faults[m] / quarantine_events[m]     -> fault-isolation activity
+//   scrub_cycles                                -> weight-scrubber sweeps
+//   crc_mismatches[m] / weight_reloads[m]       -> scrubber detections/heals
 //   latency histogram (end-to-end, microseconds, geometric buckets)
 #pragma once
 
@@ -43,9 +45,12 @@ struct MetricsSnapshot {
   std::uint64_t reliable = 0;
   std::uint64_t unreliable = 0;
   std::uint64_t degraded_verdicts = 0;
+  std::uint64_t scrub_cycles = 0;
   std::vector<std::uint64_t> member_activations;
   std::vector<std::uint64_t> member_faults;
   std::vector<std::uint64_t> quarantine_events;
+  std::vector<std::uint64_t> crc_mismatches;
+  std::vector<std::uint64_t> weight_reloads;
   std::array<std::uint64_t, kLatencyBucketBounds.size()> latency_buckets{};
 
   double mean_batch_size() const;
@@ -79,6 +84,9 @@ class MetricsRegistry {
   }
   void on_member_fault(std::size_t member) { add(member_faults_[member]); }
   void on_quarantine(std::size_t member) { add(quarantine_events_[member]); }
+  void on_scrub_cycle() { add(scrub_cycles_); }
+  void on_crc_mismatch(std::size_t member) { add(crc_mismatches_[member]); }
+  void on_weight_reload(std::size_t member) { add(weight_reloads_[member]); }
   void on_latency_us(std::uint64_t micros);
 
   std::size_t members() const { return member_activations_.size(); }
@@ -101,9 +109,12 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> reliable_{0};
   std::atomic<std::uint64_t> unreliable_{0};
   std::atomic<std::uint64_t> degraded_verdicts_{0};
+  std::atomic<std::uint64_t> scrub_cycles_{0};
   std::vector<std::atomic<std::uint64_t>> member_activations_;
   std::vector<std::atomic<std::uint64_t>> member_faults_;
   std::vector<std::atomic<std::uint64_t>> quarantine_events_;
+  std::vector<std::atomic<std::uint64_t>> crc_mismatches_;
+  std::vector<std::atomic<std::uint64_t>> weight_reloads_;
   std::array<std::atomic<std::uint64_t>, kLatencyBucketBounds.size()>
       latency_buckets_{};
 };

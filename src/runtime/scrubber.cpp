@@ -1,0 +1,73 @@
+#include "runtime/scrubber.h"
+
+namespace pgmr::runtime {
+
+WeightScrubber::WeightScrubber(mr::Ensemble& ensemble, MemberHealth& health,
+                               MetricsRegistry& metrics,
+                               std::mutex& swap_mutex, Options options)
+    : ensemble_(ensemble),
+      health_(health),
+      metrics_(metrics),
+      swap_mutex_(swap_mutex),
+      options_(options) {}
+
+WeightScrubber::~WeightScrubber() { stop(); }
+
+void WeightScrubber::start() {
+  if (thread_.joinable() || options_.interval.count() <= 0) return;
+  thread_ = std::jthread([this](std::stop_token st) { loop(st); });
+}
+
+void WeightScrubber::stop() {
+  if (!thread_.joinable()) return;
+  thread_.request_stop();
+  wake_.notify_all();
+  thread_.join();
+  thread_ = std::jthread();
+}
+
+void WeightScrubber::loop(std::stop_token st) {
+  std::unique_lock lock(wake_mutex_);
+  while (!st.stop_requested()) {
+    // Sleep first so construction + start() doesn't race member setup in
+    // tests that inject faults immediately after building the runtime.
+    if (wake_.wait_for(lock, st, options_.interval,
+                       [&st] { return st.stop_requested(); })) {
+      return;
+    }
+    lock.unlock();
+    scrub_once();
+    lock.lock();
+  }
+}
+
+ScrubReport WeightScrubber::scrub_once() {
+  ScrubReport report;
+  for (std::size_t m = 0; m < ensemble_.size(); ++m) {
+    // Per-member lock: a sweep never stalls the batcher for longer than
+    // one member's CRC pass (or one reload when healing).
+    std::lock_guard guard(swap_mutex_);
+    if (health_.state(m) == MemberState::fenced) continue;
+    mr::Member& member = ensemble_.member(m);
+    ++report.members_checked;
+    if (member.params_intact()) continue;
+
+    ++report.mismatches;
+    metrics_.on_crc_mismatch(m);
+    const mr::Member::ReloadStatus status = member.reload_params();
+    if (status == mr::Member::ReloadStatus::healed) {
+      ++report.reloads;
+      metrics_.on_weight_reload(m);
+    } else {
+      // No archive, unreadable archive, or an archive that no longer
+      // reproduces the blessed CRCs: the member has no trustworthy weight
+      // source left — remove it from the quorum permanently.
+      ++report.fenced;
+      health_.force_fence(m);
+    }
+  }
+  metrics_.on_scrub_cycle();
+  return report;
+}
+
+}  // namespace pgmr::runtime

@@ -1,0 +1,88 @@
+// WeightScrubber: background re-verification of live member weights.
+//
+// ABFT catches corruptions large enough to break a GEMM identity *during*
+// an inference; the scrubber closes the remaining gap. Off the hot path it
+// periodically re-computes every member's parameter CRC32s against the
+// snapshot blessed at load time, catching corruptions ABFT's tolerance
+// hides (mantissa-LSB flips, bias rot in layers a given input never
+// excites) before they accumulate. On a mismatch it self-heals by
+// atomically rebuilding the member from its zoo archive; when the archive
+// itself no longer reproduces the blessed CRCs (rotted or unreadable), the
+// member is permanently fenced out of the serving quorum instead.
+//
+// Threading: each member is checked and (if needed) healed while holding
+// the runtime's swap mutex — the same mutex the batcher holds across a
+// batch — so weights never change mid-inference and fence decisions never
+// race on_result. The mutex is taken per member, bounding how long any
+// single batch can be delayed by scrubbing.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+#include "mr/ensemble.h"
+#include "runtime/health.h"
+#include "runtime/metrics.h"
+
+namespace pgmr::runtime {
+
+/// What one full scrub sweep over the ensemble found and did.
+struct ScrubReport {
+  std::size_t members_checked = 0;  ///< members whose CRCs were re-verified
+  std::size_t mismatches = 0;       ///< members with a corrupted parameter
+  std::size_t reloads = 0;          ///< members healed from their archive
+  std::size_t fenced = 0;           ///< members fenced (archive bad too)
+};
+
+class WeightScrubber {
+ public:
+  struct Options {
+    /// Delay between background sweeps. start() ignores non-positive
+    /// intervals (scrub_once() still works for synchronous use).
+    std::chrono::milliseconds interval{1000};
+  };
+
+  /// All referees must outlive the scrubber. `swap_mutex` is the runtime's
+  /// inference-vs-heal mutex (see header comment).
+  WeightScrubber(mr::Ensemble& ensemble, MemberHealth& health,
+                 MetricsRegistry& metrics, std::mutex& swap_mutex,
+                 Options options);
+
+  ~WeightScrubber();
+
+  WeightScrubber(const WeightScrubber&) = delete;
+  WeightScrubber& operator=(const WeightScrubber&) = delete;
+
+  /// Launches the background sweep thread. No-op when already running or
+  /// when options().interval is non-positive.
+  void start();
+
+  /// Stops and joins the background thread. Idempotent.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  const Options& options() const { return options_; }
+
+  /// One synchronous sweep over every member: verify CRCs, heal or fence.
+  /// Callable from any thread (used directly by tests and by the
+  /// background loop). Fenced members are skipped.
+  ScrubReport scrub_once();
+
+ private:
+  void loop(std::stop_token st);
+
+  mr::Ensemble& ensemble_;
+  MemberHealth& health_;
+  MetricsRegistry& metrics_;
+  std::mutex& swap_mutex_;
+  Options options_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable_any wake_;
+  std::jthread thread_;
+};
+
+}  // namespace pgmr::runtime

@@ -25,7 +25,19 @@ ServingRuntime::ServingRuntime(polygraph::PolygraphSystem system,
                                     options_.quarantine_cooldown}),
       queue_(options_.queue_capacity),
       pool_(options_.threads),
-      batcher_([this] { batcher_loop(); }) {}
+      batcher_([this] { batcher_loop(); }) {
+  options_.protection = options.protection;
+  options_.scrub_interval = options.scrub_interval;
+  // Apply the configured ABFT protection before any request can arrive;
+  // the weights are fresh from the zoo here, so re-blessing is safe.
+  for (std::size_t m = 0; m < system_.ensemble().size(); ++m) {
+    system_.ensemble().member(m).set_protection(options_.protection);
+  }
+  scrubber_ = std::make_unique<WeightScrubber>(
+      system_.ensemble(), health_, metrics_, swap_mutex_,
+      WeightScrubber::Options{options_.scrub_interval});
+  if (options_.scrub_interval.count() > 0) scrubber_->start();
+}
 
 ServingRuntime::~ServingRuntime() { shutdown(); }
 
@@ -79,6 +91,7 @@ void ServingRuntime::shutdown() {
   stopped_.store(true, std::memory_order_release);
   queue_.close();
   if (batcher_.joinable()) batcher_.join();
+  if (scrubber_) scrubber_->stop();
 }
 
 void ServingRuntime::batcher_loop() {
@@ -136,6 +149,10 @@ void ServingRuntime::run_batch(std::vector<Request>& batch) {
   // predict_batch_resilient. Only a whole-ensemble failure (every active
   // member threw — indistinguishable from a poison input) escapes as an
   // exception, and deliberately does not count against member health.
+  // The swap mutex keeps the scrubber from reloading (or fencing) a member
+  // mid-batch: weights are immutable for the duration of the inference and
+  // the health updates that follow it.
+  std::unique_lock swap_guard(swap_mutex_);
   const std::vector<bool> mask = health_.run_mask(entered);
   polygraph::BatchReport report;
   try {
@@ -154,6 +171,7 @@ void ServingRuntime::run_batch(std::vector<Request>& batch) {
     if (!ok) metrics_.on_member_fault(m);
     if (health_.on_result(m, ok, now)) metrics_.on_quarantine(m);
   }
+  swap_guard.unlock();
 
   metrics_.on_batch(static_cast<std::uint64_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {

@@ -31,11 +31,17 @@
 //  * submit() takes an optional absolute deadline; the batcher sheds
 //    expired requests with a DeadlineExceeded error instead of spending
 //    inference on them.
+//  * Members run at a configurable ABFT protection level (off / final-FC /
+//    full per-layer), and an optional background WeightScrubber re-verifies
+//    parameter CRCs between batches, reloading corrupted members from their
+//    zoo archives (fencing them out permanently when the archive is bad).
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -44,6 +50,7 @@
 #include "runtime/health.h"
 #include "runtime/metrics.h"
 #include "runtime/mpmc_queue.h"
+#include "runtime/scrubber.h"
 #include "runtime/thread_pool.h"
 
 namespace pgmr::runtime {
@@ -64,6 +71,11 @@ struct RuntimeOptions {
   std::size_t queue_capacity = 256;     ///< bounded request queue
   int quarantine_after = 3;             ///< consecutive faults to quarantine
   std::chrono::milliseconds quarantine_cooldown{250};  ///< half-open delay
+  /// ABFT protection applied to every member at construction.
+  nn::Protection protection = nn::Protection::final_fc;
+  /// Background weight-scrub sweep period; <= 0 disables the scrubber
+  /// (scrub_now() still verifies on demand).
+  std::chrono::milliseconds scrub_interval{0};
 };
 
 class ServingRuntime {
@@ -105,6 +117,14 @@ class ServingRuntime {
   /// Live circuit-breaker state (thread-safe reads).
   const MemberHealth& health() const { return health_; }
 
+  /// One synchronous scrub sweep (CRC verify + heal/fence); see
+  /// WeightScrubber. Runs regardless of whether the background scrubber
+  /// is enabled — tests and operators use this for deterministic checks.
+  ScrubReport scrub_now() { return scrubber_->scrub_once(); }
+
+  /// The background scrubber (running() tells whether sweeps are active).
+  const WeightScrubber& scrubber() const { return *scrubber_; }
+
   /// The owned system; reconfigure (thresholds, staging) only while no
   /// requests are in flight.
   polygraph::PolygraphSystem& system() { return system_; }
@@ -131,6 +151,9 @@ class ServingRuntime {
   MemberHealth health_;
   MpmcQueue<Request> queue_;
   ThreadPool pool_;
+  /// Serializes inference (run_batch) against scrubber weight swaps.
+  std::mutex swap_mutex_;
+  std::unique_ptr<WeightScrubber> scrubber_;
   std::atomic<bool> stopped_{false};
   std::jthread batcher_;  // last: must die before the members it uses
 };

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over raw bytes.
+//
+// The integrity primitive behind the archive format's per-tensor payload
+// guard and the runtime's in-memory weight scrubber: cheap enough to run
+// over every parameter tensor periodically, and exact — unlike the ABFT
+// column-sum checks, a single flipped mantissa LSB changes the CRC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pgmr {
+
+/// CRC-32 of `n` bytes at `p`, continuing from `seed` (pass the previous
+/// return value to checksum discontiguous buffers as one stream).
+std::uint32_t crc32(const void* p, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace pgmr

@@ -2,11 +2,21 @@
 
 #include <stdexcept>
 
+#include "tensor/crc32.h"
+
 namespace pgmr {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x50474D52;  // "PGMR"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kLegacyVersion = 1;   // pre-CRC payloads
+
+/// CRC-32 over a tensor's shape descriptor and float payload — what v2
+/// archives append after the values so bit rot is caught at load time.
+std::uint32_t tensor_crc(const std::vector<std::int64_t>& dims,
+                         const std::vector<float>& values) {
+  std::uint32_t c = crc32(dims.data(), dims.size() * sizeof(std::int64_t));
+  return crc32(values.data(), values.size() * sizeof(float), c);
+}
 
 }  // namespace
 
@@ -14,7 +24,7 @@ BinaryWriter::BinaryWriter(const std::string& path)
     : out_(path, std::ios::binary | std::ios::trunc) {
   if (!out_) throw std::runtime_error("BinaryWriter: cannot open " + path);
   write_u32(kMagic);
-  write_u32(kVersion);
+  write_u32(kArchiveVersion);
 }
 
 void BinaryWriter::raw(const void* p, std::size_t n) {
@@ -39,10 +49,13 @@ void BinaryWriter::write_floats(const std::vector<float>& v) {
 
 void BinaryWriter::write_tensor(const Tensor& t) {
   write_u32(static_cast<std::uint32_t>(t.shape().rank()));
+  std::vector<std::int64_t> dims(t.shape().rank());
   for (std::size_t i = 0; i < t.shape().rank(); ++i) {
-    write_i64(t.shape()[i]);
+    dims[i] = t.shape()[i];
+    write_i64(dims[i]);
   }
   write_floats(t.values());
+  write_u32(tensor_crc(dims, t.values()));
 }
 
 void BinaryWriter::close() {
@@ -51,13 +64,16 @@ void BinaryWriter::close() {
   out_.close();
 }
 
-BinaryReader::BinaryReader(const std::string& path)
+BinaryReader::BinaryReader(const std::string& path, Compat compat)
     : in_(path, std::ios::binary) {
   if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
   if (read_u32() != kMagic) {
     throw std::runtime_error("BinaryReader: bad magic in " + path);
   }
-  if (read_u32() != kVersion) {
+  version_ = read_u32();
+  const bool legacy_ok =
+      compat == Compat::allow_legacy && version_ == kLegacyVersion;
+  if (version_ != kArchiveVersion && !legacy_ok) {
     throw std::runtime_error("BinaryReader: unsupported version in " + path);
   }
 }
@@ -116,6 +132,12 @@ Tensor BinaryReader::read_tensor() {
   std::vector<std::int64_t> dims(rank);
   for (auto& d : dims) d = read_i64();
   std::vector<float> values = read_floats();
+  if (version_ >= kArchiveVersion) {
+    const std::uint32_t stored = read_u32();
+    if (stored != tensor_crc(dims, values)) {
+      throw std::runtime_error("BinaryReader: tensor CRC mismatch");
+    }
+  }
   Shape shape;
   switch (rank) {
     case 0: shape = Shape{}; break;

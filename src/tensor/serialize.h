@@ -4,6 +4,13 @@
 // as-is (we only target x86-64 here), strings and tensors carry explicit
 // sizes, and every archive starts with a magic + version header so stale
 // caches are rejected instead of misread.
+//
+// Format v2 guards every tensor payload with a trailing CRC-32 over the
+// shape descriptor and the float data, so a flipped bit anywhere in a
+// stored parameter surfaces as a load-time error instead of a silent
+// mispredicting network. v1 archives (no CRC) are rejected by default —
+// the zoo's self-heal path retrains them — but can be read explicitly via
+// Compat::allow_legacy for in-place migration (tools/migrate_cache).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,9 @@
 #include "tensor/tensor.h"
 
 namespace pgmr {
+
+/// Current archive format version (v2 = CRC-guarded tensor payloads).
+inline constexpr std::uint32_t kArchiveVersion = 2;
 
 /// Streaming binary writer. Throws std::runtime_error on I/O failure.
 class BinaryWriter {
@@ -38,11 +48,19 @@ class BinaryWriter {
 };
 
 /// Streaming binary reader mirroring BinaryWriter. Throws std::runtime_error
-/// on truncated input or header mismatch.
+/// on truncated input, header mismatch, or a tensor CRC mismatch.
 class BinaryReader {
  public:
+  /// Opt-in acceptance of pre-CRC (v1) archives, for migration tooling
+  /// only; normal consumers reject them so stale caches self-heal.
+  enum class Compat { strict, allow_legacy };
+
   /// Opens `path` and validates the archive header.
-  explicit BinaryReader(const std::string& path);
+  explicit BinaryReader(const std::string& path,
+                        Compat compat = Compat::strict);
+
+  /// Format version of the open archive (kArchiveVersion unless legacy).
+  std::uint32_t version() const { return version_; }
 
   std::uint32_t read_u32();
   std::int64_t read_i64();
@@ -50,11 +68,15 @@ class BinaryReader {
   double read_f64();
   std::string read_string();
   std::vector<float> read_floats();
+
+  /// Reads a tensor and (v2+) verifies its payload CRC-32, throwing
+  /// std::runtime_error on mismatch.
   Tensor read_tensor();
 
  private:
   void raw(void* p, std::size_t n);
   std::ifstream in_;
+  std::uint32_t version_ = kArchiveVersion;
 };
 
 /// True when a readable archive with a valid header exists at `path`.

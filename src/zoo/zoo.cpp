@@ -100,13 +100,17 @@ std::string cache_dir() {
   return ".pgmr_cache";
 }
 
+std::string archive_path(const Benchmark& bm, const std::string& prep_spec,
+                         int variant) {
+  return cache_dir() + "/" + bm.id + "_" + sanitize(prep_spec) + "_v" +
+         std::to_string(variant) + "_c" + std::to_string(kZooCacheVersion) +
+         ".net";
+}
+
 nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
                             int variant) {
-  const std::string dir = cache_dir();
-  std::filesystem::create_directories(dir);
-  const std::string path = dir + "/" + bm.id + "_" + sanitize(prep_spec) +
-                           "_v" + std::to_string(variant) + "_c" +
-                           std::to_string(kZooCacheVersion) + ".net";
+  std::filesystem::create_directories(cache_dir());
+  const std::string path = archive_path(bm, prep_spec, variant);
   if (archive_exists(path)) {
     try {
       return nn::Network::load(path);
@@ -157,8 +161,10 @@ mr::Ensemble make_ensemble(const Benchmark& bm,
                            int bits) {
   mr::Ensemble ensemble;
   for (const std::string& spec : prep_specs) {
-    ensemble.add(mr::Member(prep::make_preprocessor(spec),
-                            trained_network(bm, spec), bits));
+    mr::Member member(prep::make_preprocessor(spec),
+                      trained_network(bm, spec), bits);
+    member.set_archive_source(archive_path(bm, spec));
+    ensemble.add(std::move(member));
   }
   return ensemble;
 }
@@ -167,8 +173,10 @@ mr::Ensemble make_random_init_ensemble(const Benchmark& bm, int copies,
                                        int bits) {
   mr::Ensemble ensemble;
   for (int v = 0; v < copies; ++v) {
-    ensemble.add(mr::Member(std::make_unique<prep::Identity>(),
-                            trained_network(bm, "ORG", v), bits));
+    mr::Member member(std::make_unique<prep::Identity>(),
+                      trained_network(bm, "ORG", v), bits);
+    member.set_archive_source(archive_path(bm, "ORG", v));
+    ensemble.add(std::move(member));
   }
   return ensemble;
 }

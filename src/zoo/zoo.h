@@ -37,6 +37,11 @@ data::DatasetSplits benchmark_splits(const Benchmark& bm);
 /// Directory trained models are cached in ($PGMR_CACHE_DIR or .pgmr_cache).
 std::string cache_dir();
 
+/// Cache path of the archive for (benchmark, preprocessor, variant) — where
+/// trained_network publishes and the runtime scrubber reloads from.
+std::string archive_path(const Benchmark& bm, const std::string& prep_spec,
+                         int variant = 0);
+
 /// Returns the trained network for (benchmark, preprocessor, variant),
 /// training on the preprocessed train split and caching on first use.
 /// `prep_spec` is a Preprocessor::name() string; "ORG" trains on raw data.

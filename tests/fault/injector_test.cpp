@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "mr/decision.h"
 #include "mr/ensemble.h"
 #include "nn/activations.h"
@@ -217,6 +220,37 @@ TEST(InjectorTest, HighExponentBitsCorruptMoreThanLowMantissa) {
 
   EXPECT_GT(exponent.degraded + exponent.corrupted,
             mantissa.degraded + mantissa.corrupted);
+}
+
+TEST(InjectorTest, SampledSitesNeverRepeatASite) {
+  // Multi-fault campaigns inject a whole batch at once; a duplicated
+  // (tensor, element, bit) triple would flip the same bit twice and
+  // cancel itself out.
+  nn::Network big = make_net(15);
+  Rng rng(16);
+  const auto many = sample_sites(big, 300, rng, 31);
+  std::set<std::tuple<std::size_t, std::int64_t, int>> triples;
+  for (const FaultSite& s : many) {
+    EXPECT_TRUE(triples.insert({s.param_index, s.element, s.bit}).second)
+        << "duplicate site: param " << s.param_index << " element "
+        << s.element << " bit " << s.bit;
+  }
+}
+
+TEST(InjectorTest, SamplingExhaustsSmallSiteSpaceExactly) {
+  // identity_net has 6 parameter elements; with max_bit=0 the site space
+  // is exactly 6. Drawing all of them yields each once; asking for more
+  // is an error rather than an infinite redraw loop.
+  nn::Network net = identity_net();
+  Rng rng(17);
+  const auto sites = sample_sites(net, 6, rng, /*max_bit=*/0);
+  std::set<std::pair<std::size_t, std::int64_t>> seen;
+  for (const FaultSite& s : sites) {
+    EXPECT_EQ(s.bit, 0);
+    EXPECT_TRUE(seen.insert({s.param_index, s.element}).second);
+  }
+  EXPECT_EQ(seen.size(), 6U);
+  EXPECT_THROW(sample_sites(net, 7, rng, 0), std::invalid_argument);
 }
 
 }  // namespace

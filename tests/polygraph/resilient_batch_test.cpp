@@ -116,6 +116,32 @@ TEST(ResilientBatchTest, ZeroFaultPathMatchesPredictBatchExactly) {
   }
 }
 
+TEST(ResilientBatchTest, ProtectionLevelsPreserveZeroFaultBitIdentity) {
+  // At zero faults the resilient path must stay bit-identical to
+  // predict_batch at every ABFT protection level, protection off included:
+  // the checksummed forward is required to reproduce the plain forward's
+  // arithmetic exactly.
+  for (const nn::Protection p :
+       {nn::Protection::off, nn::Protection::final_fc, nn::Protection::full}) {
+    PolygraphSystem sys(tiny_ensemble(3));
+    for (std::size_t m = 0; m < 3; ++m) {
+      sys.ensemble().member(m).set_protection(p);
+    }
+    sys.set_thresholds({0.4F, 2});
+    const Tensor images = random_images(12, 9);
+
+    const std::vector<Verdict> plain = sys.predict_batch(images);
+    const BatchReport report = sys.predict_batch_resilient(images);
+    ASSERT_EQ(report.verdicts.size(), plain.size());
+    for (std::size_t n = 0; n < plain.size(); ++n) {
+      expect_same_verdict(report.verdicts[n], plain[n]);
+    }
+    for (const mr::MemberFault f : report.member_faults) {
+      EXPECT_EQ(f, mr::MemberFault::none);
+    }
+  }
+}
+
 TEST(ResilientBatchTest, ZeroFaultPathMatchesStagedPredictBatch) {
   PolygraphSystem sys(tiny_ensemble(4));
   const Tensor val = random_images(40, 5);

@@ -113,5 +113,87 @@ TEST_F(SerializeTest, MissingFileThrows) {
   EXPECT_THROW(BinaryReader r(path_ + ".missing"), std::runtime_error);
 }
 
+TEST_F(SerializeTest, CorruptedTensorByteFailsCrc) {
+  Tensor t(Shape{4, 5});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(i) - 7.5F;
+  }
+  {
+    BinaryWriter w(path_);
+    w.write_tensor(t);
+    w.close();
+  }
+  {
+    // Flip one bit inside the float payload: header (8) + rank (4) +
+    // dims (2*8) + float count (8) puts the payload at offset 36.
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(36 + 5);
+    char b = 0;
+    f.get(b);
+    f.seekp(36 + 5);
+    f.put(static_cast<char>(b ^ 0x10));
+  }
+  BinaryReader r(path_);
+  try {
+    r.read_tensor();
+    FAIL() << "corrupted tensor payload must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << "error should name the CRC check: " << e.what();
+  }
+}
+
+TEST_F(SerializeTest, TruncatedTensorPayloadThrows) {
+  Tensor t(Shape{8, 8});
+  {
+    BinaryWriter w(path_);
+    w.write_tensor(t);
+    w.close();
+  }
+  // Cut the archive mid-payload (well before the trailing CRC).
+  std::filesystem::resize_file(path_, 36 + 40);
+  BinaryReader r(path_);
+  EXPECT_THROW(r.read_tensor(), std::runtime_error);
+}
+
+TEST_F(SerializeTest, LegacyV1RejectedUnlessOptedIn) {
+  {
+    // Hand-write a v1 archive: same framing, no trailing tensor CRC.
+    std::ofstream out(path_, std::ios::binary);
+    const std::uint32_t magic = 0x50474D52, version = 1, rank = 1;
+    const std::int64_t dim = 3, count = 3;
+    const float values[3] = {1.0F, 2.0F, 3.0F};
+    out.write(reinterpret_cast<const char*>(&magic), 4);
+    out.write(reinterpret_cast<const char*>(&version), 4);
+    out.write(reinterpret_cast<const char*>(&rank), 4);
+    out.write(reinterpret_cast<const char*>(&dim), 8);
+    out.write(reinterpret_cast<const char*>(&count), 8);
+    out.write(reinterpret_cast<const char*>(values), sizeof(values));
+  }
+  // Strict consumers (the zoo) must reject it so self-heal retrains...
+  EXPECT_THROW(BinaryReader strict(path_), std::runtime_error);
+  EXPECT_FALSE(archive_exists(path_));
+  // ...while the migration tool reads it losslessly.
+  BinaryReader legacy(path_, BinaryReader::Compat::allow_legacy);
+  EXPECT_EQ(legacy.version(), 1U);
+  const Tensor back = legacy.read_tensor();
+  ASSERT_EQ(back.numel(), 3);
+  EXPECT_EQ(back[0], 1.0F);
+  EXPECT_EQ(back[2], 3.0F);
+}
+
+TEST_F(SerializeTest, FutureVersionRejectedEvenWithCompat) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    const std::uint32_t magic = 0x50474D52, version = 99;
+    out.write(reinterpret_cast<const char*>(&magic), 4);
+    out.write(reinterpret_cast<const char*>(&version), 4);
+  }
+  EXPECT_THROW(BinaryReader strict(path_), std::runtime_error);
+  EXPECT_THROW(
+      BinaryReader legacy(path_, BinaryReader::Compat::allow_legacy),
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace pgmr

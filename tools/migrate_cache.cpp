@@ -1,0 +1,56 @@
+// Upgrades every legacy (v1, pre-CRC) zoo archive under the cache dir to
+// the current CRC-guarded format, in place, with atomic publish.
+//
+// The normal read path rejects v1 archives (the zoo self-heals them by
+// retraining); this tool exists so an already-trained cache survives the
+// format bump without paying hundreds of training runs. Archives already
+// at the current version are left untouched.
+//
+//   migrate_cache [cache-dir]    (default: $PGMR_CACHE_DIR or .pgmr_cache)
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "nn/network.h"
+#include "zoo/zoo.h"
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using pgmr::BinaryReader;
+
+  const std::string dir = argc > 1 ? argv[1] : pgmr::zoo::cache_dir();
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "migrate_cache: no cache dir at %s\n", dir.c_str());
+    return 1;
+  }
+
+  int migrated = 0, current = 0, failed = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".net") {
+      continue;
+    }
+    const std::string path = entry.path().string();
+    try {
+      BinaryReader legacy(path, BinaryReader::Compat::allow_legacy);
+      if (legacy.version() == pgmr::kArchiveVersion) {
+        ++current;
+        continue;
+      }
+      pgmr::nn::Network net = pgmr::nn::Network::load_from(legacy);
+      const std::string tmp =
+          path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+      net.save(tmp);
+      fs::rename(tmp, path);
+      ++migrated;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "migrate_cache: %s: %s (left for self-heal)\n",
+                   path.c_str(), e.what());
+      ++failed;
+    }
+  }
+  std::printf("migrate_cache: %d migrated, %d already current, %d failed\n",
+              migrated, current, failed);
+  return failed == 0 ? 0 : 1;
+}

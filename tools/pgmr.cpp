@@ -126,7 +126,8 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   long long deadline_us = 0;  // 0 = no per-request deadline
   for (int i = 0; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
-    const long long value = std::atoll(argv[i + 1]);
+    const std::string arg = argv[i + 1];
+    const long long value = std::atoll(arg.c_str());
     if (flag == "--threads") {
       opts.threads = static_cast<std::size_t>(value);
     } else if (flag == "--max-batch") {
@@ -139,6 +140,20 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       requests = value;
     } else if (flag == "--deadline-us") {
       deadline_us = value;
+    } else if (flag == "--protection") {
+      if (arg == "off") {
+        opts.protection = nn::Protection::off;
+      } else if (arg == "fc" || arg == "final_fc") {
+        opts.protection = nn::Protection::final_fc;
+      } else if (arg == "full") {
+        opts.protection = nn::Protection::full;
+      } else {
+        std::fprintf(stderr,
+                     "serve-bench: --protection must be off|fc|full\n");
+        return 2;
+      }
+    } else if (flag == "--scrub-interval-ms") {
+      opts.scrub_interval = std::chrono::milliseconds(value);
     } else {
       std::fprintf(stderr, "serve-bench: unknown flag %s\n", flag.c_str());
       return 2;
@@ -154,10 +169,13 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   const data::DatasetSplits splits = zoo::benchmark_splits(bm);
   const std::int64_t pool_n = splits.test.size();
   std::printf("serve-bench: %s (%zu members, threads=%zu, max_batch=%zu, "
-              "max_delay=%lldus, requests=%lld)\n",
+              "max_delay=%lldus, requests=%lld, protection=%s, "
+              "scrub_interval=%lldms)\n",
               config.benchmark.c_str(), config.members.size(), opts.threads,
               opts.max_batch,
-              static_cast<long long>(opts.max_delay.count()), requests);
+              static_cast<long long>(opts.max_delay.count()), requests,
+              nn::to_string(opts.protection),
+              static_cast<long long>(opts.scrub_interval.count()));
 
   runtime::ServingRuntime rt(polygraph::make_system(config), opts);
   std::vector<std::future<polygraph::Verdict>> futures;
@@ -208,15 +226,23 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
               static_cast<long long>(degraded),
               100.0 * static_cast<double>(degraded) /
                   static_cast<double>(requests));
-  std::uint64_t member_faults = 0, quarantines = 0;
+  std::uint64_t member_faults = 0, quarantines = 0, crc_mismatches = 0,
+                weight_reloads = 0;
   for (const std::uint64_t f : snap.member_faults) member_faults += f;
   for (const std::uint64_t q : snap.quarantine_events) quarantines += q;
+  for (const std::uint64_t c : snap.crc_mismatches) crc_mismatches += c;
+  for (const std::uint64_t w : snap.weight_reloads) weight_reloads += w;
   std::printf("resilience: shed %lld  failed %lld  member_faults %llu  "
               "quarantines %llu (%zu member(s) quarantined now)\n",
               static_cast<long long>(shed), static_cast<long long>(failed),
               static_cast<unsigned long long>(member_faults),
               static_cast<unsigned long long>(quarantines),
               rt.health().quarantined_count());
+  std::printf("scrubbing:  %llu cycle(s), crc_mismatches %llu, "
+              "weight_reloads %llu\n",
+              static_cast<unsigned long long>(snap.scrub_cycles),
+              static_cast<unsigned long long>(crc_mismatches),
+              static_cast<unsigned long long>(weight_reloads));
   std::printf("batching:   %llu batches, mean size %.2f, max %llu\n",
               static_cast<unsigned long long>(snap.batches),
               snap.mean_batch_size(),
@@ -238,7 +264,8 @@ int usage() {
                "  pgmr predict <config.cfg> <sample-index>\n"
                "  pgmr serve-bench <config.cfg> [--threads N] [--max-batch B]"
                " [--max-delay-us D] [--queue-cap Q] [--requests R]"
-               " [--deadline-us T]\n");
+               " [--deadline-us T] [--protection off|fc|full]"
+               " [--scrub-interval-ms S]\n");
   return 2;
 }
 

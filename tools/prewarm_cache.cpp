@@ -2,16 +2,37 @@
 // so subsequent runs are inference-only. Safe to re-run (cached models are
 // skipped) and to run concurrently with other consumers (atomic publish).
 //
+// Progress is mirrored into <cache_dir>/prewarm.log so long unattended
+// runs leave a record next to the artifacts they produce (never in the
+// repository root).
+//
 // Order: cheap tiers first so tests that rely on lenet5/convnet unblock
 // early, then the 100 ConvNet variants for Figs 5/13, then the heavy
 // scifar/simagenet networks.
+#include <cstdarg>
 #include <cstdio>
 
 #include "zoo/zoo.h"
 
 namespace {
 
+std::FILE* g_log = nullptr;
+
+void note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  if (g_log != nullptr) {
+    va_start(args, fmt);
+    std::vfprintf(g_log, fmt, args);
+    va_end(args);
+    std::fflush(g_log);
+  }
+}
+
 void warm(const pgmr::zoo::Benchmark& bm, const std::string& prep, int variant) {
+  note("[prewarm] %s %s v%d\n", bm.id.c_str(), prep.c_str(), variant);
   pgmr::zoo::trained_network(bm, prep, variant);
 }
 
@@ -30,23 +51,31 @@ int main() {
   constexpr int kMrVariants = 6;        // 6_MR needs variants 0..5
   constexpr int kConvnetVariants = 100; // Fig 13's 100_MR_DE
 
-  std::printf("[prewarm] cheap tiers first\n");
+  const std::string log_path = pgmr::zoo::cache_dir() + "/prewarm.log";
+  g_log = std::fopen(log_path.c_str(), "a");
+  if (g_log == nullptr) {
+    std::fprintf(stderr, "[prewarm] warning: cannot open %s\n",
+                 log_path.c_str());
+  }
+
+  note("[prewarm] cheap tiers first\n");
   warm_benchmark(find_benchmark("lenet5"), kMrVariants);
   warm_benchmark(find_benchmark("convnet"), kMrVariants);
 
-  std::printf("[prewarm] convnet MR variants (Figs 5, 13)\n");
+  note("[prewarm] convnet MR variants (Figs 5, 13)\n");
   for (int v = kMrVariants; v < kConvnetVariants; ++v) {
     warm(find_benchmark("convnet"), "ORG", v);
   }
 
-  std::printf("[prewarm] scifar heavy networks\n");
+  note("[prewarm] scifar heavy networks\n");
   warm_benchmark(find_benchmark("resnet20"), kMrVariants);
   warm_benchmark(find_benchmark("densenet40"), kMrVariants);
 
-  std::printf("[prewarm] simagenet networks\n");
+  note("[prewarm] simagenet networks\n");
   warm_benchmark(find_benchmark("alexnet"), kMrVariants);
   warm_benchmark(find_benchmark("resnet34"), kMrVariants);
 
-  std::printf("[prewarm] done\n");
+  note("[prewarm] done\n");
+  if (g_log != nullptr) std::fclose(g_log);
   return 0;
 }
