@@ -16,9 +16,14 @@
 // sweep would catch between batches — for stored-weight faults this is the
 // backstop that bounds how long even an SDC can persist.
 //
+// A multi-fault section repeats the sweep with K simultaneous distinct
+// flips per trial (sample_sites dedupes sites), modelling burst upsets.
+//
 // Flags: --trials N (per bit class, default 40), --probe N (samples,
-// default 200), --layer-trials N (exponent flips per tensor, default 3).
-// CI runs the small smoke configuration.
+// default 200), --layer-trials N (exponent flips per tensor, default 3),
+// --faults K (simultaneous flips in the multi-fault section, default 3),
+// --benchmark ID (convnet default; resnet20 runs the same campaign on the
+// deeper residual stack). CI runs the small smoke configurations.
 #include <cstring>
 
 #include "bench_util.h"
@@ -65,6 +70,8 @@ int main(int argc, char** argv) {
   int trials_per_class = 40;
   std::int64_t probe_n = 200;
   int layer_trials = 3;
+  int multi_faults = 3;
+  std::string benchmark = "convnet";
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--trials") == 0) {
       trials_per_class = std::atoi(argv[i + 1]);
@@ -72,13 +79,17 @@ int main(int argc, char** argv) {
       probe_n = std::atoll(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--layer-trials") == 0) {
       layer_trials = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      multi_faults = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--benchmark") == 0) {
+      benchmark = argv[i + 1];
     } else {
       std::fprintf(stderr, "sdc_coverage: unknown flag %s\n", argv[i]);
       return 2;
     }
   }
 
-  const zoo::Benchmark& bm = zoo::find_benchmark("convnet");
+  const zoo::Benchmark& bm = zoo::find_benchmark(benchmark);
   const data::DatasetSplits splits = zoo::benchmark_splits(bm);
   const data::Dataset probe = splits.test.slice(0, probe_n);
   const std::vector<std::string> specs = {"ORG", "AdHist", "FlipX", "FlipY"};
@@ -100,9 +111,11 @@ int main(int argc, char** argv) {
   const std::vector<std::int64_t> clean_system_pred =
       system_predictions(clean_votes, probe_n);
 
-  bench::rule("SDC coverage: single weight-bit flips in one ConvNet member");
-  std::printf("protection=full, %d trials/class, %lld probe samples\n\n",
-              trials_per_class, static_cast<long long>(probe_n));
+  bench::rule("SDC coverage: single weight-bit flips in one member");
+  std::printf("benchmark=%s, protection=full, %d trials/class, %lld probe "
+              "samples\n\n",
+              bm.id.c_str(), trials_per_class,
+              static_cast<long long>(probe_n));
 
   struct BitClass {
     const char* name;
@@ -171,6 +184,70 @@ int main(int argc, char** argv) {
               "all stored-weight flips between batches\n",
               exp_covered,
               100.0 * exponent_tally.detected_scrub / exponent_tally.trials);
+
+  // Multi-fault batches: K simultaneous distinct flips per trial (burst
+  // upsets — e.g. one event corrupting a cache line). sample_sites
+  // guarantees the K sites are distinct, so the trial really carries K
+  // faults and restore can undo them independently.
+  if (multi_faults > 1) {
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "multi-fault batches: %d simultaneous flips per trial",
+                  multi_faults);
+    bench::rule(title);
+    ClassTally tally;
+    for (int t = 0; t < trials_per_class; ++t) {
+      const std::vector<fault::FaultSite> sites = fault::sample_sites(
+          target.net().mutable_network(), multi_faults, rng, 31);
+      std::vector<float> originals;
+      originals.reserve(sites.size());
+      for (const fault::FaultSite& site : sites) {
+        originals.push_back(
+            fault::inject(target.net().mutable_network(), site));
+      }
+
+      ++tally.trials;
+      if (!target.params_intact()) ++tally.detected_scrub;
+      mr::MemberOutcome outcome = target.try_probabilities(probe.images);
+      if (outcome.fault == mr::MemberFault::checksum ||
+          outcome.fault == mr::MemberFault::non_finite) {
+        ++tally.detected_abft;
+      } else {
+        const std::vector<std::int64_t> pred =
+            argmax_rows(outcome.probabilities);
+        if (pred == clean_member_pred) {
+          ++tally.masked;
+        } else {
+          mr::MemberVotes votes = clean_votes;
+          votes[0] = mr::votes_from_probabilities(outcome.probabilities);
+          if (system_predictions(votes, probe_n) == clean_system_pred) {
+            ++tally.masked_mr;
+          } else {
+            ++tally.sdc;
+          }
+        }
+      }
+      for (std::size_t s = sites.size(); s > 0; --s) {
+        fault::restore(target.net().mutable_network(), sites[s - 1],
+                       originals[s - 1]);
+      }
+    }
+    std::printf("%-22s %7d %5.0f%% %6.0f%% %6.0f%% %6.0f%% %5.0f%%\n",
+                "all bits, K faults", tally.trials,
+                100.0 * tally.detected_abft / tally.trials,
+                100.0 * tally.detected_scrub / tally.trials,
+                100.0 * tally.masked / tally.trials,
+                100.0 * tally.masked_mr / tally.trials,
+                100.0 * tally.sdc / tally.trials);
+    if (tally.detected_scrub != tally.trials) {
+      std::printf("WARNING: CRC scrub missed a multi-fault trial "
+                  "(%d/%d)\n", tally.detected_scrub, tally.trials);
+      return 1;
+    }
+    std::printf("CRC scrub caught %d/%d multi-fault trials (exact: any "
+                "stored-weight change flips the CRC)\n",
+                tally.detected_scrub, tally.trials);
+  }
 
   // Layer sweep: exponent flips aimed at each parameter tensor in turn —
   // shows full-network ABFT covering conv layers the final-FC checksum

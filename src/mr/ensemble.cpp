@@ -97,6 +97,20 @@ perf::InferenceCost Member::cost(const Shape& in,
                             net_.protection());
 }
 
+void Ensemble::replace(std::size_t i, Member member) {
+  if (i >= members_.size()) {
+    throw std::invalid_argument("Ensemble::replace: slot out of range");
+  }
+  members_[i] = std::move(member);
+}
+
+std::vector<std::string> Ensemble::prep_names() const {
+  std::vector<std::string> names;
+  names.reserve(members_.size());
+  for (const Member& m : members_) names.push_back(m.prep_name());
+  return names;
+}
+
 std::vector<Tensor> Ensemble::member_probabilities(const Tensor& images,
                                                    const Executor& exec) {
   std::vector<Tensor> out(members_.size());

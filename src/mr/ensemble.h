@@ -122,6 +122,20 @@ class Ensemble {
   const Member& member(std::size_t i) const { return members_[i]; }
   Member& member(std::size_t i) { return members_[i]; }
 
+  /// Replaces the member in slot `i` — the self-healing runtime's hot-swap
+  /// seam. The slot keeps its position (decision order, health index,
+  /// metrics index); only the preprocessor/network pair changes. Callers
+  /// must serialize against in-flight inference (the runtime holds its
+  /// swap mutex across the call). Once the slot is back in the run mask
+  /// the quorum is full again, so the degraded Thr_Freq re-normalization
+  /// naturally falls away — decisions recompute it per batch from the
+  /// surviving member count.
+  void replace(std::size_t i, Member member);
+
+  /// Preprocessor name of every member, in slot order — the composition
+  /// fingerprint replacement planning diversifies against.
+  std::vector<std::string> prep_names() const;
+
   /// Runs every member on `images`; result[m] is member m's [N, C] softmax.
   /// Members are dispatched through `exec`, so the same implementation
   /// serves the serial path and the runtime's per-member parallelism; the

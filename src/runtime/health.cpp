@@ -16,9 +16,11 @@ const char* to_string(MemberState state) {
 
 MemberHealth::MemberHealth(std::size_t members, Options options)
     : options_{std::max(1, options.quarantine_after),
-               std::max(options.cooldown, std::chrono::milliseconds(0))},
+               std::max(options.cooldown, std::chrono::milliseconds(0)),
+               std::max(0, options.fence_after_quarantines)},
       states_(members),
       faults_(members),
+      trips_(members),
       probe_at_(members) {}
 
 std::vector<bool> MemberHealth::run_mask(
@@ -58,14 +60,35 @@ bool MemberHealth::on_result(std::size_t member, bool ok,
   if (trip) {
     set_state(member, MemberState::quarantined);
     probe_at_[member] = now + options_.cooldown;
+    // Breaker escalation: a member that keeps earning fresh quarantines is
+    // broken, not unlucky — fence it so the replacer can rebuild the slot.
+    const int trips = trips_[member].fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.fence_after_quarantines > 0 &&
+        trips >= options_.fence_after_quarantines) {
+      set_state(member, MemberState::fenced);
+    }
   }
   return trip;
+}
+
+void MemberHealth::on_replaced(std::size_t member) {
+  faults_[member].store(0, std::memory_order_relaxed);
+  trips_[member].store(0, std::memory_order_relaxed);
+  set_state(member, MemberState::half_open);
 }
 
 std::size_t MemberHealth::quarantined_count() const {
   std::size_t n = 0;
   for (std::size_t m = 0; m < states_.size(); ++m) {
     if (state(m) == MemberState::quarantined) ++n;
+  }
+  return n;
+}
+
+std::size_t MemberHealth::fenced_count() const {
+  std::size_t n = 0;
+  for (std::size_t m = 0; m < states_.size(); ++m) {
+    if (state(m) == MemberState::fenced) ++n;
   }
   return n;
 }

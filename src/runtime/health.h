@@ -8,11 +8,15 @@
 //   half_open ──(probe ok)──► healthy      (fault streak reset)
 //   half_open ──(probe fault)──► quarantined (fresh cooldown)
 //   any ──(force_fence: weights corrupt, archive unrecoverable)──► fenced
+//   any ──(fence_after_quarantines-th quarantine trip)──► fenced
+//   fenced ──(on_replaced: fresh member hot-swapped in)──► half_open
 //
-// fenced is terminal: the member never probes again and never runs —
-// unlike quarantine it reflects *known-bad stored state*, not a transient
-// fault streak, so only operator intervention (restart with a good
-// archive) clears it.
+// fenced is terminal for the *member*: it never probes again and never
+// runs — unlike quarantine it reflects known-bad state (corrupt weights
+// with no trustworthy archive, or a member that keeps re-tripping the
+// breaker), not a transient fault streak. The *slot* is recoverable: the
+// MemberReplacer hot-swaps a freshly trained member in and calls
+// on_replaced(), which re-admits the slot as a half-open probe.
 //
 // Threading: run_mask() and on_result() are called by the batcher thread
 // only (one batch in flight at a time); state() / consecutive_faults()
@@ -43,6 +47,10 @@ class MemberHealth {
   struct Options {
     int quarantine_after = 3;  ///< consecutive faults before quarantine
     std::chrono::milliseconds cooldown{250};  ///< quarantine -> half-open
+    /// Breaker escalation: a member whose cumulative quarantine trips
+    /// reach this count is fenced (it keeps failing its probes — treat it
+    /// as broken, not unlucky). 0 disables escalation.
+    int fence_after_quarantines = 0;
   };
 
   MemberHealth(std::size_t members, Options options);
@@ -67,6 +75,12 @@ class MemberHealth {
     set_state(member, MemberState::fenced);
   }
 
+  /// Re-admits a fenced slot after a replacement member was hot-swapped
+  /// in: state becomes half_open (the next batch runs it as a probe) and
+  /// the fault/trip history is wiped — the new member has none. Call
+  /// under the runtime's swap mutex so it never races on_result.
+  void on_replaced(std::size_t member);
+
   MemberState state(std::size_t member) const {
     return static_cast<MemberState>(
         states_[member].load(std::memory_order_relaxed));
@@ -75,6 +89,10 @@ class MemberHealth {
     return faults_[member].load(std::memory_order_relaxed);
   }
   std::size_t quarantined_count() const;
+  std::size_t fenced_count() const;
+  /// Members currently eligible to serve (everything but fenced) — the
+  /// live quorum size the metrics gauge reports.
+  std::size_t in_service_count() const { return members() - fenced_count(); }
 
  private:
   void set_state(std::size_t member, MemberState s) {
@@ -84,6 +102,7 @@ class MemberHealth {
   Options options_;
   std::vector<std::atomic<int>> states_;
   std::vector<std::atomic<int>> faults_;
+  std::vector<std::atomic<int>> trips_;  ///< cumulative quarantine entries
   // Batcher-private: when each quarantined member may probe again.
   std::vector<std::chrono::steady_clock::time_point> probe_at_;
 };

@@ -65,6 +65,10 @@ std::string MetricsSnapshot::to_string() const {
     out += line;
   }
   emit("scrub_cycles", scrub_cycles);
+  emit("replacements_started", replacements_started);
+  emit("replacements_completed", replacements_completed);
+  emit("replacements_failed", replacements_failed);
+  emit("quorum_size", quorum_size);
   for (std::size_t m = 0; m < crc_mismatches.size(); ++m) {
     std::snprintf(line, sizeof(line), "crc_mismatches[%zu]       %llu\n", m,
                   static_cast<unsigned long long>(crc_mismatches[m]));
@@ -84,7 +88,8 @@ std::string MetricsSnapshot::to_string() const {
 }
 
 MetricsRegistry::MetricsRegistry(std::size_t members)
-    : member_activations_(members),
+    : quorum_size_{members},
+      member_activations_(members),
       member_faults_(members),
       quarantine_events_(members),
       crc_mismatches_(members),
@@ -133,6 +138,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     s.quarantine_events.push_back(q.load(std::memory_order_relaxed));
   }
   s.scrub_cycles = scrub_cycles_.load(std::memory_order_relaxed);
+  s.replacements_started =
+      replacements_started_.load(std::memory_order_relaxed);
+  s.replacements_completed =
+      replacements_completed_.load(std::memory_order_relaxed);
+  s.replacements_failed = replacements_failed_.load(std::memory_order_relaxed);
+  s.quorum_size = quorum_size_.load(std::memory_order_relaxed);
   s.crc_mismatches.reserve(crc_mismatches_.size());
   for (const auto& c : crc_mismatches_) {
     s.crc_mismatches.push_back(c.load(std::memory_order_relaxed));

@@ -15,6 +15,8 @@
 //   member_faults[m] / quarantine_events[m]     -> fault-isolation activity
 //   scrub_cycles                                -> weight-scrubber sweeps
 //   crc_mismatches[m] / weight_reloads[m]       -> scrubber detections/heals
+//   replacements_started / completed / failed   -> member-replacer activity
+//   quorum_size (gauge)                         -> members not fenced
 //   latency histogram (end-to-end, microseconds, geometric buckets)
 #pragma once
 
@@ -46,6 +48,10 @@ struct MetricsSnapshot {
   std::uint64_t unreliable = 0;
   std::uint64_t degraded_verdicts = 0;
   std::uint64_t scrub_cycles = 0;
+  std::uint64_t replacements_started = 0;
+  std::uint64_t replacements_completed = 0;
+  std::uint64_t replacements_failed = 0;
+  std::uint64_t quorum_size = 0;  ///< gauge: members currently in service
   std::vector<std::uint64_t> member_activations;
   std::vector<std::uint64_t> member_faults;
   std::vector<std::uint64_t> quarantine_events;
@@ -87,6 +93,14 @@ class MetricsRegistry {
   void on_scrub_cycle() { add(scrub_cycles_); }
   void on_crc_mismatch(std::size_t member) { add(crc_mismatches_[member]); }
   void on_weight_reload(std::size_t member) { add(weight_reloads_[member]); }
+  void on_replacement_started() { add(replacements_started_); }
+  void on_replacement_completed() { add(replacements_completed_); }
+  void on_replacement_failed() { add(replacements_failed_); }
+  /// Gauge, not a counter: the current in-service member count. Updated
+  /// whenever a member is fenced or a replacement restores the slot.
+  void set_quorum_size(std::uint64_t members) {
+    quorum_size_.store(members, std::memory_order_relaxed);
+  }
   void on_latency_us(std::uint64_t micros);
 
   std::size_t members() const { return member_activations_.size(); }
@@ -110,6 +124,10 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> unreliable_{0};
   std::atomic<std::uint64_t> degraded_verdicts_{0};
   std::atomic<std::uint64_t> scrub_cycles_{0};
+  std::atomic<std::uint64_t> replacements_started_{0};
+  std::atomic<std::uint64_t> replacements_completed_{0};
+  std::atomic<std::uint64_t> replacements_failed_{0};
+  std::atomic<std::uint64_t> quorum_size_{0};
   std::vector<std::atomic<std::uint64_t>> member_activations_;
   std::vector<std::atomic<std::uint64_t>> member_faults_;
   std::vector<std::atomic<std::uint64_t>> quarantine_events_;

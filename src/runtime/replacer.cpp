@@ -1,0 +1,110 @@
+#include "runtime/replacer.h"
+
+#include <utility>
+
+namespace pgmr::runtime {
+
+MemberReplacer::MemberReplacer(mr::Ensemble& ensemble, MemberHealth& health,
+                               MetricsRegistry& metrics,
+                               std::mutex& swap_mutex,
+                               nn::Protection protection,
+                               ReplacementPolicy policy)
+    : ensemble_(ensemble),
+      health_(health),
+      metrics_(metrics),
+      swap_mutex_(swap_mutex),
+      protection_(protection),
+      policy_(std::move(policy)),
+      attempts_(ensemble.size(), 0) {}
+
+MemberReplacer::~MemberReplacer() { stop(); }
+
+void MemberReplacer::start() {
+  if (thread_.joinable() || !policy_.enabled || !policy_.factory) return;
+  thread_ = std::jthread([this](std::stop_token st) { loop(st); });
+}
+
+void MemberReplacer::stop() {
+  if (!thread_.joinable()) return;
+  thread_.request_stop();  // also cancels the in-flight factory call
+  wake_.notify_all();
+  thread_.join();
+  thread_ = std::jthread();
+}
+
+void MemberReplacer::notify() {
+  {
+    std::lock_guard guard(wake_mutex_);
+    notified_ = true;
+  }
+  wake_.notify_all();
+}
+
+ReplaceReport MemberReplacer::replace_now() {
+  if (!policy_.factory) return {};
+  std::lock_guard pass(pass_mutex_);
+  return replace_fenced(std::stop_token());
+}
+
+void MemberReplacer::loop(std::stop_token st) {
+  std::unique_lock lock(wake_mutex_);
+  while (!st.stop_requested()) {
+    wake_.wait_for(lock, st, policy_.poll, [this] { return notified_; });
+    notified_ = false;
+    if (st.stop_requested()) return;
+    lock.unlock();
+    // Cheap pre-check off the pass mutex: fenced_count reads only relaxed
+    // atomics, so the idle loop never contends with replace_now().
+    if (health_.fenced_count() > 0) {
+      std::lock_guard pass(pass_mutex_);
+      replace_fenced(st);
+    }
+    lock.lock();
+  }
+}
+
+ReplaceReport MemberReplacer::replace_fenced(std::stop_token cancel) {
+  ReplaceReport report;
+  for (std::size_t m = 0; m < ensemble_.size(); ++m) {
+    if (cancel.stop_requested()) break;
+    if (health_.state(m) != MemberState::fenced) continue;
+    if (attempts_[m] >= policy_.max_attempts) continue;  // slot given up on
+    ++report.attempted;
+    metrics_.on_replacement_started();
+    if (replace_member(m, cancel)) {
+      ++report.replaced;
+      attempts_[m] = 0;  // the new member starts with a clean record
+    } else {
+      ++report.failed;
+      ++attempts_[m];
+      metrics_.on_replacement_failed();
+    }
+  }
+  return report;
+}
+
+bool MemberReplacer::replace_member(std::size_t member,
+                                    std::stop_token cancel) {
+  std::optional<mr::Member> fresh;
+  try {
+    // No locks held: the factory may train for seconds while batches and
+    // scrub sweeps keep flowing on the degraded quorum.
+    fresh = policy_.factory(member, attempts_[member], cancel);
+  } catch (...) {
+    fresh.reset();
+  }
+  if (!fresh.has_value() || cancel.stop_requested()) return false;
+  // Bless the replacement's CRC snapshot at the serving protection level
+  // while it is still private to this thread — by the time the batcher or
+  // scrubber can see it, its golden checksums are already in place.
+  fresh->set_protection(protection_);
+
+  std::lock_guard swap(swap_mutex_);
+  ensemble_.replace(member, std::move(*fresh));
+  health_.on_replaced(member);
+  metrics_.on_replacement_completed();
+  metrics_.set_quorum_size(health_.in_service_count());
+  return true;
+}
+
+}  // namespace pgmr::runtime

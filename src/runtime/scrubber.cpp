@@ -44,27 +44,34 @@ void WeightScrubber::loop(std::stop_token st) {
 ScrubReport WeightScrubber::scrub_once() {
   ScrubReport report;
   for (std::size_t m = 0; m < ensemble_.size(); ++m) {
-    // Per-member lock: a sweep never stalls the batcher for longer than
-    // one member's CRC pass (or one reload when healing).
-    std::lock_guard guard(swap_mutex_);
-    if (health_.state(m) == MemberState::fenced) continue;
-    mr::Member& member = ensemble_.member(m);
-    ++report.members_checked;
-    if (member.params_intact()) continue;
+    bool fenced_now = false;
+    {
+      // Per-member lock: a sweep never stalls the batcher for longer than
+      // one member's CRC pass (or one reload when healing).
+      std::lock_guard guard(swap_mutex_);
+      if (health_.state(m) == MemberState::fenced) continue;
+      mr::Member& member = ensemble_.member(m);
+      ++report.members_checked;
+      if (member.params_intact()) continue;
 
-    ++report.mismatches;
-    metrics_.on_crc_mismatch(m);
-    const mr::Member::ReloadStatus status = member.reload_params();
-    if (status == mr::Member::ReloadStatus::healed) {
-      ++report.reloads;
-      metrics_.on_weight_reload(m);
-    } else {
-      // No archive, unreadable archive, or an archive that no longer
-      // reproduces the blessed CRCs: the member has no trustworthy weight
-      // source left — remove it from the quorum permanently.
-      ++report.fenced;
-      health_.force_fence(m);
+      ++report.mismatches;
+      metrics_.on_crc_mismatch(m);
+      const mr::Member::ReloadStatus status = member.reload_params();
+      if (status == mr::Member::ReloadStatus::healed) {
+        ++report.reloads;
+        metrics_.on_weight_reload(m);
+      } else {
+        // No archive, unreadable archive, or an archive that no longer
+        // reproduces the blessed CRCs: the member has no trustworthy
+        // weight source left — remove it from the quorum permanently.
+        ++report.fenced;
+        health_.force_fence(m);
+        fenced_now = true;
+      }
     }
+    // Outside the swap-mutex scope: the hook may wake the replacer, whose
+    // swap then proceeds without waiting on this sweep.
+    if (fenced_now && on_fence_) on_fence_();
   }
   metrics_.on_scrub_cycle();
   return report;

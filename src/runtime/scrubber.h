@@ -20,6 +20,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <thread>
 
@@ -66,6 +67,13 @@ class WeightScrubber {
   bool running() const { return thread_.joinable(); }
   const Options& options() const { return options_; }
 
+  /// Invoked (from the scrubbing thread, after the member's swap-mutex
+  /// scope) each time a sweep fences a member — the runtime hooks the
+  /// MemberReplacer wake-up and quorum gauge here. Set before start().
+  void set_on_fence(std::function<void()> callback) {
+    on_fence_ = std::move(callback);
+  }
+
   /// One synchronous sweep over every member: verify CRCs, heal or fence.
   /// Callable from any thread (used directly by tests and by the
   /// background loop). Fenced members are skipped.
@@ -79,6 +87,7 @@ class WeightScrubber {
   MetricsRegistry& metrics_;
   std::mutex& swap_mutex_;
   Options options_;
+  std::function<void()> on_fence_;
 
   std::mutex wake_mutex_;
   std::condition_variable_any wake_;

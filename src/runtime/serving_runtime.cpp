@@ -22,12 +22,15 @@ ServingRuntime::ServingRuntime(polygraph::PolygraphSystem system,
       metrics_(system_.ensemble().size()),
       health_(system_.ensemble().size(),
               MemberHealth::Options{options_.quarantine_after,
-                                    options_.quarantine_cooldown}),
+                                    options_.quarantine_cooldown,
+                                    options.fence_after_quarantines}),
       queue_(options_.queue_capacity),
       pool_(options_.threads),
       batcher_([this] { batcher_loop(); }) {
   options_.protection = options.protection;
   options_.scrub_interval = options.scrub_interval;
+  options_.fence_after_quarantines = options.fence_after_quarantines;
+  options_.replacement = std::move(options.replacement);
   // Apply the configured ABFT protection before any request can arrive;
   // the weights are fresh from the zoo here, so re-blessing is safe.
   for (std::size_t m = 0; m < system_.ensemble().size(); ++m) {
@@ -36,7 +39,12 @@ ServingRuntime::ServingRuntime(polygraph::PolygraphSystem system,
   scrubber_ = std::make_unique<WeightScrubber>(
       system_.ensemble(), health_, metrics_, swap_mutex_,
       WeightScrubber::Options{options_.scrub_interval});
+  replacer_ = std::make_unique<MemberReplacer>(
+      system_.ensemble(), health_, metrics_, swap_mutex_,
+      options_.protection, options_.replacement);
+  scrubber_->set_on_fence([this] { on_member_fenced(); });
   if (options_.scrub_interval.count() > 0) scrubber_->start();
+  if (options_.replacement.enabled) replacer_->start();
 }
 
 ServingRuntime::~ServingRuntime() { shutdown(); }
@@ -92,6 +100,14 @@ void ServingRuntime::shutdown() {
   queue_.close();
   if (batcher_.joinable()) batcher_.join();
   if (scrubber_) scrubber_->stop();
+  // Last: an in-flight replacement training run is cancelled through its
+  // stop_token and never published (see zoo::TrainConfig::cancelled).
+  if (replacer_) replacer_->stop();
+}
+
+void ServingRuntime::on_member_fenced() {
+  metrics_.set_quorum_size(health_.in_service_count());
+  if (replacer_) replacer_->notify();
 }
 
 void ServingRuntime::batcher_loop() {
@@ -164,14 +180,22 @@ void ServingRuntime::run_batch(std::vector<Request>& batch) {
   }
 
   const auto now = std::chrono::steady_clock::now();
+  bool fenced_this_batch = false;
   for (std::size_t m = 0; m < report.member_faults.size(); ++m) {
     const mr::MemberFault fault = report.member_faults[m];
     if (fault == mr::MemberFault::skipped) continue;
     const bool ok = fault == mr::MemberFault::none;
     if (!ok) metrics_.on_member_fault(m);
     if (health_.on_result(m, ok, now)) metrics_.on_quarantine(m);
+    // Breaker escalation (fence_after_quarantines) happens inside
+    // on_result; a member that ran this batch but is fenced now was
+    // fenced by it — already-fenced members never appear in the mask.
+    if (!ok && health_.state(m) == MemberState::fenced) {
+      fenced_this_batch = true;
+    }
   }
   swap_guard.unlock();
+  if (fenced_this_batch) on_member_fenced();
 
   metrics_.on_batch(static_cast<std::uint64_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {

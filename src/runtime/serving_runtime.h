@@ -35,6 +35,9 @@
 //    full per-layer), and an optional background WeightScrubber re-verifies
 //    parameter CRCs between batches, reloading corrupted members from their
 //    zoo archives (fencing them out permanently when the archive is bad).
+//  * With a ReplacementPolicy, a background MemberReplacer closes the
+//    loop: fenced slots are rebuilt off the serving threads and hot-swapped
+//    back in, returning the quorum to full strength (see replacer.h).
 #pragma once
 
 #include <chrono>
@@ -50,6 +53,7 @@
 #include "runtime/health.h"
 #include "runtime/metrics.h"
 #include "runtime/mpmc_queue.h"
+#include "runtime/replacer.h"
 #include "runtime/scrubber.h"
 #include "runtime/thread_pool.h"
 
@@ -76,6 +80,12 @@ struct RuntimeOptions {
   /// Background weight-scrub sweep period; <= 0 disables the scrubber
   /// (scrub_now() still verifies on demand).
   std::chrono::milliseconds scrub_interval{0};
+  /// Breaker escalation: fence a member after this many cumulative
+  /// quarantine trips (it keeps failing its probes). 0 disables.
+  int fence_after_quarantines = 0;
+  /// Self-healing: background replacement of fenced members (see
+  /// MemberReplacer). Disabled by default; enabling requires a factory.
+  ReplacementPolicy replacement;
 };
 
 class ServingRuntime {
@@ -125,6 +135,24 @@ class ServingRuntime {
   /// The background scrubber (running() tells whether sweeps are active).
   const WeightScrubber& scrubber() const { return *scrubber_; }
 
+  /// One synchronous replacement pass over every fenced member slot; see
+  /// MemberReplacer::replace_now. Works whether or not the background
+  /// replacer thread is running (it needs a configured factory).
+  ReplaceReport replace_now() { return replacer_->replace_now(); }
+
+  /// The background replacer (running() tells whether the loop is active).
+  const MemberReplacer& replacer() const { return *replacer_; }
+
+  /// Runs `fn` while holding the inference-vs-mutation swap mutex, so it
+  /// may safely mutate live member weights (fault-injection campaigns and
+  /// tests use this; nothing else should need it). Do not submit from
+  /// inside `fn` — the batcher may be blocked on this mutex.
+  template <typename Fn>
+  auto with_swap_lock(Fn&& fn) {
+    std::lock_guard guard(swap_mutex_);
+    return std::forward<Fn>(fn)();
+  }
+
   /// The owned system; reconfigure (thresholds, staging) only while no
   /// requests are in flight.
   polygraph::PolygraphSystem& system() { return system_; }
@@ -144,6 +172,8 @@ class ServingRuntime {
   void run_batch(std::vector<Request>& batch);
   void record_verdict(const polygraph::Verdict& verdict,
                       const polygraph::BatchReport& report);
+  /// A member just left the quorum: refresh the gauge, wake the replacer.
+  void on_member_fenced();
 
   polygraph::PolygraphSystem system_;
   RuntimeOptions options_;
@@ -151,9 +181,10 @@ class ServingRuntime {
   MemberHealth health_;
   MpmcQueue<Request> queue_;
   ThreadPool pool_;
-  /// Serializes inference (run_batch) against scrubber weight swaps.
+  /// Serializes inference (run_batch) against scrubber/replacer swaps.
   std::mutex swap_mutex_;
   std::unique_ptr<WeightScrubber> scrubber_;
+  std::unique_ptr<MemberReplacer> replacer_;
   std::atomic<bool> stopped_{false};
   std::jthread batcher_;  // last: must die before the members it uses
 };

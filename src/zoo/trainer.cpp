@@ -29,6 +29,7 @@ float train_network(nn::Network& net, const data::Dataset& train,
     std::int64_t batches = 0;
     for (std::int64_t start = 0; start < train.size();
          start += config.batch_size) {
+      if (config.cancelled && config.cancelled()) return last_epoch_loss;
       const std::int64_t end =
           std::min(train.size(), start + config.batch_size);
       const std::vector<std::int64_t> batch_idx(order.begin() + start,

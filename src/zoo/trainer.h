@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "data/dataset.h"
 #include "nn/network.h"
@@ -20,6 +21,11 @@ struct TrainConfig {
   int lr_decay_epochs = 3;
   std::uint64_t shuffle_seed = 7;
   bool verbose = false;
+  /// Cooperative cancellation for background (replacement) training: when
+  /// set, polled between mini-batches; train_network returns early once it
+  /// reports true. The weights are then PARTIAL — callers must discard
+  /// them, never publish them to the zoo cache.
+  std::function<bool()> cancelled;
 };
 
 /// Trains `net` in place on `train`; returns the final-epoch mean loss.

@@ -2,10 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <system_error>
 
@@ -52,6 +55,27 @@ std::string sanitize(const std::string& s) {
     if (c == '(' || c == ')' || c == '/' || c == ' ') c = '_';
   }
   return out;
+}
+
+/// Scan-time garbage collection: the first time this process touches a
+/// cache directory, sweep out archives no reader version can parse (the
+/// epoch-timestamp seed archives were silently retrained on every miss
+/// before this existed). Once per dir per process — the check is a small
+/// header read per file, but there is no point repeating it.
+void prune_cache_on_first_scan(const std::string& dir) {
+  static std::mutex mutex;
+  static std::set<std::string> scanned;
+  {
+    std::lock_guard guard(mutex);
+    if (!scanned.insert(dir).second) return;
+  }
+  const CachePruneReport report = prune_cache(dir);
+  if (report.pruned > 0) {
+    std::fprintf(stderr,
+                 "[zoo] pruned %d irrecoverable archive(s) from %s "
+                 "(%d readable kept)\n",
+                 report.pruned, dir.c_str(), report.kept);
+  }
 }
 
 }  // namespace
@@ -107,9 +131,11 @@ std::string archive_path(const Benchmark& bm, const std::string& prep_spec,
          ".net";
 }
 
-nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
-                            int variant) {
+std::optional<nn::Network> trained_network(const Benchmark& bm,
+                                           const std::string& prep_spec,
+                                           int variant, std::stop_token cancel) {
   std::filesystem::create_directories(cache_dir());
+  prune_cache_on_first_scan(cache_dir());
   const std::string path = archive_path(bm, prep_spec, variant);
   if (archive_exists(path)) {
     try {
@@ -123,6 +149,7 @@ nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
       std::filesystem::remove(path, ec);
     }
   }
+  if (cancel.stop_requested()) return std::nullopt;
 
   Rng rng(variant_seed(bm, prep_spec, variant));
   nn::Network net = build_model(bm, rng);
@@ -134,10 +161,13 @@ nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
 
   TrainConfig config = bm.train;
   config.shuffle_seed = rng.engine()();
+  config.cancelled = [cancel] { return cancel.stop_requested(); };
   std::printf("[zoo] training %s (%s, variant %d)...\n", bm.id.c_str(),
               prep_spec.c_str(), variant);
   std::fflush(stdout);
   train_network(net, train, config);
+  // A cancelled run left the weights partial: publish nothing.
+  if (cancel.stop_requested()) return std::nullopt;
   // Atomic publish: write to a process-unique temp file, then rename, so a
   // concurrent reader never sees a half-written archive and concurrent
   // writers (parallel ctest) never clobber each other's temp file.
@@ -146,6 +176,70 @@ nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
   net.save(tmp);
   std::filesystem::rename(tmp, path);
   return net;
+}
+
+nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
+                            int variant) {
+  // Without a cancellation source the cancellable path always completes.
+  return std::move(*trained_network(bm, prep_spec, variant, std::stop_token()));
+}
+
+ReplacementSpec choose_replacement(const Benchmark& bm,
+                                   const std::vector<std::string>& in_use,
+                                   const std::string& fenced_prep,
+                                   int attempt) {
+  const auto taken = [&in_use](const std::string& spec) {
+    return std::find(in_use.begin(), in_use.end(), spec) != in_use.end();
+  };
+  for (const std::string& spec : candidate_pool(bm)) {
+    if (!taken(spec)) return {spec, 0};
+  }
+  // Every preprocessor view is already serving: fall back to a fresh
+  // random-init variant of the fenced member's own view (traditional-MR
+  // style diversity). Variant 0 is the one that just failed us.
+  return {fenced_prep.empty() ? std::string("ORG") : fenced_prep, attempt + 1};
+}
+
+std::optional<mr::Member> make_replacement_member(const Benchmark& bm,
+                                                  const ReplacementSpec& spec,
+                                                  int bits,
+                                                  std::stop_token cancel) {
+  std::optional<nn::Network> net =
+      trained_network(bm, spec.prep_spec, spec.variant, cancel);
+  if (!net.has_value()) return std::nullopt;
+  mr::Member member(prep::make_preprocessor(spec.prep_spec), std::move(*net),
+                    bits);
+  member.set_archive_source(archive_path(bm, spec.prep_spec, spec.variant));
+  return member;
+}
+
+CachePruneReport prune_cache(const std::string& dir) {
+  namespace fs = std::filesystem;
+  CachePruneReport report;
+  if (!fs::is_directory(dir)) return report;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    // Extension filtering also skips in-flight "*.net.tmp.<pid>" publishes.
+    if (!entry.is_regular_file() || entry.path().extension() != ".net") {
+      continue;
+    }
+    ++report.scanned;
+    try {
+      BinaryReader header(entry.path().string(),
+                          BinaryReader::Compat::allow_legacy);
+      ++report.kept;  // current or legacy: some reader can make sense of it
+    } catch (const std::exception&) {
+      // No reader version can even parse the header: the archive can only
+      // waste scans and mislead humans. Tolerate a concurrent prune racing
+      // us to the unlink.
+      std::error_code ec;
+      if (fs::remove(entry.path(), ec) && !ec) {
+        ++report.pruned;
+      } else {
+        ++report.kept;
+      }
+    }
+  }
+  return report;
 }
 
 std::vector<std::string> candidate_pool(const Benchmark& bm) {

@@ -7,6 +7,8 @@
 // higher variants exist for the traditional-MR experiments (Figs 5, 13).
 #pragma once
 
+#include <optional>
+#include <stop_token>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,52 @@ std::string archive_path(const Benchmark& bm, const std::string& prep_spec,
 /// `prep_spec` is a Preprocessor::name() string; "ORG" trains on raw data.
 nn::Network trained_network(const Benchmark& bm, const std::string& prep_spec,
                             int variant = 0);
+
+/// Cancellable variant for background (replacement) training: returns
+/// nullopt — publishing nothing to the cache — when `cancel` fires before
+/// or during the training run. Cache hits load immediately either way.
+std::optional<nn::Network> trained_network(const Benchmark& bm,
+                                           const std::string& prep_spec,
+                                           int variant, std::stop_token cancel);
+
+/// A concrete recipe for rebuilding one fenced ensemble slot.
+struct ReplacementSpec {
+  std::string prep_spec;  ///< Preprocessor::name() of the new member
+  int variant = 0;        ///< random-init variant (see trained_network)
+};
+
+/// Picks the replacement for a fenced member so ensemble diversity is
+/// preserved: the first candidate_pool preprocessor not already serving in
+/// `in_use` wins (a fresh Layer-1 view, the paper's diversity argument).
+/// When the pool is exhausted, falls back to a fresh random-init variant
+/// of the fenced member's own preprocessor (`attempt` + 1, so retries
+/// after a failed replacement keep moving to unexplored seeds).
+ReplacementSpec choose_replacement(const Benchmark& bm,
+                                   const std::vector<std::string>& in_use,
+                                   const std::string& fenced_prep,
+                                   int attempt = 0);
+
+/// Builds a ready-to-hot-swap Member for `spec`: trains (or cache-loads)
+/// the network off the serving threads, pairs it with its preprocessor and
+/// wires archive_source so the weight scrubber can heal the new member
+/// too. nullopt when `cancel` fired before training finished.
+std::optional<mr::Member> make_replacement_member(const Benchmark& bm,
+                                                  const ReplacementSpec& spec,
+                                                  int bits,
+                                                  std::stop_token cancel);
+
+/// One cache-maintenance pass over `dir`: deletes *.net files whose header
+/// no reader version can parse (foreign magic, unknown version, truncated
+/// header — e.g. the old epoch-timestamp seed archives), keeping current
+/// and legacy-readable archives. Readable-but-rotted payloads are left for
+/// the zoo's load-time self-heal. Also runs automatically the first time a
+/// process touches a cache directory.
+struct CachePruneReport {
+  int scanned = 0;  ///< *.net files examined
+  int pruned = 0;   ///< irrecoverable files deleted
+  int kept = 0;     ///< readable (current or legacy) archives left in place
+};
+CachePruneReport prune_cache(const std::string& dir);
 
 /// Candidate preprocessor pool the greedy builder searches for this
 /// benchmark. The ImageNet-tier pool is kept smaller because each

@@ -1,0 +1,193 @@
+// Property-style seeded sweep over the decision engine's degraded-quorum
+// edges: for every quorum size 1..N and every Thr_Freq, randomized vote
+// sets (including NaN confidences and tied labels) must (a) partition
+// cleanly into TP/FP/unreliable, (b) keep degraded_threshold inside its
+// documented clamp and monotone in `active`, and (c) decide identically
+// when a quorum shrinks and is then restored to full strength — the
+// invariant the self-healing member pool leans on after a hot-swap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "mr/decision.h"
+#include "tensor/random.h"
+
+namespace pgmr::mr {
+namespace {
+
+constexpr int kMaxMembers = 6;
+constexpr int kTrialsPerShape = 200;
+
+/// Random vote set: labels in [-1, 3], confidences in [0, 1] with a few
+/// NaNs and exact-threshold values mixed in.
+std::vector<Vote> random_votes(Rng& rng, int members) {
+  std::vector<Vote> votes(static_cast<std::size_t>(members));
+  for (Vote& v : votes) {
+    v.label = rng.randint(-1, 3);
+    const std::int64_t kind = rng.randint(0, 9);
+    if (kind == 0) {
+      v.confidence = std::numeric_limits<float>::quiet_NaN();
+    } else if (kind == 1) {
+      v.confidence = 0.5F;  // exactly Thr_Conf: must count (>= semantics)
+    } else {
+      v.confidence = rng.uniform(0.0F, 1.0F);
+    }
+  }
+  return votes;
+}
+
+/// Ground truth for this sweep: label 0 is "correct".
+enum class Outcome { tp, fp, unreliable };
+
+Outcome classify(const Decision& d) {
+  if (!d.reliable) return Outcome::unreliable;
+  return d.label == 0 ? Outcome::tp : Outcome::fp;
+}
+
+TEST(DegradedThresholdProperty, ClampedAndMonotoneInActive) {
+  for (int total = 1; total <= kMaxMembers; ++total) {
+    for (int freq = 1; freq <= total; ++freq) {
+      int prev = 0;
+      for (int active = 1; active <= total; ++active) {
+        const int thr = degraded_threshold(freq, active, total);
+        // Documented clamp: ceil(freq * active / total) in [1, active].
+        EXPECT_GE(thr, 1) << freq << "/" << active << "/" << total;
+        EXPECT_LE(thr, active) << freq << "/" << active << "/" << total;
+        EXPECT_EQ(thr, std::min(
+                           active,
+                           std::max(1, static_cast<int>(std::ceil(
+                                           static_cast<double>(freq) * active /
+                                           total)))));
+        // Shrinking the quorum never raises the threshold (monotone).
+        EXPECT_GE(thr, prev);
+        prev = thr;
+      }
+      // Full quorum degenerates to the configured Thr_Freq.
+      EXPECT_EQ(degraded_threshold(freq, total, total), freq);
+    }
+  }
+}
+
+TEST(DegradedDecideProperty, PartitionIsTotalAndFullQuorumMatchesDecide) {
+  Rng rng(987654321);
+  for (int total = 1; total <= kMaxMembers; ++total) {
+    // Thr_Freq must fit the ensemble: past `total` the degraded path's
+    // clamp-to-active is deliberately more lenient than plain decide.
+    const Thresholds t{0.5F, std::min(3, total)};
+    long long tp = 0, fp = 0, unreliable = 0;
+    for (int trial = 0; trial < kTrialsPerShape; ++trial) {
+      const std::vector<Vote> votes = random_votes(rng, total);
+      const Decision full = decide(votes, t, total, total);
+      // Every decision falls in exactly one bucket; counting them is total.
+      switch (classify(full)) {
+        case Outcome::tp: ++tp; break;
+        case Outcome::fp: ++fp; break;
+        case Outcome::unreliable: ++unreliable; break;
+      }
+      // active == total is plain decide(), bit for bit.
+      const Decision plain = decide(votes, t);
+      EXPECT_EQ(full.label, plain.label);
+      EXPECT_EQ(full.reliable, plain.reliable);
+      EXPECT_EQ(full.votes_for_label, plain.votes_for_label);
+      // A reliable decision's vote count satisfies the (re-normalized)
+      // frequency threshold; NaN votes can never be behind it.
+      if (full.reliable) {
+        EXPECT_GE(full.votes_for_label, degraded_threshold(t.freq, total,
+                                                           total));
+        EXPECT_GE(full.label, 0);
+      }
+    }
+    EXPECT_EQ(tp + fp + unreliable, kTrialsPerShape);
+  }
+}
+
+TEST(DegradedDecideProperty, ReliabilityNeverAppearsFromNothing) {
+  // Under ANY quorum, reliable implies enough >=Thr_Conf votes agree; a
+  // vote set with no finite-confidence vote can never be reliable.
+  Rng rng(24681357);
+  const Thresholds t{0.5F, 2};
+  for (int total = 2; total <= kMaxMembers; ++total) {
+    for (int active = 1; active <= total; ++active) {
+      for (int trial = 0; trial < kTrialsPerShape; ++trial) {
+        std::vector<Vote> votes = random_votes(rng, active);
+        const Decision d = decide(votes, t, active, total);
+        if (d.reliable) {
+          EXPECT_GE(d.votes_for_label,
+                    degraded_threshold(t.freq, active, total));
+          int qualifying = 0;
+          for (const Vote& v : votes) {
+            if (v.label == d.label && std::isfinite(v.confidence) &&
+                v.confidence >= t.conf) {
+              ++qualifying;
+            }
+          }
+          EXPECT_EQ(qualifying, d.votes_for_label);
+        }
+        for (Vote& v : votes) {
+          v.confidence = std::numeric_limits<float>::quiet_NaN();
+        }
+        const Decision nan_only = decide(votes, t, active, total);
+        EXPECT_FALSE(nan_only.reliable);
+        EXPECT_EQ(nan_only.label, -1);
+      }
+    }
+  }
+}
+
+TEST(DegradedDecideProperty, TiedVotesStayUnreliableAtEveryQuorum) {
+  const Thresholds t{0.0F, 1};
+  for (int total = 2; total <= kMaxMembers; ++total) {
+    // A perfect two-way tie: half vote 0, half vote 1 (odd sizes get the
+    // extra vote dropped below Thr_Conf via NaN).
+    std::vector<Vote> votes;
+    for (int m = 0; m < total / 2; ++m) votes.push_back({0, 0.9F});
+    for (int m = 0; m < total / 2; ++m) votes.push_back({1, 0.9F});
+    if (total % 2 == 1) {
+      votes.push_back({2, std::numeric_limits<float>::quiet_NaN()});
+    }
+    for (int active = static_cast<int>(votes.size()); active <= total;
+         ++active) {
+      const Decision d = decide(votes, t, active, total);
+      EXPECT_FALSE(d.reliable) << "tie must stay unreliable, total=" << total;
+    }
+  }
+}
+
+TEST(DegradedDecideProperty, ShrinkThenRestoreIsStable) {
+  // The self-healing pool's contract: decisions made at full quorum after
+  // a fence -> replace cycle equal decisions of a system that never lost
+  // the member. In engine terms: decide(votes, t, N, N) depends only on
+  // the votes, not on the quorum history — and the TP/FP/unreliable tally
+  // over a fixed vote stream is identical before and after a shrink.
+  Rng rng(1122334455);
+  const Thresholds t{0.5F, 3};
+  const int total = 4;
+  std::vector<std::vector<Vote>> stream;
+  for (int trial = 0; trial < kTrialsPerShape; ++trial) {
+    stream.push_back(random_votes(rng, total));
+  }
+
+  long long before[3] = {0, 0, 0}, after[3] = {0, 0, 0};
+  for (const std::vector<Vote>& votes : stream) {
+    before[static_cast<int>(classify(decide(votes, t, total, total)))]++;
+  }
+  // Shrink: serve the same stream on a 3-member quorum (member 3 fenced).
+  for (const std::vector<Vote>& votes : stream) {
+    std::vector<Vote> degraded(votes.begin(), votes.end() - 1);
+    const Decision d = decide(degraded, t, total - 1, total);
+    EXPECT_LE(d.votes_for_label, total - 1);
+  }
+  // Restore: full quorum again — the tally must match exactly.
+  for (const std::vector<Vote>& votes : stream) {
+    after[static_cast<int>(classify(decide(votes, t, total, total)))]++;
+  }
+  EXPECT_EQ(before[0], after[0]);
+  EXPECT_EQ(before[1], after[1]);
+  EXPECT_EQ(before[2], after[2]);
+  EXPECT_EQ(after[0] + after[1] + after[2], kTrialsPerShape);
+}
+
+}  // namespace
+}  // namespace pgmr::mr

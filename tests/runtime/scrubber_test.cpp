@@ -84,11 +84,14 @@ class ScrubberTest : public ::testing::Test {
   }
 
   /// Sign-flips member m's W[0][0] (1.0 -> -1.0): breaks both its ABFT
-  /// column sum and its parameter CRC.
+  /// column sum and its parameter CRC. Holds the swap mutex so the
+  /// mutation never races the batcher or a background sweep.
   static void corrupt_member(ServingRuntime& rt, std::size_t m) {
-    Tensor* w = rt.system().ensemble().member(m).net().mutable_network()
-                    .params()[0];
-    (*w)[0] = -(*w)[0];
+    rt.with_swap_lock([&rt, m] {
+      Tensor* w = rt.system().ensemble().member(m).net().mutable_network()
+                      .params()[0];
+      (*w)[0] = -(*w)[0];
+    });
   }
 
   std::string archive_;
@@ -146,7 +149,9 @@ TEST_F(ScrubberTest, MemberWithoutTrustworthyArchiveIsFenced) {
 
   // Corrupt the member AND take away its reload source.
   corrupt_member(rt, 0);
-  rt.system().ensemble().member(0).set_archive_source(archive_ + ".gone");
+  rt.with_swap_lock([&rt, this] {
+    rt.system().ensemble().member(0).set_archive_source(archive_ + ".gone");
+  });
   const ScrubReport report = rt.scrub_now();
   EXPECT_EQ(report.mismatches, 1U);
   EXPECT_EQ(report.reloads, 0U);

@@ -1,0 +1,158 @@
+// Cache garbage collection: prune_cache must delete exactly the *.net
+// files no reader version can parse (foreign contents, truncated header,
+// unknown version — e.g. the old epoch-timestamp seed archives) while
+// keeping readable archives, legacy archives, rotted-payload archives
+// (the zoo self-heals those at load time) and non-archive files.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stop_token>
+#include <string>
+#include <vector>
+
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "zoo/zoo.h"
+
+namespace pgmr::zoo {
+namespace {
+
+namespace fs = std::filesystem;
+
+nn::Network tiny_net() {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(std::make_unique<nn::Flatten>());
+  layers.push_back(std::make_unique<nn::Dense>(2, 2));
+  return nn::Network("tiny", std::move(layers));
+}
+
+void write_bytes(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// First `n` bytes of an existing file — used to craft a truncated copy.
+std::string head_of(const fs::path& path, std::size_t n) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes(n, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(n));
+  bytes.resize(static_cast<std::size_t>(in.gcount()));
+  return bytes;
+}
+
+class CacheGcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pgmr_cache_gc_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CacheGcTest, PrunesOnlyIrrecoverableArchives) {
+  // Readable, current-version archive: kept.
+  const fs::path valid = dir_ / "lenet5_ORG_v0_c3.net";
+  tiny_net().save(valid.string());
+
+  // The classic junk this GC exists for: an epoch-timestamp "archive"
+  // holding something that was never a PGMR file. Pruned.
+  const fs::path epoch_junk = dir_ / "1699999999.net";
+  write_bytes(epoch_junk, "not a pgmr archive at all");
+
+  // Truncated before the version field: no reader can even open it. Pruned.
+  const fs::path truncated_header = dir_ / "lenet5_Hist_v0_c3.net";
+  write_bytes(truncated_header, head_of(valid, 6));
+
+  // Valid 8-byte header, payload cut off: a reader understands the format,
+  // so load-time self-heal owns it (retrain + republish). Kept.
+  const fs::path rotted_payload = dir_ / "lenet5_FlipX_v0_c3.net";
+  write_bytes(rotted_payload, head_of(valid, 16));
+
+  // In-flight atomic publish and unrelated files: never touched.
+  const fs::path tmp_publish = dir_ / "lenet5_ORG_v0_c3.net.tmp.12345";
+  write_bytes(tmp_publish, "partial");
+  const fs::path readme = dir_ / "README.txt";
+  write_bytes(readme, "hello");
+
+  const CachePruneReport report = prune_cache(dir_.string());
+  EXPECT_EQ(report.scanned, 4);
+  EXPECT_EQ(report.pruned, 2);
+  EXPECT_EQ(report.kept, 2);
+
+  EXPECT_TRUE(fs::exists(valid));
+  EXPECT_TRUE(fs::exists(rotted_payload));
+  EXPECT_TRUE(fs::exists(tmp_publish));
+  EXPECT_TRUE(fs::exists(readme));
+  EXPECT_FALSE(fs::exists(epoch_junk));
+  EXPECT_FALSE(fs::exists(truncated_header));
+}
+
+TEST_F(CacheGcTest, LegacyVersionArchivesAreKept) {
+  // Hand-craft a v1 header (magic "PGMR" little-endian + version 1): the
+  // legacy reader understands it, so migrate_cache — not the GC — owns it.
+  const fs::path legacy = dir_ / "legacy_v1.net";
+  const std::uint32_t magic = 0x50474D52, version = 1;
+  std::string bytes(8, '\0');
+  std::memcpy(bytes.data(), &magic, 4);
+  std::memcpy(bytes.data() + 4, &version, 4);
+  write_bytes(legacy, bytes);
+
+  const CachePruneReport report = prune_cache(dir_.string());
+  EXPECT_EQ(report.scanned, 1);
+  EXPECT_EQ(report.pruned, 0);
+  EXPECT_EQ(report.kept, 1);
+  EXPECT_TRUE(fs::exists(legacy));
+
+  // An unknown future version has no reader: pruned.
+  const fs::path future = dir_ / "future_v9.net";
+  const std::uint32_t v9 = 9;
+  std::memcpy(bytes.data() + 4, &v9, 4);
+  write_bytes(future, bytes);
+  const CachePruneReport again = prune_cache(dir_.string());
+  EXPECT_EQ(again.pruned, 1);
+  EXPECT_FALSE(fs::exists(future));
+  EXPECT_TRUE(fs::exists(legacy));
+}
+
+TEST_F(CacheGcTest, MissingDirectoryIsANoOp) {
+  const CachePruneReport report =
+      prune_cache((dir_ / "never_created").string());
+  EXPECT_EQ(report.scanned, 0);
+  EXPECT_EQ(report.pruned, 0);
+  EXPECT_EQ(report.kept, 0);
+}
+
+TEST_F(CacheGcTest, ZooScanPrunesJunkBeforeTraining) {
+  // trained_network's first touch of a cache dir runs the GC: junk left by
+  // an older run disappears even though nobody called prune_cache.
+  const fs::path junk = dir_ / "1700000001.net";
+  write_bytes(junk, "garbage");
+  ::setenv("PGMR_CACHE_DIR", dir_.string().c_str(), 1);
+  const Benchmark& bm = find_benchmark("lenet5");
+  // A cancelled run is the cheapest way through the scan path: it prunes,
+  // then bails out before training or publishing anything.
+  std::stop_source cancelled;
+  cancelled.request_stop();
+  EXPECT_FALSE(
+      trained_network(bm, "ORG", 0, cancelled.get_token()).has_value());
+  ::unsetenv("PGMR_CACHE_DIR");
+  EXPECT_FALSE(fs::exists(junk));
+}
+
+}  // namespace
+}  // namespace pgmr::zoo

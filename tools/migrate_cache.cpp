@@ -4,7 +4,10 @@
 // The normal read path rejects v1 archives (the zoo self-heals them by
 // retraining); this tool exists so an already-trained cache survives the
 // format bump without paying hundreds of training runs. Archives already
-// at the current version are left untouched.
+// at the current version are left untouched. Archives NO reader version
+// can parse (foreign magic / unknown version / truncated — e.g. the old
+// epoch-timestamp seed files) are garbage-collected: self-heal would only
+// ever retrain over them, so keeping them buys nothing.
 //
 //   migrate_cache [cache-dir]    (default: $PGMR_CACHE_DIR or .pgmr_cache)
 #include <unistd.h>
@@ -12,6 +15,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "nn/network.h"
 #include "zoo/zoo.h"
@@ -26,14 +30,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  int migrated = 0, current = 0, failed = 0;
+  int migrated = 0, current = 0, deleted = 0, failed = 0;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
     if (!entry.is_regular_file() || entry.path().extension() != ".net") {
       continue;
     }
     const std::string path = entry.path().string();
+    bool header_ok = false;
     try {
       BinaryReader legacy(path, BinaryReader::Compat::allow_legacy);
+      header_ok = true;  // some reader version understands this file
       if (legacy.version() == pgmr::kArchiveVersion) {
         ++current;
         continue;
@@ -45,12 +51,24 @@ int main(int argc, char** argv) {
       fs::rename(tmp, path);
       ++migrated;
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "migrate_cache: %s: %s (left for self-heal)\n",
-                   path.c_str(), e.what());
-      ++failed;
+      if (header_ok) {
+        // Known format, rotted payload: the zoo's load-time self-heal can
+        // still retrain-and-republish under the same name. Keep it.
+        std::fprintf(stderr, "migrate_cache: %s: %s (left for self-heal)\n",
+                     path.c_str(), e.what());
+        ++failed;
+      } else {
+        // Not an archive in any version we ever wrote: irrecoverable.
+        std::fprintf(stderr, "migrate_cache: %s: %s (deleted irrecoverable)\n",
+                     path.c_str(), e.what());
+        std::error_code ec;
+        fs::remove(entry.path(), ec);
+        ++deleted;
+      }
     }
   }
-  std::printf("migrate_cache: %d migrated, %d already current, %d failed\n",
-              migrated, current, failed);
+  std::printf("migrate_cache: %d migrated, %d already current, %d deleted, "
+              "%d failed\n",
+              migrated, current, deleted, failed);
   return failed == 0 ? 0 : 1;
 }

@@ -6,12 +6,15 @@
 //   pgmr predict <config.cfg> <sample-index>      classify one test sample
 //   pgmr serve-bench <config.cfg> [flags]         serving-runtime load test
 //   pgmr list                                     available benchmarks/preps
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <optional>
+#include <stop_token>
 #include <string>
 #include <vector>
 
@@ -124,6 +127,7 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   opts.max_delay = std::chrono::microseconds(2000);
   long long requests = 1000;
   long long deadline_us = 0;  // 0 = no per-request deadline
+  bool replacement = false;
   for (int i = 0; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const std::string arg = argv[i + 1];
@@ -154,6 +158,15 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       }
     } else if (flag == "--scrub-interval-ms") {
       opts.scrub_interval = std::chrono::milliseconds(value);
+    } else if (flag == "--replacement") {
+      if (arg == "on") {
+        replacement = true;
+      } else if (arg == "off") {
+        replacement = false;
+      } else {
+        std::fprintf(stderr, "serve-bench: --replacement must be on|off\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "serve-bench: unknown flag %s\n", flag.c_str());
       return 2;
@@ -177,7 +190,26 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
               nn::to_string(opts.protection),
               static_cast<long long>(opts.scrub_interval.count()));
 
+  // The replacement factory needs the live ensemble's composition, which
+  // only exists once the runtime does — hand it a cell filled in below.
+  auto live = std::make_shared<std::atomic<runtime::ServingRuntime*>>(nullptr);
+  if (replacement) {
+    opts.replacement.enabled = true;
+    opts.replacement.factory =
+        [&bm, &config, live](std::size_t member, int attempt,
+                             std::stop_token cancel)
+        -> std::optional<mr::Member> {
+      runtime::ServingRuntime* rt = live->load();
+      if (rt == nullptr) return std::nullopt;
+      const std::vector<std::string> in_use =
+          rt->system().ensemble().prep_names();
+      const zoo::ReplacementSpec spec =
+          zoo::choose_replacement(bm, in_use, in_use[member], attempt);
+      return zoo::make_replacement_member(bm, spec, config.bits, cancel);
+    };
+  }
   runtime::ServingRuntime rt(polygraph::make_system(config), opts);
+  live->store(&rt);
   std::vector<std::future<polygraph::Verdict>> futures;
   futures.reserve(static_cast<std::size_t>(requests));
 
@@ -243,6 +275,14 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
               static_cast<unsigned long long>(snap.scrub_cycles),
               static_cast<unsigned long long>(crc_mismatches),
               static_cast<unsigned long long>(weight_reloads));
+  std::printf("replacement: %s — started %llu  completed %llu  failed %llu, "
+              "quorum %llu/%zu\n",
+              replacement ? "on" : "off",
+              static_cast<unsigned long long>(snap.replacements_started),
+              static_cast<unsigned long long>(snap.replacements_completed),
+              static_cast<unsigned long long>(snap.replacements_failed),
+              static_cast<unsigned long long>(snap.quorum_size),
+              config.members.size());
   std::printf("batching:   %llu batches, mean size %.2f, max %llu\n",
               static_cast<unsigned long long>(snap.batches),
               snap.mean_batch_size(),
@@ -265,7 +305,7 @@ int usage() {
                "  pgmr serve-bench <config.cfg> [--threads N] [--max-batch B]"
                " [--max-delay-us D] [--queue-cap Q] [--requests R]"
                " [--deadline-us T] [--protection off|fc|full]"
-               " [--scrub-interval-ms S]\n");
+               " [--scrub-interval-ms S] [--replacement on|off]\n");
   return 2;
 }
 
