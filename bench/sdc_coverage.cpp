@@ -23,12 +23,19 @@
 // default 200), --layer-trials N (exponent flips per tensor, default 3),
 // --faults K (simultaneous flips in the multi-fault section, default 3),
 // --benchmark ID (convnet default; resnet20 runs the same campaign on the
-// deeper residual stack). CI runs the small smoke configurations.
+// deeper residual stack), --protection off|fc|full (level under test,
+// default full — one run per level yields the coverage-vs-cost table in
+// EXPERIMENTS.md). CI runs the small smoke configurations.
+//
+// Exit status: under --protection full the campaign *requires* zero
+// exponent-flip SDCs (every flip detected inline or masked) — a nonzero
+// count fails the run, which is the CI gate for the BN-folded ABFT path.
 #include <cstring>
 
 #include "bench_util.h"
 #include "fault/injector.h"
 #include "mr/decision.h"
+#include "perf/cost_model.h"
 
 namespace {
 
@@ -72,6 +79,7 @@ int main(int argc, char** argv) {
   int layer_trials = 3;
   int multi_faults = 3;
   std::string benchmark = "convnet";
+  nn::Protection protection = nn::Protection::full;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--trials") == 0) {
       trials_per_class = std::atoi(argv[i + 1]);
@@ -83,6 +91,19 @@ int main(int argc, char** argv) {
       multi_faults = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--benchmark") == 0) {
       benchmark = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--protection") == 0) {
+      const std::string arg = argv[i + 1];
+      if (arg == "off") {
+        protection = nn::Protection::off;
+      } else if (arg == "fc" || arg == "final_fc") {
+        protection = nn::Protection::final_fc;
+      } else if (arg == "full") {
+        protection = nn::Protection::full;
+      } else {
+        std::fprintf(stderr,
+                     "sdc_coverage: --protection must be off|fc|full\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "sdc_coverage: unknown flag %s\n", argv[i]);
       return 2;
@@ -96,7 +117,7 @@ int main(int argc, char** argv) {
 
   mr::Ensemble ensemble = zoo::make_ensemble(bm, specs);
   for (std::size_t m = 0; m < ensemble.size(); ++m) {
-    ensemble.member(m).set_protection(nn::Protection::full);
+    ensemble.member(m).set_protection(protection);
   }
   mr::Member& target = ensemble.member(0);
 
@@ -112,9 +133,9 @@ int main(int argc, char** argv) {
       system_predictions(clean_votes, probe_n);
 
   bench::rule("SDC coverage: single weight-bit flips in one member");
-  std::printf("benchmark=%s, protection=full, %d trials/class, %lld probe "
+  std::printf("benchmark=%s, protection=%s, %d trials/class, %lld probe "
               "samples\n\n",
-              bm.id.c_str(), trials_per_class,
+              bm.id.c_str(), nn::to_string(protection), trials_per_class,
               static_cast<long long>(probe_n));
 
   struct BitClass {
@@ -184,6 +205,45 @@ int main(int argc, char** argv) {
               "all stored-weight flips between batches\n",
               exp_covered,
               100.0 * exponent_tally.detected_scrub / exponent_tally.trials);
+
+  // One row of the coverage-vs-cost table: inline exponent coverage at
+  // this level against its modelled latency surcharge over protection off
+  // (the abft_macs pricing the protection planner optimizes with).
+  {
+    const perf::CostModel model;
+    const Shape in{1, bm.input.channels, bm.input.size, bm.input.size};
+    const nn::CostStats stats = target.net().network().cost(in);
+    const perf::InferenceCost off_cost =
+        model.network_cost(stats, target.bits(), nn::Protection::off);
+    const perf::InferenceCost cost =
+        model.network_cost(stats, target.bits(), protection);
+    // Compute overhead is the raw abft_macs surcharge; the roofline latency
+    // only moves once the member is compute-bound, so report both (plus
+    // energy, which always pays for the extra MACs).
+    const double macs = static_cast<double>(stats.macs);
+    const double abft_macs = protection == nn::Protection::full
+                                 ? static_cast<double>(stats.abft_macs)
+                                 : 0.0;
+    std::printf("coverage-vs-cost: protection=%s exponent_inline=%.1f%% "
+                "model_compute_overhead=+%.2f%% model_latency_overhead=+%.2f%% "
+                "model_energy_overhead=+%.2f%%\n",
+                nn::to_string(protection), exp_covered,
+                100.0 * abft_macs / macs,
+                100.0 * (cost.latency_s - off_cost.latency_s) /
+                    off_cost.latency_s,
+                100.0 * (cost.energy_j - off_cost.energy_j) /
+                    off_cost.energy_j);
+  }
+
+  // CI gate: full protection must leave ZERO exponent-flip SDCs — every
+  // flip is either detected inline (ABFT/guards) or masked. The BN-folded
+  // checksums exist precisely so conv->BN stacks meet this with the
+  // default tolerance.
+  if (protection == nn::Protection::full && exponent_tally.sdc > 0) {
+    std::printf("FAIL: %d exponent-flip SDC(s) under protection=full\n",
+                exponent_tally.sdc);
+    return 1;
+  }
 
   // Multi-fault batches: K simultaneous distinct flips per trial (burst
   // upsets — e.g. one event corrupting a cache line). sample_sites

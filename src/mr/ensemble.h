@@ -74,6 +74,12 @@ class Member {
   /// True when every parameter CRC still matches its blessed snapshot.
   bool params_intact() { return net_.params_intact(); }
 
+  /// Number of parameter tensors — the incremental scrubber's work unit.
+  std::size_t param_count() { return net_.param_count(); }
+
+  /// CRC check of one parameter tensor (params() order).
+  bool param_intact(std::size_t i) { return net_.param_intact(i); }
+
   /// Outcome of a reload_params() self-heal attempt.
   enum class ReloadStatus {
     healed,       ///< weights replaced from the archive, CRCs match again

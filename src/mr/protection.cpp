@@ -1,0 +1,160 @@
+#include "mr/protection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pgmr::mr {
+
+double CoverageModel::coverage(nn::Protection p) const {
+  switch (p) {
+    case nn::Protection::off:
+      return off;
+    case nn::Protection::final_fc:
+      return final_fc;
+    case nn::Protection::full:
+      return full;
+  }
+  return 0.0;
+}
+
+std::vector<MemberProtectionInput> protection_inputs(
+    Ensemble& ensemble, const Shape& in, const perf::CostModel& model,
+    const std::vector<double>& sensitivity) {
+  if (!sensitivity.empty() && sensitivity.size() != ensemble.size()) {
+    throw std::invalid_argument(
+        "protection_inputs: sensitivity size != ensemble size");
+  }
+  std::vector<MemberProtectionInput> inputs(ensemble.size());
+  double total_params = 0.0;
+  for (std::size_t m = 0; m < ensemble.size(); ++m) {
+    Member& member = ensemble.member(m);
+    double params = 0.0;
+    for (const Tensor* t : member.net().mutable_network().params()) {
+      params += static_cast<double>(t->numel());
+    }
+    inputs[m].param_share = params;  // normalized below
+    total_params += params;
+    inputs[m].sensitivity = sensitivity.empty() ? 1.0 : sensitivity[m];
+    const nn::CostStats stats = member.net().network().cost(in);
+    for (std::size_t l = 0; l < kProtectionLevels.size(); ++l) {
+      inputs[m].cost[l] =
+          model.network_cost(stats, member.bits(), kProtectionLevels[l]);
+    }
+  }
+  for (MemberProtectionInput& i : inputs) {
+    i.param_share = total_params > 0.0 ? i.param_share / total_params : 0.0;
+  }
+  return inputs;
+}
+
+std::vector<ProtectionPlan> protection_frontier(
+    const std::vector<MemberProtectionInput>& members,
+    const CoverageModel& model) {
+  constexpr std::size_t kMaxMembers = 12;  // 3^12 ~ 531k plans, still cheap
+  if (members.empty() || members.size() > kMaxMembers) {
+    throw std::invalid_argument(
+        "protection_frontier: member count must be in [1, 12]");
+  }
+
+  // Enumerate every assignment as a base-|levels| counter over members.
+  std::size_t total = 1;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    total *= kProtectionLevels.size();
+  }
+  std::vector<ProtectionPlan> plans;
+  plans.reserve(total);
+  std::vector<std::size_t> digits(members.size(), 0);
+  for (std::size_t p = 0; p < total; ++p) {
+    ProtectionPlan plan;
+    plan.levels.reserve(members.size());
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const nn::Protection level = kProtectionLevels[digits[m]];
+      plan.levels.push_back(level);
+      plan.residual_sdc += members[m].param_share * members[m].sensitivity *
+                           (1.0 - model.coverage(level));
+      plan.latency_s += members[m].cost[digits[m]].latency_s;
+      plan.energy_j += members[m].cost[digits[m]].energy_j;
+    }
+    plans.push_back(std::move(plan));
+    for (std::size_t m = 0; m < digits.size(); ++m) {  // increment counter
+      if (++digits[m] < kProtectionLevels.size()) break;
+      digits[m] = 0;
+    }
+  }
+
+  // Non-dominated set over (residual_sdc, cost), mirroring the (tp, fp)
+  // frontier in mr/pareto.cpp. Cost compares latency first, energy as the
+  // tie-break: small members are memory-bound under the roofline, so the
+  // abft_macs surcharge often leaves latency unchanged while the energy
+  // term still prices the extra verification work — without the tie-break
+  // every plan would cost the same and the frontier would collapse to
+  // uniform full.
+  const auto cheaper = [](const ProtectionPlan& a, const ProtectionPlan& b) {
+    if (a.latency_s != b.latency_s) return a.latency_s < b.latency_s;
+    return a.energy_j < b.energy_j;
+  };
+  const auto no_dearer = [&cheaper](const ProtectionPlan& a,
+                                    const ProtectionPlan& b) {
+    return !cheaper(b, a);
+  };
+  std::vector<ProtectionPlan> frontier;
+  for (const ProtectionPlan& p : plans) {
+    bool dominated = false;
+    for (const ProtectionPlan& q : plans) {
+      const bool no_worse = q.residual_sdc <= p.residual_sdc && no_dearer(q, p);
+      const bool strictly_better =
+          q.residual_sdc < p.residual_sdc || cheaper(q, p);
+      if (no_worse && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(p);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [&cheaper](const ProtectionPlan& a, const ProtectionPlan& b) {
+              if (cheaper(a, b)) return true;
+              if (cheaper(b, a)) return false;
+              return a.residual_sdc < b.residual_sdc;
+            });
+  // Equal-objective duplicates differ only in which member carries a level;
+  // keep the first (lowest-index members get the cheaper level).
+  frontier.erase(std::unique(frontier.begin(), frontier.end(),
+                             [](const ProtectionPlan& a,
+                                const ProtectionPlan& b) {
+                               return a.residual_sdc == b.residual_sdc &&
+                                      a.latency_s == b.latency_s &&
+                                      a.energy_j == b.energy_j;
+                             }),
+                 frontier.end());
+  return frontier;
+}
+
+ProtectionPlan select_protection(const std::vector<ProtectionPlan>& frontier,
+                                 double sdc_budget) {
+  if (frontier.empty()) {
+    throw std::invalid_argument("select_protection: empty frontier");
+  }
+  const auto cheaper = [](const ProtectionPlan& a, const ProtectionPlan& b) {
+    if (a.latency_s != b.latency_s) return a.latency_s < b.latency_s;
+    return a.energy_j < b.energy_j;
+  };
+  const ProtectionPlan* best = nullptr;
+  for (const ProtectionPlan& p : frontier) {
+    if (p.residual_sdc > sdc_budget) continue;
+    if (best == nullptr || cheaper(p, *best)) best = &p;
+  }
+  if (best == nullptr) {
+    // Budget unreachable: fall back to the most protective plan so the
+    // caller still gets a deployable assignment.
+    for (const ProtectionPlan& p : frontier) {
+      if (best == nullptr || p.residual_sdc < best->residual_sdc ||
+          (p.residual_sdc == best->residual_sdc && cheaper(p, *best))) {
+        best = &p;
+      }
+    }
+  }
+  return *best;
+}
+
+}  // namespace pgmr::mr

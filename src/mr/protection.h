@@ -1,0 +1,98 @@
+// Cost-driven per-member protection planning.
+//
+// Uniform Protection::full buys ~100 % weight-SDC detection but charges
+// every member the abft_macs verification surcharge; uniform off is free
+// and blind. Between them lies a per-member assignment space: a member
+// whose vote rarely flips the verdict (low sensitivity) or that holds a
+// small share of the ensemble's parameters (small fault target) can run at
+// a cheaper level without moving the system's expected undetected-SDC mass
+// much. This header prices that trade explicitly:
+//
+//   residual_sdc(plan) = sum_m  param_share[m] * sensitivity[m]
+//                               * (1 - coverage(level[m]))
+//
+// protection_frontier() sweeps every per-member level assignment, prices
+// each with the CostModel (abft_macs surcharge included, see
+// perf::CostModel::network_cost), and keeps the (residual_sdc, cost)
+// non-dominated set, where cost compares latency first and energy as the
+// tie-break (memory-bound members hide the ABFT surcharge in the roofline
+// latency; energy always pays for it); select_protection() then picks the
+// cheapest plan under an SDC budget — the same sweep-then-select shape as
+// the (Thr_Conf, Thr_Freq) Pareto stage in mr/pareto.h.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "mr/ensemble.h"
+#include "perf/cost_model.h"
+
+namespace pgmr::mr {
+
+/// The assignable ABFT levels in ascending coverage (and cost) order —
+/// the planner's per-member axis.
+inline constexpr std::array<nn::Protection, 3> kProtectionLevels = {
+    nn::Protection::off, nn::Protection::final_fc, nn::Protection::full};
+
+/// Fraction of weight corruptions each level detects or masks before they
+/// become silent output corruptions. Defaults come from the sdc_coverage
+/// campaign (EXPERIMENTS.md): full catches every exponent-scale flip the
+/// campaign injects; final_fc only sees faults that reach the last GEMM.
+struct CoverageModel {
+  double off = 0.0;
+  double final_fc = 0.35;
+  double full = 1.0;
+
+  double coverage(nn::Protection p) const;
+};
+
+/// Everything the planner needs to know about one member.
+struct MemberProtectionInput {
+  /// This member's share of the ensemble's parameter count — the fraction
+  /// of uniformly-random weight faults that land on it.
+  double param_share = 1.0;
+  /// P(verdict-corrupting SDC | an undetected fault in this member), in
+  /// [0, 1]. Estimated offline (fault-injection probe) or derived from
+  /// vote statistics; 1.0 is the conservative default.
+  double sensitivity = 1.0;
+  /// Priced inference cost at each kProtectionLevels entry, same order.
+  std::array<perf::InferenceCost, kProtectionLevels.size()> cost{};
+};
+
+/// One evaluated per-member assignment.
+struct ProtectionPlan {
+  std::vector<nn::Protection> levels;  ///< one level per member, slot order
+  double residual_sdc = 0.0;  ///< expected undetected-SDC mass (lower = safer)
+  double latency_s = 0.0;     ///< summed member latency under the plan
+  double energy_j = 0.0;      ///< summed member energy under the plan
+};
+
+/// Builds planner inputs from a live ensemble: per-level costs from the
+/// cost model (abft_macs surcharge priced in), param_share from parameter
+/// counts. `sensitivity` is per member in slot order; empty means 1.0 for
+/// everyone. Throws std::invalid_argument on a size mismatch. (Takes a
+/// mutable ensemble because parameter enumeration is non-const; nothing
+/// is modified.)
+std::vector<MemberProtectionInput> protection_inputs(
+    Ensemble& ensemble, const Shape& in, const perf::CostModel& model,
+    const std::vector<double>& sensitivity = {});
+
+/// Sweeps every per-member level assignment (|levels|^M plans) and returns
+/// the (residual_sdc, cost) non-dominated set — cost is latency with
+/// energy as tie-break — sorted by ascending cost. Throws
+/// std::invalid_argument for empty input or more than 12 members (the
+/// exhaustive sweep is meant for ensemble-sized M).
+std::vector<ProtectionPlan> protection_frontier(
+    const std::vector<MemberProtectionInput>& members,
+    const CoverageModel& model = {});
+
+/// Picks the cheapest (latency, then energy) frontier plan with
+/// residual_sdc <= sdc_budget;
+/// when none qualifies, falls back to the most protective plan (minimum
+/// residual_sdc, latency as tie-break) so callers always get a plan.
+/// Throws std::invalid_argument on an empty frontier.
+ProtectionPlan select_protection(const std::vector<ProtectionPlan>& frontier,
+                                 double sdc_budget);
+
+}  // namespace pgmr::mr

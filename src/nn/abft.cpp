@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace pgmr::nn {
 namespace {
@@ -67,6 +68,76 @@ void abft_verify_cols(const float* b, const float* c, std::int64_t m,
     double actual = 0.0;
     for (std::int64_t i = 0; i < m; ++i) actual += c[i * n + j];
     fold(actual, expected[static_cast<std::size_t>(j)], check);
+  }
+}
+
+void abft_verify_folded(const std::vector<float>& cols, const Tensor& bn_out,
+                        const AbftChecksum& golden, AbftLayerCheck* check) {
+  const Shape& s = bn_out.shape();
+  const std::int64_t batch = s[0];
+  const std::int64_t out_c = s[1];
+  const std::int64_t spatial = s[2] * s[3];
+  const std::int64_t patch = golden.colsum.numel();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    abft_verify_cols(cols.data() + n * patch * spatial,
+                     bn_out.data() + n * out_c * spatial, out_c, patch,
+                     spatial, golden, check);
+  }
+}
+
+void abft_verify_affine(const float* x, const float* y, std::int64_t batch,
+                        std::int64_t channels, std::int64_t spatial,
+                        const AbftChecksum& golden, AbftLayerCheck* check) {
+  check->checked = true;
+  const float* scale = golden.colsum.data();
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const std::int64_t base = n * channels * spatial;
+    for (std::int64_t i = 0; i < spatial; ++i) {
+      double expected = golden.bias_sum;
+      double actual = 0.0;
+      for (std::int64_t c = 0; c < channels; ++c) {
+        const std::int64_t at = base + c * spatial + i;
+        expected += static_cast<double>(scale[c]) * x[at];
+        actual += y[at];
+      }
+      fold(actual, expected, check);
+    }
+  }
+}
+
+void abft_guard_range(const float* y, std::int64_t n, float lo, float hi,
+                      AbftLayerCheck* check) {
+  check->checked = true;
+  // Slack absorbs the float rounding between the recomputed envelope and
+  // the layer's own arithmetic; a flipped exponent bit overshoots it by
+  // orders of magnitude.
+  const float slack =
+      1e-5F * (1.0F + std::max(std::abs(lo), std::abs(hi)));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = y[i];
+    if (!(v >= lo - slack && v <= hi + slack)) {  // NaN fails both
+      check->ok = false;
+      return;
+    }
+  }
+}
+
+void abft_guard_finite(const float* y, std::int64_t n, AbftLayerCheck* check) {
+  check->checked = true;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(y[i])) {
+      check->ok = false;
+      return;
+    }
+  }
+}
+
+void abft_minmax(const float* x, std::int64_t n, float* lo, float* hi) {
+  *lo = std::numeric_limits<float>::infinity();
+  *hi = -std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (x[i] < *lo) *lo = x[i];
+    if (x[i] > *hi) *hi = x[i];
   }
 }
 

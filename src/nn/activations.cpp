@@ -1,5 +1,6 @@
 #include "nn/activations.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace pgmr::nn {
@@ -10,6 +11,28 @@ Tensor ReLU::forward(const Tensor& input, bool train) {
     if (out[i] < 0.0F) out[i] = 0.0F;
   }
   if (train) cached_input_ = input;
+  return out;
+}
+
+CostStats ReLU::cost(const Shape& in) const {
+  CostStats s = Layer::cost(in);
+  s.abft_macs = 2 * in.numel();  // input max scan + output range scan
+  return s;
+}
+
+AbftChecksum ReLU::abft_checksum() const {
+  AbftChecksum g;
+  g.form = AbftForm::guard;
+  return g;
+}
+
+Tensor ReLU::forward_abft(const Tensor& input, const AbftChecksum&,
+                          AbftLayerCheck* check) {
+  float lo = 0.0F, hi = 0.0F;
+  abft_minmax(input.data(), input.numel(), &lo, &hi);
+  Tensor out = forward(input, /*train=*/false);
+  // y = max(0, x): outputs are non-negative and never exceed the input max.
+  abft_guard_range(out.data(), out.numel(), 0.0F, std::max(0.0F, hi), check);
   return out;
 }
 

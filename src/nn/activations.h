@@ -12,6 +12,10 @@ class ReLU final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   Shape output_shape(const Shape& in) const override { return in; }
+  CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter&) const override {}
   static std::unique_ptr<ReLU> load(BinaryReader&) {
     return std::make_unique<ReLU>();

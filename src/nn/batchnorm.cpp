@@ -130,12 +130,46 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
   return grad_in;
 }
 
+void BatchNorm::effective_affine(Tensor* scale, Tensor* shift) const {
+  *scale = Tensor(Shape{channels_});
+  *shift = Tensor(Shape{channels_});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float s = gamma_[c] / std::sqrt(running_var_[c] + eps_);
+    (*scale)[c] = s;
+    (*shift)[c] = beta_[c] - running_mean_[c] * s;
+  }
+}
+
+AbftChecksum BatchNorm::abft_checksum() const {
+  AbftChecksum golden;
+  golden.form = AbftForm::affine;
+  Tensor shift;
+  effective_affine(&golden.colsum, &shift);
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    golden.bias_sum += static_cast<double>(shift[c]);
+  }
+  return golden;
+}
+
+Tensor BatchNorm::forward_abft(const Tensor& input, const AbftChecksum& golden,
+                               AbftLayerCheck* check) {
+  Tensor out = forward(input, /*train=*/false);
+  if (golden.form != AbftForm::affine || golden.colsum.empty()) return out;
+  const Shape& s = input.shape();
+  const std::int64_t spatial = s.rank() == 4 ? s[2] * s[3] : 1;
+  abft_verify_affine(input.data(), out.data(), s[0], channels_, spatial,
+                     golden, check);
+  return out;
+}
+
 CostStats BatchNorm::cost(const Shape& in) const {
   CostStats s;
   s.macs = in.numel();  // one multiply-add per element
   s.param_count = 2 * channels_;
   s.weight_bytes = (2 * channels_ + 2 * channels_) * 4;  // affine + running stats
   s.activation_bytes = 2 * in.numel() * 4;
+  // affine check: one scale·x multiply-add plus one y accumulate per element
+  s.abft_macs = 2 * in.numel();
   return s;
 }
 

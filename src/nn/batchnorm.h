@@ -22,6 +22,23 @@ class BatchNorm final : public Layer {
   std::vector<Tensor*> grads() override { return {&grad_gamma_, &grad_beta_}; }
   Shape output_shape(const Shape& in) const override;
   CostStats cost(const Shape& in) const override;
+
+  std::int64_t channels() const { return channels_; }
+
+  /// Eval-time effective affine: forward(x, train=false) computes
+  /// out = scale[c]·x + shift[c] with scale = gamma/sqrt(running_var+eps)
+  /// and shift = beta − running_mean·scale. Adjacent convolutions fold
+  /// this into their ABFT column sums (see Conv2D::abft_checksum_folded).
+  void effective_affine(Tensor* scale, Tensor* shift) const;
+
+  /// Golden affine checksum (AbftForm::affine): colsum = scale,
+  /// bias_sum = sum of shifts. Standalone protection for BN layers that
+  /// are not folded into an adjacent convolution (e.g. DenseNet's
+  /// BN→ReLU→conv ordering).
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
+
   void save(BinaryWriter& w) const override;
   static std::unique_ptr<BatchNorm> load(BinaryReader& r);
 

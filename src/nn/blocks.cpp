@@ -2,8 +2,23 @@
 
 #include <stdexcept>
 
+#include "nn/batchnorm.h"
+
 namespace pgmr::nn {
 namespace {
+
+/// True when layers[i] is a Conv2D whose output channels match a BatchNorm
+/// at layers[i+1] — the pair a folded checksum covers as one unit.
+bool foldable_conv_bn(const std::vector<std::unique_ptr<Layer>>& layers,
+                      std::size_t i) {
+  if (i + 1 >= layers.size()) return false;
+  if (layers[i]->kind() != "conv2d" || layers[i + 1]->kind() != "batchnorm") {
+    return false;
+  }
+  const auto* conv = static_cast<const Conv2D*>(layers[i].get());
+  const auto* bn = static_cast<const BatchNorm*>(layers[i + 1].get());
+  return conv->out_channels() == bn->channels();
+}
 
 // Splits grad of a channel-concatenated tensor back into the two parts.
 void split_channels(const Tensor& grad, std::int64_t first_channels,
@@ -103,8 +118,21 @@ CostStats Sequential::cost(const Shape& in) const {
 AbftChecksum Sequential::abft_checksum() const {
   AbftChecksum golden;
   golden.children.reserve(layers_.size());
-  for (const auto& layer : layers_) {
-    golden.children.push_back(layer->abft_checksum());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // conv2d directly followed by batchnorm: emit a folded checksum in the
+    // conv slot and leave the BN slot empty; forward_abft verifies the
+    // fold on the BN output, so the pair is covered as one identity.
+    if (foldable_conv_bn(layers_, i)) {
+      const auto* conv = static_cast<const Conv2D*>(layers_[i].get());
+      const auto* bn = static_cast<const BatchNorm*>(layers_[i + 1].get());
+      Tensor scale, shift;
+      bn->effective_affine(&scale, &shift);
+      golden.children.push_back(conv->abft_checksum_folded(scale, shift));
+      golden.children.push_back(AbftChecksum{});
+      ++i;
+      continue;
+    }
+    golden.children.push_back(layers_[i]->abft_checksum());
   }
   return golden;
 }
@@ -113,9 +141,20 @@ Tensor Sequential::forward_abft(const Tensor& input, const AbftChecksum& golden,
                                 AbftLayerCheck* check) {
   Tensor x = input;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    const bool protect =
-        i < golden.children.size() && !golden.children[i].empty();
-    x = protect ? layers_[i]->forward_abft(x, golden.children[i], check)
+    const AbftChecksum* g =
+        i < golden.children.size() ? &golden.children[i] : nullptr;
+    if (g != nullptr && g->form == AbftForm::folded &&
+        foldable_conv_bn(layers_, i)) {
+      auto* conv = static_cast<Conv2D*>(layers_[i].get());
+      std::vector<float> cols;
+      Tensor conv_out = conv->forward_save_cols(x, &cols);
+      x = layers_[i + 1]->forward(conv_out, /*train=*/false);
+      abft_verify_folded(cols, x, *g, check);
+      ++i;
+      continue;
+    }
+    const bool protect = g != nullptr && !g->empty();
+    x = protect ? layers_[i]->forward_abft(x, *g, check)
                 : layers_[i]->forward(x, /*train=*/false);
   }
   return x;
@@ -193,6 +232,9 @@ Tensor ResidualBlock::forward_abft(const Tensor& input,
   for (std::int64_t i = 0; i < main.numel(); ++i) {
     if (main[i] < 0.0F) main[i] = 0.0F;
   }
+  // The add + post-add ReLU are not GEMMs; a finiteness guard keeps a
+  // corrupted shortcut from passing Inf/NaN downstream silently.
+  abft_guard_finite(main.data(), main.numel(), check);
   return main;
 }
 

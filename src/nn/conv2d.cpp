@@ -72,9 +72,39 @@ Tensor Conv2D::forward_abft(const Tensor& input, const AbftChecksum& golden,
   return forward_impl(input, false, &golden, check);
 }
 
+AbftChecksum Conv2D::abft_checksum_folded(const Tensor& scale,
+                                          const Tensor& shift) const {
+  if (scale.numel() != out_c_ || shift.numel() != out_c_) {
+    throw std::invalid_argument("Conv2D::abft_checksum_folded: affine size " +
+                                std::to_string(scale.numel()) +
+                                " != out_channels");
+  }
+  const std::int64_t patch = weight_.shape()[1];
+  AbftChecksum golden;
+  golden.form = AbftForm::folded;
+  golden.colsum = Tensor(Shape{patch});
+  for (std::int64_t k = 0; k < patch; ++k) {
+    double acc = 0.0;
+    for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+      acc += static_cast<double>(scale[oc]) * weight_[oc * patch + k];
+    }
+    golden.colsum[k] = static_cast<float>(acc);
+  }
+  for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+    golden.bias_sum += static_cast<double>(scale[oc]) * bias_[oc] +
+                       static_cast<double>(shift[oc]);
+  }
+  return golden;
+}
+
+Tensor Conv2D::forward_save_cols(const Tensor& input,
+                                 std::vector<float>* cols) {
+  return forward_impl(input, false, nullptr, nullptr, cols);
+}
+
 Tensor Conv2D::forward_impl(const Tensor& input, bool train,
-                            const AbftChecksum* golden,
-                            AbftLayerCheck* check) {
+                            const AbftChecksum* golden, AbftLayerCheck* check,
+                            std::vector<float>* save_cols) {
   const ConvGeometry geo = geometry(input.shape());
   const std::int64_t batch = input.shape()[0];
   const std::int64_t oh = geo.out_h();
@@ -88,6 +118,9 @@ Tensor Conv2D::forward_impl(const Tensor& input, bool train,
   if (train) {
     cached_in_shape_ = input.shape();
     cached_cols_.assign(static_cast<std::size_t>(batch * patch * spatial), 0.0F);
+  }
+  if (save_cols != nullptr) {
+    save_cols->resize(static_cast<std::size_t>(batch * patch * spatial));
   }
 
   const std::int64_t in_per_sample = in_c_ * geo.in_h * geo.in_w;
@@ -110,6 +143,10 @@ Tensor Conv2D::forward_impl(const Tensor& input, bool train,
     if (train) {
       std::copy(col.begin(), col.end(),
                 cached_cols_.begin() + n * patch * spatial);
+    }
+    if (save_cols != nullptr) {
+      std::copy(col.begin(), col.end(),
+                save_cols->begin() + n * patch * spatial);
     }
   }
   return out;

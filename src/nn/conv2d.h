@@ -29,6 +29,22 @@ class Conv2D final : public Layer {
   AbftChecksum abft_checksum() const override;
   Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
                       AbftLayerCheck* check) override;
+
+  /// Golden checksum with a downstream BatchNorm's eval affine folded in
+  /// (AbftForm::folded): colsum[k] = sum_oc scale[oc]·W[oc,k] and
+  /// bias_sum = sum_oc (scale[oc]·bias[oc] + shift[oc]). The Huang–Abraham
+  /// identity then holds on the *BatchNorm* output, so conv→BN stacks are
+  /// verified end to end with no tolerance inflation. `scale`/`shift` come
+  /// from BatchNorm::effective_affine and must have out_channels entries.
+  AbftChecksum abft_checksum_folded(const Tensor& scale,
+                                    const Tensor& shift) const;
+
+  /// Plain eval forward that also stashes the per-sample im2col buffers
+  /// batch-major into `cols` ([N, patch, out_h*out_w]); the folded conv→BN
+  /// check verifies against them after the downstream BatchNorm runs.
+  /// Output is bit-identical to forward(input, false).
+  Tensor forward_save_cols(const Tensor& input, std::vector<float>* cols);
+
   void save(BinaryWriter& w) const override;
 
   /// Deserializer counterpart of save(); used by load_layer.
@@ -40,7 +56,8 @@ class Conv2D final : public Layer {
  private:
   ConvGeometry geometry(const Shape& in) const;
   Tensor forward_impl(const Tensor& input, bool train,
-                      const AbftChecksum* golden, AbftLayerCheck* check);
+                      const AbftChecksum* golden, AbftLayerCheck* check,
+                      std::vector<float>* save_cols = nullptr);
 
   std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
   Tensor weight_;       // [out_c, in_c*k*k]

@@ -76,7 +76,23 @@ Tensor AvgPool2D::backward(const Tensor& grad_output) {
 CostStats AvgPool2D::cost(const Shape& in) const {
   CostStats s;
   s.activation_bytes = (in.numel() + output_shape(in).numel()) * 4;
+  s.abft_macs = in.numel() + output_shape(in).numel();
   return s;
+}
+
+AbftChecksum AvgPool2D::abft_checksum() const {
+  AbftChecksum g;
+  g.form = AbftForm::guard;
+  return g;
+}
+
+Tensor AvgPool2D::forward_abft(const Tensor& input, const AbftChecksum&,
+                               AbftLayerCheck* check) {
+  float lo = 0.0F, hi = 0.0F;
+  abft_minmax(input.data(), input.numel(), &lo, &hi);
+  Tensor out = forward(input, /*train=*/false);
+  abft_guard_range(out.data(), out.numel(), lo, hi, check);
+  return out;
 }
 
 void AvgPool2D::save(BinaryWriter& w) const { w.write_i64(window_); }
@@ -91,6 +107,25 @@ Tensor Sigmoid::forward(const Tensor& input, bool train) {
     out[i] = 1.0F / (1.0F + std::exp(-out[i]));
   }
   if (train) cached_output_ = out;
+  return out;
+}
+
+CostStats Sigmoid::cost(const Shape& in) const {
+  CostStats s = Layer::cost(in);
+  s.abft_macs = in.numel();  // one output range scan
+  return s;
+}
+
+AbftChecksum Sigmoid::abft_checksum() const {
+  AbftChecksum g;
+  g.form = AbftForm::guard;
+  return g;
+}
+
+Tensor Sigmoid::forward_abft(const Tensor& input, const AbftChecksum&,
+                             AbftLayerCheck* check) {
+  Tensor out = forward(input, /*train=*/false);
+  abft_guard_range(out.data(), out.numel(), 0.0F, 1.0F, check);
   return out;
 }
 
@@ -112,6 +147,25 @@ Tensor Tanh::forward(const Tensor& input, bool train) {
     out[i] = std::tanh(out[i]);
   }
   if (train) cached_output_ = out;
+  return out;
+}
+
+CostStats Tanh::cost(const Shape& in) const {
+  CostStats s = Layer::cost(in);
+  s.abft_macs = in.numel();
+  return s;
+}
+
+AbftChecksum Tanh::abft_checksum() const {
+  AbftChecksum g;
+  g.form = AbftForm::guard;
+  return g;
+}
+
+Tensor Tanh::forward_abft(const Tensor& input, const AbftChecksum&,
+                          AbftLayerCheck* check) {
+  Tensor out = forward(input, /*train=*/false);
+  abft_guard_range(out.data(), out.numel(), -1.0F, 1.0F, check);
   return out;
 }
 

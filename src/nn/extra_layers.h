@@ -18,6 +18,9 @@ class AvgPool2D final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   Shape output_shape(const Shape& in) const override;
   CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter& w) const override;
   static std::unique_ptr<AvgPool2D> load(BinaryReader& r);
 
@@ -33,6 +36,10 @@ class Sigmoid final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   Shape output_shape(const Shape& in) const override { return in; }
+  CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter&) const override {}
   static std::unique_ptr<Sigmoid> load(BinaryReader&) {
     return std::make_unique<Sigmoid>();
@@ -49,6 +56,10 @@ class Tanh final : public Layer {
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   Shape output_shape(const Shape& in) const override { return in; }
+  CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter&) const override {}
   static std::unique_ptr<Tanh> load(BinaryReader&) {
     return std::make_unique<Tanh>();

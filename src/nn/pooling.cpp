@@ -72,7 +72,25 @@ Tensor MaxPool2D::backward(const Tensor& grad_output) {
 CostStats MaxPool2D::cost(const Shape& in) const {
   CostStats s;
   s.activation_bytes = (in.numel() + output_shape(in).numel()) * 4;
+  // range guard: one min/max scan of the input plus one of the output
+  s.abft_macs = in.numel() + output_shape(in).numel();
   return s;
+}
+
+AbftChecksum MaxPool2D::abft_checksum() const {
+  AbftChecksum g;
+  g.form = AbftForm::guard;
+  return g;
+}
+
+Tensor MaxPool2D::forward_abft(const Tensor& input, const AbftChecksum&,
+                               AbftLayerCheck* check) {
+  float lo = 0.0F, hi = 0.0F;
+  abft_minmax(input.data(), input.numel(), &lo, &hi);
+  Tensor out = forward(input, /*train=*/false);
+  // Every max lies inside the input's value envelope.
+  abft_guard_range(out.data(), out.numel(), lo, hi, check);
+  return out;
 }
 
 void MaxPool2D::save(BinaryWriter& w) const { w.write_i64(window_); }
@@ -122,7 +140,24 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
 CostStats GlobalAvgPool::cost(const Shape& in) const {
   CostStats s;
   s.activation_bytes = (in.numel() + output_shape(in).numel()) * 4;
+  s.abft_macs = in.numel() + output_shape(in).numel();
   return s;
+}
+
+AbftChecksum GlobalAvgPool::abft_checksum() const {
+  AbftChecksum g;
+  g.form = AbftForm::guard;
+  return g;
+}
+
+Tensor GlobalAvgPool::forward_abft(const Tensor& input, const AbftChecksum&,
+                                   AbftLayerCheck* check) {
+  float lo = 0.0F, hi = 0.0F;
+  abft_minmax(input.data(), input.numel(), &lo, &hi);
+  Tensor out = forward(input, /*train=*/false);
+  // Every average lies inside the input's value envelope.
+  abft_guard_range(out.data(), out.numel(), lo, hi, check);
+  return out;
 }
 
 Shape Flatten::output_shape(const Shape& in) const {

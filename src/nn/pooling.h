@@ -17,6 +17,9 @@ class MaxPool2D final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   Shape output_shape(const Shape& in) const override;
   CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter& w) const override;
   static std::unique_ptr<MaxPool2D> load(BinaryReader& r);
 
@@ -34,6 +37,9 @@ class GlobalAvgPool final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   Shape output_shape(const Shape& in) const override;
   CostStats cost(const Shape& in) const override;
+  AbftChecksum abft_checksum() const override;
+  Tensor forward_abft(const Tensor& input, const AbftChecksum& golden,
+                      AbftLayerCheck* check) override;
   void save(BinaryWriter&) const override {}
   static std::unique_ptr<GlobalAvgPool> load(BinaryReader&) {
     return std::make_unique<GlobalAvgPool>();

@@ -12,6 +12,26 @@ PolygraphSystem::PolygraphSystem(mr::Ensemble ensemble)
   thresholds_ = mr::Thresholds{0.0F, 1};
 }
 
+void PolygraphSystem::apply_protection(
+    const std::vector<nn::Protection>& levels) {
+  if (levels.size() != ensemble_.size()) {
+    throw std::invalid_argument(
+        "PolygraphSystem::apply_protection: plan size != ensemble size");
+  }
+  for (std::size_t m = 0; m < ensemble_.size(); ++m) {
+    ensemble_.member(m).set_protection(levels[m]);
+  }
+}
+
+std::vector<nn::Protection> PolygraphSystem::protection_levels() const {
+  std::vector<nn::Protection> levels;
+  levels.reserve(ensemble_.size());
+  for (std::size_t m = 0; m < ensemble_.size(); ++m) {
+    levels.push_back(ensemble_.member(m).protection());
+  }
+  return levels;
+}
+
 mr::SweepPoint PolygraphSystem::profile(
     const Tensor& val_images, const std::vector<std::int64_t>& val_labels,
     double tp_floor) {

@@ -53,6 +53,15 @@ class PolygraphSystem {
   void set_thresholds(const mr::Thresholds& t) { thresholds_ = t; }
   bool staged() const { return priority_.has_value(); }
 
+  /// Applies a per-member ABFT protection plan (slot order — typically the
+  /// output of mr::select_protection). set_protection re-blesses each
+  /// member's checksums, so call only while the weights are good and no
+  /// inference is in flight. Throws std::invalid_argument on size mismatch.
+  void apply_protection(const std::vector<nn::Protection>& levels);
+
+  /// The current per-member protection levels, in slot order.
+  std::vector<nn::Protection> protection_levels() const;
+
   /// Offline profiling stage (Section III-E): sweeps (Thr_Conf, Thr_Freq)
   /// on the validation set, installs the Pareto point with minimum FP
   /// subject to tp_rate >= tp_floor, and returns it.

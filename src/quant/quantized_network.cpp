@@ -1,7 +1,10 @@
 #include "quant/quantized_network.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
 #include "nn/softmax.h"
 #include "tensor/crc32.h"
 
@@ -21,6 +24,21 @@ void QuantizedNetwork::set_protection(nn::Protection protection) {
   refresh_checksum();
 }
 
+bool QuantizedNetwork::foldable_at(std::size_t l) const {
+  // Top-level conv→BN folding skips the activation truncation between the
+  // two layers, so it is only bit-identical at full precision; at reduced
+  // bits the pair keeps its separate gemm + affine checks instead.
+  if (bits_ != kFullBits) return false;
+  const auto& layers = network_.layers();
+  if (l + 1 >= layers.size()) return false;
+  if (layers[l]->kind() != "conv2d" || layers[l + 1]->kind() != "batchnorm") {
+    return false;
+  }
+  const auto* conv = static_cast<const nn::Conv2D*>(layers[l].get());
+  const auto* bn = static_cast<const nn::BatchNorm*>(layers[l + 1].get());
+  return conv->out_channels() == bn->channels();
+}
+
 void QuantizedNetwork::refresh_checksum() {
   auto& layers = network_.mutable_layers();
   layer_golden_.assign(layers.size(), nn::AbftChecksum{});
@@ -34,6 +52,16 @@ void QuantizedNetwork::refresh_checksum() {
       break;
     case nn::Protection::full:
       for (std::size_t l = 0; l < layers.size(); ++l) {
+        if (foldable_at(l)) {
+          const auto* conv = static_cast<const nn::Conv2D*>(layers[l].get());
+          const auto* bn =
+              static_cast<const nn::BatchNorm*>(layers[l + 1].get());
+          Tensor scale, shift;
+          bn->effective_affine(&scale, &shift);
+          layer_golden_[l] = conv->abft_checksum_folded(scale, shift);
+          ++l;  // the BN slot stays empty: the fold covers it
+          continue;
+        }
         layer_golden_[l] = layers[l]->abft_checksum();
       }
       break;
@@ -51,6 +79,21 @@ std::vector<std::uint32_t> QuantizedNetwork::current_param_crcs() {
 }
 
 bool QuantizedNetwork::params_intact() { return first_corrupt_param() < 0; }
+
+std::size_t QuantizedNetwork::param_count() {
+  return network_.params().size();
+}
+
+bool QuantizedNetwork::param_intact(std::size_t i) {
+  const std::vector<Tensor*> params = network_.params();
+  // A size drift between live params and the golden snapshot is itself a
+  // corruption signal, never a pass.
+  if (i >= params.size() || i >= golden_crcs_.size()) return false;
+  const Tensor* p = params[i];
+  return crc32(p->data(),
+               static_cast<std::size_t>(p->numel()) * sizeof(float)) ==
+         golden_crcs_[i];
+}
 
 int QuantizedNetwork::first_corrupt_param() {
   const std::vector<std::uint32_t> now = current_param_crcs();
@@ -78,6 +121,30 @@ Tensor QuantizedNetwork::forward(const Tensor& input, AbftCheck* abft) {
     // Verification runs on the pre-truncation output (truncation would add
     // its own error on top of the GEMM's).
     nn::AbftLayerCheck check;
+    if (layer_golden_[l].form == nn::AbftForm::folded) {
+      // Folded conv→BN: run both layers as one verified unit against the
+      // BatchNorm output (only emitted at kFullBits, where skipping the
+      // inter-layer truncation is the identity).
+      auto* conv = static_cast<nn::Conv2D*>(layers[l].get());
+      std::vector<float> cols;
+      Tensor conv_out = conv->forward_save_cols(x, &cols);
+      x = layers[l + 1]->forward(conv_out, /*train=*/false);
+      nn::abft_verify_folded(cols, x, layer_golden_[l], &check);
+      if (check.checked) {
+        abft->checked = true;
+        ++abft->layers_checked;
+        abft->max_rel_error =
+            std::max(abft->max_rel_error, check.max_rel_error);
+        if (!check.ok && abft->ok) {
+          abft->ok = false;
+          abft->failed_layer = static_cast<int>(l);
+          abft->failed_kind = "conv2d+batchnorm";
+        }
+      }
+      truncate_tensor(x, bits_);
+      ++l;
+      continue;
+    }
     x = layers[l]->forward_abft(x, layer_golden_[l], &check);
     if (check.checked) {
       abft->checked = true;

@@ -101,7 +101,17 @@ class QuantizedNetwork {
   /// Index (params() order) of the first corrupted parameter, -1 if intact.
   int first_corrupt_param();
 
+  /// Number of parameter tensors — the unit of incremental scrubbing.
+  std::size_t param_count();
+
+  /// CRC check of a single parameter tensor (params() order); false for an
+  /// out-of-range index or a live/golden size drift.
+  bool param_intact(std::size_t i);
+
  private:
+  /// True when layers [l, l+1] are a conv→BN pair the checksum can fold.
+  bool foldable_at(std::size_t l) const;
+
   nn::Network network_;
   int bits_;
   nn::Protection protection_;

@@ -12,20 +12,36 @@ double MetricsSnapshot::mean_batch_size() const {
                  : 0.0;
 }
 
-std::uint64_t MetricsSnapshot::latency_quantile_us(double q) const {
+namespace {
+
+/// Nearest-rank quantile over a geometric-bucket histogram, estimated as
+/// the upper bound of the bucket containing the target rank.
+std::uint64_t bucket_quantile(
+    const std::array<std::uint64_t, kLatencyBucketBounds.size()>& buckets,
+    double q) {
   std::uint64_t total = 0;
-  for (std::uint64_t c : latency_buckets) total += c;
+  for (std::uint64_t c : buckets) total += c;
   if (total == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   // Nearest-rank: the smallest rank r with r/total >= q (at least 1).
   const auto target = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
   std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < latency_buckets.size(); ++b) {
-    seen += latency_buckets[b];
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
     if (seen >= target) return kLatencyBucketBounds[b];
   }
   return kLatencyBucketBounds.back();
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::latency_quantile_us(double q) const {
+  return bucket_quantile(latency_buckets, q);
+}
+
+std::uint64_t MetricsSnapshot::scrub_hold_quantile_us(double q) const {
+  return bucket_quantile(scrub_hold_buckets, q);
 }
 
 std::string MetricsSnapshot::to_string() const {
@@ -84,6 +100,11 @@ std::string MetricsSnapshot::to_string() const {
     std::snprintf(name, sizeof(name), "latency_p%.0f_us", q * 100);
     emit(name, latency_quantile_us(q));
   }
+  for (const double q : {0.5, 0.99}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "scrub_hold_p%.0f_us", q * 100);
+    emit(name, scrub_hold_quantile_us(q));
+  }
   return out;
 }
 
@@ -108,6 +129,15 @@ void MetricsRegistry::on_latency_us(std::uint64_t micros) {
   for (std::size_t b = 0; b < kLatencyBucketBounds.size(); ++b) {
     if (micros <= kLatencyBucketBounds[b]) {
       add(latency_buckets_[b]);
+      return;
+    }
+  }
+}
+
+void MetricsRegistry::on_scrub_hold_us(std::uint64_t micros) {
+  for (std::size_t b = 0; b < kLatencyBucketBounds.size(); ++b) {
+    if (micros <= kLatencyBucketBounds[b]) {
+      add(scrub_hold_buckets_[b]);
       return;
     }
   }
@@ -154,6 +184,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   }
   for (std::size_t b = 0; b < latency_buckets_.size(); ++b) {
     s.latency_buckets[b] = latency_buckets_[b].load(std::memory_order_relaxed);
+  }
+  for (std::size_t b = 0; b < scrub_hold_buckets_.size(); ++b) {
+    s.scrub_hold_buckets[b] =
+        scrub_hold_buckets_[b].load(std::memory_order_relaxed);
   }
   return s;
 }

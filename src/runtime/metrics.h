@@ -15,6 +15,7 @@
 //   member_faults[m] / quarantine_events[m]     -> fault-isolation activity
 //   scrub_cycles                                -> weight-scrubber sweeps
 //   crc_mismatches[m] / weight_reloads[m]       -> scrubber detections/heals
+//   scrub_hold histogram (per-acquisition swap-mutex hold, microseconds)
 //   replacements_started / completed / failed   -> member-replacer activity
 //   quorum_size (gauge)                         -> members not fenced
 //   latency histogram (end-to-end, microseconds, geometric buckets)
@@ -58,12 +59,18 @@ struct MetricsSnapshot {
   std::vector<std::uint64_t> crc_mismatches;
   std::vector<std::uint64_t> weight_reloads;
   std::array<std::uint64_t, kLatencyBucketBounds.size()> latency_buckets{};
+  /// Swap-mutex hold time per scrubber acquisition (one sample per member
+  /// per sweep), same geometric bounds as the latency histogram.
+  std::array<std::uint64_t, kLatencyBucketBounds.size()> scrub_hold_buckets{};
 
   double mean_batch_size() const;
 
   /// Latency value (micros) at quantile q in [0,1], estimated as the upper
   /// bound of the bucket containing that quantile (conservative).
   std::uint64_t latency_quantile_us(double q) const;
+
+  /// Scrub hold time (micros) at quantile q, same estimator as latency.
+  std::uint64_t scrub_hold_quantile_us(double q) const;
 
   /// Multi-line "name value" text dump, one metric per line.
   std::string to_string() const;
@@ -102,6 +109,7 @@ class MetricsRegistry {
     quorum_size_.store(members, std::memory_order_relaxed);
   }
   void on_latency_us(std::uint64_t micros);
+  void on_scrub_hold_us(std::uint64_t micros);
 
   std::size_t members() const { return member_activations_.size(); }
 
@@ -135,6 +143,8 @@ class MetricsRegistry {
   std::vector<std::atomic<std::uint64_t>> weight_reloads_;
   std::array<std::atomic<std::uint64_t>, kLatencyBucketBounds.size()>
       latency_buckets_{};
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketBounds.size()>
+      scrub_hold_buckets_{};
 };
 
 }  // namespace pgmr::runtime

@@ -1,21 +1,48 @@
 #include "runtime/replacer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <utility>
 
+#ifdef __linux__
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 namespace pgmr::runtime {
+
+namespace {
+
+/// Lowers the *calling thread's* scheduling priority (Linux exposes
+/// per-thread nice via setpriority on the tid). Called only from worker
+/// threads the replacer owns, never from a caller's thread.
+void apply_training_nice(int level) {
+#ifdef __linux__
+  if (level > 0) {
+    setpriority(PRIO_PROCESS, static_cast<id_t>(syscall(SYS_gettid)), level);
+  }
+#else
+  (void)level;
+#endif
+}
+
+}  // namespace
 
 MemberReplacer::MemberReplacer(mr::Ensemble& ensemble, MemberHealth& health,
                                MetricsRegistry& metrics,
                                std::mutex& swap_mutex,
-                               nn::Protection protection,
+                               std::vector<nn::Protection> protection,
                                ReplacementPolicy policy)
     : ensemble_(ensemble),
       health_(health),
       metrics_(metrics),
       swap_mutex_(swap_mutex),
-      protection_(protection),
+      protection_(std::move(protection)),
       policy_(std::move(policy)),
-      attempts_(ensemble.size(), 0) {}
+      attempts_(ensemble.size(), 0) {
+  protection_.resize(ensemble.size(), nn::Protection::final_fc);
+}
 
 MemberReplacer::~MemberReplacer() { stop(); }
 
@@ -65,18 +92,56 @@ void MemberReplacer::loop(std::stop_token st) {
 
 ReplaceReport MemberReplacer::replace_fenced(std::stop_token cancel) {
   ReplaceReport report;
+  std::vector<std::size_t> slots;
   for (std::size_t m = 0; m < ensemble_.size(); ++m) {
-    if (cancel.stop_requested()) break;
     if (health_.state(m) != MemberState::fenced) continue;
     if (attempts_[m] >= policy_.max_attempts) continue;  // slot given up on
+    slots.push_back(m);
+  }
+  if (slots.empty()) return report;
+
+  // Workers pull slots off a shared cursor; results land in per-slot
+  // status cells so the report and attempts_ bookkeeping (pass_mutex_ is
+  // held by our caller) happen single-threaded after the join. A slot
+  // never claimed before cancellation stays kNotStarted and is not
+  // charged an attempt.
+  enum : int { kNotStarted = 0, kReplaced = 1, kFailed = 2 };
+  std::vector<std::atomic<int>> status(slots.size());
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&](bool renice) {
+    if (renice) apply_training_nice(policy_.training_nice);
+    for (std::size_t i = next.fetch_add(1); i < slots.size();
+         i = next.fetch_add(1)) {
+      if (cancel.stop_requested()) break;
+      metrics_.on_replacement_started();
+      status[i].store(replace_member(slots[i], cancel) ? kReplaced : kFailed,
+                      std::memory_order_relaxed);
+    }
+  };
+
+  const std::size_t workers = std::min(
+      std::max<std::size_t>(policy_.training_threads, 1), slots.size());
+  if (workers == 1 && policy_.training_nice <= 0) {
+    drain(false);  // inline; never renice a thread we don't own
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&drain] { drain(true); });
+    }
+    pool.clear();  // joins every worker
+  }
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const int outcome = status[i].load(std::memory_order_relaxed);
+    if (outcome == kNotStarted) continue;
     ++report.attempted;
-    metrics_.on_replacement_started();
-    if (replace_member(m, cancel)) {
+    if (outcome == kReplaced) {
       ++report.replaced;
-      attempts_[m] = 0;  // the new member starts with a clean record
+      attempts_[slots[i]] = 0;  // the new member starts with a clean record
     } else {
       ++report.failed;
-      ++attempts_[m];
+      ++attempts_[slots[i]];
       metrics_.on_replacement_failed();
     }
   }
@@ -94,10 +159,10 @@ bool MemberReplacer::replace_member(std::size_t member,
     fresh.reset();
   }
   if (!fresh.has_value() || cancel.stop_requested()) return false;
-  // Bless the replacement's CRC snapshot at the serving protection level
+  // Bless the replacement's CRC snapshot at the slot's protection level
   // while it is still private to this thread — by the time the batcher or
   // scrubber can see it, its golden checksums are already in place.
-  fresh->set_protection(protection_);
+  fresh->set_protection(protection_[member]);
 
   std::lock_guard swap(swap_mutex_);
   ensemble_.replace(member, std::move(*fresh));

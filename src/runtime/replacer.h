@@ -58,6 +58,14 @@ struct ReplacementPolicy {
   /// Rebuild attempts per slot before giving up on it (each failed factory
   /// call burns one). A successful swap resets the slot's count.
   int max_attempts = 2;
+  /// CPU budget for replacement training: at most this many factory calls
+  /// run concurrently per pass (clamped >= 1). The cap keeps a multi-slot
+  /// recovery from starving the batcher's worker pool on a loaded box.
+  std::size_t training_threads = 1;
+  /// Unix nice level for replacement-training threads (> 0 deprioritizes
+  /// them below the serving threads). 0 leaves priority untouched; values
+  /// are ignored on platforms without per-thread setpriority.
+  int training_nice = 0;
   ReplacementFactory factory;
 };
 
@@ -71,11 +79,14 @@ struct ReplaceReport {
 class MemberReplacer {
  public:
   /// All referees must outlive the replacer. `swap_mutex` is the runtime's
-  /// inference-vs-mutation mutex; `protection` is applied to every
-  /// replacement before it goes live (set_protection re-blesses CRCs).
+  /// inference-vs-mutation mutex; `protection[m]` (sized like the
+  /// ensemble) is applied to slot m's replacement before it goes live
+  /// (set_protection re-blesses CRCs), so per-member protection plans
+  /// survive hot swaps.
   MemberReplacer(mr::Ensemble& ensemble, MemberHealth& health,
                  MetricsRegistry& metrics, std::mutex& swap_mutex,
-                 nn::Protection protection, ReplacementPolicy policy);
+                 std::vector<nn::Protection> protection,
+                 ReplacementPolicy policy);
 
   ~MemberReplacer();
 
@@ -112,7 +123,7 @@ class MemberReplacer {
   MemberHealth& health_;
   MetricsRegistry& metrics_;
   std::mutex& swap_mutex_;
-  nn::Protection protection_;
+  std::vector<nn::Protection> protection_;  ///< per-slot re-bless level
   ReplacementPolicy policy_;
 
   std::mutex pass_mutex_;      ///< serializes replace_now vs the loop

@@ -9,7 +9,9 @@ WeightScrubber::WeightScrubber(mr::Ensemble& ensemble, MemberHealth& health,
       health_(health),
       metrics_(metrics),
       swap_mutex_(swap_mutex),
-      options_(options) {}
+      options_(options),
+      cursors_(ensemble.size(), 0),
+      passes_(ensemble.size()) {}
 
 WeightScrubber::~WeightScrubber() { stop(); }
 
@@ -42,33 +44,69 @@ void WeightScrubber::loop(std::stop_token st) {
 }
 
 ScrubReport WeightScrubber::scrub_once() {
+  using clock = std::chrono::steady_clock;
   ScrubReport report;
   for (std::size_t m = 0; m < ensemble_.size(); ++m) {
     bool fenced_now = false;
+    std::uint64_t hold_us = 0;
     {
       // Per-member lock: a sweep never stalls the batcher for longer than
-      // one member's CRC pass (or one reload when healing).
+      // one member's cursor window (or one reload when healing).
       std::lock_guard guard(swap_mutex_);
+      const clock::time_point hold_start = clock::now();
       if (health_.state(m) == MemberState::fenced) continue;
       mr::Member& member = ensemble_.member(m);
       ++report.members_checked;
-      if (member.params_intact()) continue;
 
-      ++report.mismatches;
-      metrics_.on_crc_mismatch(m);
-      const mr::Member::ReloadStatus status = member.reload_params();
-      if (status == mr::Member::ReloadStatus::healed) {
-        ++report.reloads;
-        metrics_.on_weight_reload(m);
-      } else {
-        // No archive, unreadable archive, or an archive that no longer
-        // reproduces the blessed CRCs: the member has no trustworthy
-        // weight source left — remove it from the quorum permanently.
-        ++report.fenced;
-        health_.force_fence(m);
-        fenced_now = true;
+      const std::size_t total = member.param_count();
+      if (total == 0) {
+        passes_[m].fetch_add(1, std::memory_order_relaxed);
+        continue;
       }
+      const std::size_t budget =
+          options_.max_tensors_per_sweep == 0
+              ? total
+              : std::min(options_.max_tensors_per_sweep, total);
+      std::size_t& cursor = cursors_[m];
+      if (cursor >= total) cursor = 0;
+
+      bool corrupt = false;
+      for (std::size_t i = 0; i < budget; ++i) {
+        if (!member.param_intact(cursor)) corrupt = true;
+        ++report.tensors_checked;
+        cursor = (cursor + 1) % total;
+        if (cursor == 0) passes_[m].fetch_add(1, std::memory_order_relaxed);
+        if (corrupt) break;
+        // Soft hold ceiling: release the batcher after the current tensor
+        // once the configured budget of lock time is spent.
+        if (options_.max_hold.count() > 0 &&
+            clock::now() - hold_start >= options_.max_hold) {
+          break;
+        }
+      }
+
+      if (corrupt) {
+        ++report.mismatches;
+        metrics_.on_crc_mismatch(m);
+        const mr::Member::ReloadStatus status = member.reload_params();
+        if (status == mr::Member::ReloadStatus::healed) {
+          ++report.reloads;
+          metrics_.on_weight_reload(m);
+        } else {
+          // No archive, unreadable archive, or an archive that no longer
+          // reproduces the blessed CRCs: the member has no trustworthy
+          // weight source left — remove it from the quorum permanently.
+          ++report.fenced;
+          health_.force_fence(m);
+          fenced_now = true;
+        }
+      }
+      hold_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                                hold_start)
+              .count());
     }
+    metrics_.on_scrub_hold_us(hold_us);
     // Outside the swap-mutex scope: the hook may wake the replacer, whose
     // swap then proceeds without waiting on this sweep.
     if (fenced_now && on_fence_) on_fence_();

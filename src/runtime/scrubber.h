@@ -17,12 +17,15 @@
 // single batch can be delayed by scrubbing.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "mr/ensemble.h"
 #include "runtime/health.h"
@@ -30,9 +33,10 @@
 
 namespace pgmr::runtime {
 
-/// What one full scrub sweep over the ensemble found and did.
+/// What one scrub sweep over the ensemble found and did.
 struct ScrubReport {
   std::size_t members_checked = 0;  ///< members whose CRCs were re-verified
+  std::size_t tensors_checked = 0;  ///< parameter tensors CRC-verified
   std::size_t mismatches = 0;       ///< members with a corrupted parameter
   std::size_t reloads = 0;          ///< members healed from their archive
   std::size_t fenced = 0;           ///< members fenced (archive bad too)
@@ -44,6 +48,18 @@ class WeightScrubber {
     /// Delay between background sweeps. start() ignores non-positive
     /// intervals (scrub_once() still works for synchronous use).
     std::chrono::milliseconds interval{1000};
+
+    /// Incremental mode: at most this many parameter tensors are CRC'd per
+    /// member per sweep, resuming from a round-robin cursor, so the swap
+    /// mutex is held for bounded time regardless of member size. 0 checks
+    /// every tensor each sweep (the full-pass behaviour).
+    std::size_t max_tensors_per_sweep = 0;
+
+    /// Soft per-acquisition hold ceiling: once a member's CRC work has run
+    /// this long the sweep releases the swap mutex after the current tensor
+    /// (at least one is always checked). 0 disables the ceiling. Measured
+    /// hold time is exported as the scrub_hold_us histogram either way.
+    std::chrono::microseconds max_hold{0};
   };
 
   /// All referees must outlive the scrubber. `swap_mutex` is the runtime's
@@ -74,10 +90,18 @@ class WeightScrubber {
     on_fence_ = std::move(callback);
   }
 
-  /// One synchronous sweep over every member: verify CRCs, heal or fence.
-  /// Callable from any thread (used directly by tests and by the
-  /// background loop). Fenced members are skipped.
+  /// One synchronous sweep over every member: verify CRCs (all tensors, or
+  /// the next cursor window in incremental mode), heal or fence. Callable
+  /// from any thread (used directly by tests and by the background loop).
+  /// Fenced members are skipped.
   ScrubReport scrub_once();
+
+  /// Completed full logical CRC passes over member `m` — every tensor
+  /// visited since the previous count. In incremental mode one pass spans
+  /// ceil(param_count / max_tensors_per_sweep) sweeps.
+  std::uint64_t full_passes(std::size_t m) const {
+    return passes_[m].load(std::memory_order_relaxed);
+  }
 
  private:
   void loop(std::stop_token st);
@@ -88,6 +112,11 @@ class WeightScrubber {
   std::mutex& swap_mutex_;
   Options options_;
   std::function<void()> on_fence_;
+
+  /// Round-robin tensor cursor per member (guarded by swap_mutex_) and the
+  /// count of completed full passes (atomic for test observers).
+  std::vector<std::size_t> cursors_;
+  std::vector<std::atomic<std::uint64_t>> passes_;
 
   std::mutex wake_mutex_;
   std::condition_variable_any wake_;

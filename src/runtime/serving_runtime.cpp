@@ -11,37 +11,54 @@ namespace {
 
 std::size_t clamped(std::size_t v) { return v == 0 ? 1 : v; }
 
+/// Zero-valued sizing knobs mean "minimum", not "nothing": clamp them
+/// before any pipeline component is built from them.
+RuntimeOptions normalized(RuntimeOptions o) {
+  o.threads = clamped(o.threads);
+  o.max_batch = clamped(o.max_batch);
+  o.queue_capacity = clamped(o.queue_capacity);
+  return o;
+}
+
 }  // namespace
 
 ServingRuntime::ServingRuntime(polygraph::PolygraphSystem system,
                                RuntimeOptions options)
     : system_(std::move(system)),
-      options_{clamped(options.threads), clamped(options.max_batch),
-               options.max_delay, clamped(options.queue_capacity),
-               options.quarantine_after, options.quarantine_cooldown},
+      options_(normalized(std::move(options))),
       metrics_(system_.ensemble().size()),
       health_(system_.ensemble().size(),
               MemberHealth::Options{options_.quarantine_after,
                                     options_.quarantine_cooldown,
-                                    options.fence_after_quarantines}),
+                                    options_.fence_after_quarantines}),
       queue_(options_.queue_capacity),
       pool_(options_.threads),
       batcher_([this] { batcher_loop(); }) {
-  options_.protection = options.protection;
-  options_.scrub_interval = options.scrub_interval;
-  options_.fence_after_quarantines = options.fence_after_quarantines;
-  options_.replacement = std::move(options.replacement);
+  if (!options_.protection_per_member.empty() &&
+      options_.protection_per_member.size() != system_.ensemble().size()) {
+    throw std::invalid_argument(
+        "ServingRuntime: protection_per_member size != ensemble size");
+  }
   // Apply the configured ABFT protection before any request can arrive;
-  // the weights are fresh from the zoo here, so re-blessing is safe.
+  // the weights are fresh from the zoo here, so re-blessing is safe. A
+  // per-member plan (from the cost-driven planner) overrides the uniform
+  // level; replacements inherit their slot's level via the replacer.
+  std::vector<nn::Protection> levels(
+      system_.ensemble().size(), options_.protection);
+  if (!options_.protection_per_member.empty()) {
+    levels = options_.protection_per_member;
+  }
   for (std::size_t m = 0; m < system_.ensemble().size(); ++m) {
-    system_.ensemble().member(m).set_protection(options_.protection);
+    system_.ensemble().member(m).set_protection(levels[m]);
   }
   scrubber_ = std::make_unique<WeightScrubber>(
       system_.ensemble(), health_, metrics_, swap_mutex_,
-      WeightScrubber::Options{options_.scrub_interval});
+      WeightScrubber::Options{options_.scrub_interval,
+                              options_.scrub_max_tensors,
+                              options_.scrub_max_hold});
   replacer_ = std::make_unique<MemberReplacer>(
       system_.ensemble(), health_, metrics_, swap_mutex_,
-      options_.protection, options_.replacement);
+      std::move(levels), options_.replacement);
   scrubber_->set_on_fence([this] { on_member_fenced(); });
   if (options_.scrub_interval.count() > 0) scrubber_->start();
   if (options_.replacement.enabled) replacer_->start();

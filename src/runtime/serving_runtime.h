@@ -48,6 +48,7 @@
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "polygraph/system.h"
 #include "runtime/health.h"
@@ -77,9 +78,20 @@ struct RuntimeOptions {
   std::chrono::milliseconds quarantine_cooldown{250};  ///< half-open delay
   /// ABFT protection applied to every member at construction.
   nn::Protection protection = nn::Protection::final_fc;
+  /// Per-member protection override (the cost-driven planner's output,
+  /// see mr/protection.h). When non-empty it must match the ensemble size
+  /// and takes precedence over `protection`; replacements for slot m are
+  /// re-blessed at protection_per_member[m].
+  std::vector<nn::Protection> protection_per_member;
   /// Background weight-scrub sweep period; <= 0 disables the scrubber
   /// (scrub_now() still verifies on demand).
   std::chrono::milliseconds scrub_interval{0};
+  /// Incremental scrubbing: parameter tensors CRC'd per member per sweep
+  /// (round-robin cursor). 0 checks every tensor each sweep.
+  std::size_t scrub_max_tensors = 0;
+  /// Soft per-acquisition swap-mutex hold ceiling for scrub sweeps
+  /// (see WeightScrubber::Options::max_hold). 0 disables the ceiling.
+  std::chrono::microseconds scrub_max_hold{0};
   /// Breaker escalation: fence a member after this many cumulative
   /// quarantine trips (it keeps failing its probes). 0 disables.
   int fence_after_quarantines = 0;

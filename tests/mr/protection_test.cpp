@@ -1,0 +1,216 @@
+// Cost-driven protection planning: the frontier sweep prices every
+// per-member ABFT level assignment, keeps the (residual_sdc, latency)
+// non-dominated set, and select_protection picks the cheapest plan under
+// an SDC budget — assigning cheaper levels to low-sensitivity members
+// while high-sensitivity members keep full protection.
+#include "mr/protection.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "tensor/random.h"
+
+namespace pgmr::mr {
+namespace {
+
+/// Synthetic planner input: distinct latency per level so frontier order
+/// is unambiguous (the real cost model prices final_fc as free; the
+/// planner itself must not rely on that).
+MemberProtectionInput synth(double share, double sensitivity,
+                            double base_latency) {
+  MemberProtectionInput m;
+  m.param_share = share;
+  m.sensitivity = sensitivity;
+  m.cost[0] = {base_latency, base_latency};          // off
+  m.cost[1] = {base_latency * 1.02, base_latency};   // final_fc
+  m.cost[2] = {base_latency * 1.06, base_latency};   // full
+  return m;
+}
+
+nn::Network make_net(std::uint64_t seed, std::int64_t channels) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  auto conv = std::make_unique<nn::Conv2D>(1, channels, 3, 1, 1);
+  conv->init(rng);
+  layers.push_back(std::move(conv));
+  layers.push_back(std::make_unique<nn::ReLU>());
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(channels * 8 * 8, 4);
+  fc->init(rng);
+  layers.push_back(std::move(fc));
+  return nn::Network("m", std::move(layers));
+}
+
+TEST(CoverageModelTest, MapsEachLevel) {
+  const CoverageModel def;
+  EXPECT_DOUBLE_EQ(def.coverage(nn::Protection::off), 0.0);
+  EXPECT_DOUBLE_EQ(def.coverage(nn::Protection::final_fc), 0.35);
+  EXPECT_DOUBLE_EQ(def.coverage(nn::Protection::full), 1.0);
+
+  const CoverageModel custom{0.1, 0.5, 0.9};
+  EXPECT_DOUBLE_EQ(custom.coverage(nn::Protection::off), 0.1);
+  EXPECT_DOUBLE_EQ(custom.coverage(nn::Protection::final_fc), 0.5);
+  EXPECT_DOUBLE_EQ(custom.coverage(nn::Protection::full), 0.9);
+}
+
+TEST(ProtectionFrontierTest, ContainsBothExtremes) {
+  const std::vector<MemberProtectionInput> members = {synth(0.5, 0.8, 1.0),
+                                                      synth(0.5, 0.4, 2.0)};
+  const auto frontier = protection_frontier(members);
+  ASSERT_FALSE(frontier.empty());
+
+  // Sorted by ascending latency; the cheapest plan is uniform off and the
+  // most protective has zero residual (uniform full).
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].latency_s, frontier[i - 1].latency_s);
+  }
+  EXPECT_EQ(frontier.front().levels,
+            (std::vector<nn::Protection>{nn::Protection::off,
+                                         nn::Protection::off}));
+  EXPECT_DOUBLE_EQ(frontier.front().residual_sdc, 0.5 * 0.8 + 0.5 * 0.4);
+  EXPECT_EQ(frontier.back().levels,
+            (std::vector<nn::Protection>{nn::Protection::full,
+                                         nn::Protection::full}));
+  EXPECT_DOUBLE_EQ(frontier.back().residual_sdc, 0.0);
+}
+
+TEST(ProtectionFrontierTest, PlansAreMutuallyNonDominated) {
+  const std::vector<MemberProtectionInput> members = {
+      synth(0.4, 0.9, 1.0), synth(0.35, 0.1, 1.5), synth(0.25, 0.5, 0.7)};
+  const auto frontier = protection_frontier(members);
+  ASSERT_GE(frontier.size(), 2U);
+  for (const ProtectionPlan& p : frontier) {
+    for (const ProtectionPlan& q : frontier) {
+      const bool dominates = q.residual_sdc <= p.residual_sdc &&
+                             q.latency_s <= p.latency_s &&
+                             (q.residual_sdc < p.residual_sdc ||
+                              q.latency_s < p.latency_s);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(ProtectionFrontierTest, RejectsEmptyAndOversizedInput) {
+  EXPECT_THROW(protection_frontier({}), std::invalid_argument);
+  const std::vector<MemberProtectionInput> thirteen(13, synth(1.0, 1.0, 1.0));
+  EXPECT_THROW(protection_frontier(thirteen), std::invalid_argument);
+}
+
+TEST(SelectProtectionTest, PicksCheapestPlanUnderBudget) {
+  const std::vector<MemberProtectionInput> members = {synth(0.5, 0.8, 1.0),
+                                                      synth(0.5, 0.4, 1.0)};
+  const auto frontier = protection_frontier(members);
+
+  // A generous budget admits the cheapest plan outright.
+  const ProtectionPlan loose = select_protection(frontier, 1.0);
+  EXPECT_EQ(loose.latency_s, frontier.front().latency_s);
+
+  // A zero budget forces uniform full (the only zero-residual plan).
+  const ProtectionPlan tight = select_protection(frontier, 0.0);
+  EXPECT_DOUBLE_EQ(tight.residual_sdc, 0.0);
+  for (nn::Protection level : tight.levels) {
+    EXPECT_EQ(level, nn::Protection::full);
+  }
+}
+
+TEST(SelectProtectionTest, UnreachableBudgetFallsBackToMostProtective) {
+  // coverage(full) < 1 leaves residual even at uniform full, so a budget of
+  // 0 is unreachable; the fallback must still return the safest plan.
+  const std::vector<MemberProtectionInput> members = {synth(0.6, 1.0, 1.0),
+                                                      synth(0.4, 1.0, 1.0)};
+  const auto frontier = protection_frontier(members, CoverageModel{0.0, 0.3, 0.9});
+  const ProtectionPlan plan = select_protection(frontier, 0.0);
+  for (nn::Protection level : plan.levels) {
+    EXPECT_EQ(level, nn::Protection::full);
+  }
+  EXPECT_GT(plan.residual_sdc, 0.0);
+}
+
+TEST(SelectProtectionTest, EmptyFrontierThrows) {
+  EXPECT_THROW(select_protection({}, 0.5), std::invalid_argument);
+}
+
+TEST(SelectProtectionTest, LowSensitivityMemberGetsCheaperLevel) {
+  // The ISSUE acceptance shape: one member whose vote almost never flips
+  // the verdict (sensitivity 0.02) and one that usually does (0.9). Under
+  // a 5 % SDC budget the planner keeps full ABFT on the sensitive member
+  // and drops the insensitive one to a cheaper level, saving latency over
+  // uniform full.
+  const std::vector<MemberProtectionInput> members = {synth(0.5, 0.02, 1.0),
+                                                      synth(0.5, 0.9, 1.0)};
+  const auto frontier = protection_frontier(members);
+  const ProtectionPlan plan = select_protection(frontier, 0.05);
+
+  EXPECT_NE(plan.levels[0], nn::Protection::full)
+      << "low-sensitivity member should not pay for full ABFT";
+  EXPECT_EQ(plan.levels[1], nn::Protection::full);
+  EXPECT_LE(plan.residual_sdc, 0.05);
+
+  double uniform_full_latency = 0.0;
+  for (const MemberProtectionInput& m : members) {
+    uniform_full_latency += m.cost[2].latency_s;
+  }
+  EXPECT_LT(plan.latency_s, uniform_full_latency);
+}
+
+TEST(SelectProtectionTest, EnergyBreaksLatencyTiesForMemoryBoundMembers) {
+  // Memory-bound members under the roofline: every level has the same
+  // latency, only energy prices the ABFT surcharge. The frontier must not
+  // collapse to uniform full, and the budgeted pick still drops the
+  // low-sensitivity member to a cheaper level.
+  auto memory_bound = [](double sensitivity) {
+    MemberProtectionInput m;
+    m.param_share = 0.5;
+    m.sensitivity = sensitivity;
+    m.cost[0] = {1.0, 1.0};
+    m.cost[1] = {1.0, 1.0};
+    m.cost[2] = {1.0, 1.06};  // full: same latency, more energy
+    return m;
+  };
+  const std::vector<MemberProtectionInput> members = {memory_bound(0.02),
+                                                      memory_bound(0.9)};
+  const auto frontier = protection_frontier(members);
+  EXPECT_GT(frontier.size(), 1U) << "energy tie-break must keep cheap plans";
+
+  const ProtectionPlan plan = select_protection(frontier, 0.05);
+  EXPECT_NE(plan.levels[0], nn::Protection::full);
+  EXPECT_EQ(plan.levels[1], nn::Protection::full);
+  EXPECT_LT(plan.energy_j, 2.0 * 1.06);
+}
+
+TEST(ProtectionInputsTest, SharesCostsAndValidation) {
+  Ensemble e;
+  e.add(Member(std::make_unique<prep::Identity>(), make_net(1, 2)));
+  e.add(Member(std::make_unique<prep::Identity>(), make_net(2, 8)));
+  const perf::CostModel model;
+  const Shape in{1, 1, 8, 8};
+
+  const auto inputs = protection_inputs(e, in, model);
+  ASSERT_EQ(inputs.size(), 2U);
+  EXPECT_NEAR(inputs[0].param_share + inputs[1].param_share, 1.0, 1e-12);
+  EXPECT_LT(inputs[0].param_share, inputs[1].param_share)
+      << "wider net holds more parameters, so more of the fault mass";
+  EXPECT_DOUBLE_EQ(inputs[0].sensitivity, 1.0);  // conservative default
+
+  for (const MemberProtectionInput& m : inputs) {
+    // full pays the abft_macs surcharge in energy; latency never decreases.
+    EXPECT_GT(m.cost[2].energy_j, m.cost[0].energy_j);
+    EXPECT_GE(m.cost[2].latency_s, m.cost[0].latency_s);
+    EXPECT_GE(m.cost[1].latency_s, m.cost[0].latency_s);
+  }
+
+  const std::vector<double> sens = {0.5, 0.25};
+  const auto weighted = protection_inputs(e, in, model, sens);
+  EXPECT_DOUBLE_EQ(weighted[0].sensitivity, 0.5);
+  EXPECT_DOUBLE_EQ(weighted[1].sensitivity, 0.25);
+
+  EXPECT_THROW(protection_inputs(e, in, model, {0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pgmr::mr

@@ -84,7 +84,7 @@ TEST(AbftProtectionTest, ProtectionLevelsAreBitIdenticalAtZeroFaults) {
   EXPECT_EQ(fc_check.layers_checked, 1);  // the final Dense only
   EXPECT_TRUE(full_check.checked);
   EXPECT_TRUE(full_check.ok);
-  EXPECT_EQ(full_check.layers_checked, 2);  // Conv2D + Dense
+  EXPECT_EQ(full_check.layers_checked, 3);  // Conv2D + ReLU guard + Dense
 }
 
 TEST(AbftProtectionTest, FullProtectionCatchesConvFlipFinalFcMisses) {
@@ -193,7 +193,7 @@ TEST(AbftProtectionTest, SetProtectionRetrofitsChecksums) {
   AbftCheck after;
   q.forward(random_input(14), &after);
   EXPECT_TRUE(after.checked);
-  EXPECT_EQ(after.layers_checked, 2);
+  EXPECT_EQ(after.layers_checked, 3);  // Conv2D + ReLU guard + Dense
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// BN-folded ABFT: a conv -> batchnorm pair carries one folded checksum
+// (the BN's effective affine folded into the conv's golden column sums),
+// so the Huang-Abraham identity survives the normalization without any
+// tolerance widening. Covers bit-identity at zero faults, detection of
+// exponent flips in gamma/beta and in the conv weights behind the fold,
+// and an end-to-end resnet20 pass at protection=full with the default
+// tolerance.
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "quant/quantized_network.h"
+#include "tensor/random.h"
+#include "zoo/models.h"
+
+namespace pgmr::quant {
+namespace {
+
+// conv(0) -> batchnorm(1) -> relu(2) -> flatten(3) -> dense(4)
+// Params: conv W(0), conv b(1), gamma(2), beta(3), dense W(4), dense b(5).
+nn::Network make_conv_bn_net(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  auto conv = std::make_unique<nn::Conv2D>(1, 4, 3, 1, 1);
+  conv->init(rng);
+  layers.push_back(std::move(conv));
+  auto bn = std::make_unique<nn::BatchNorm>(4);
+  // Non-default affine so the fold has real gamma/beta to carry.
+  Tensor* gamma = bn->params()[0];
+  Tensor* beta = bn->params()[1];
+  for (std::int64_t c = 0; c < 4; ++c) {
+    (*gamma)[c] = 0.5F + 0.25F * static_cast<float>(c);
+    // Nonzero in every channel: an exponent flip on a 0.0 beta would only
+    // produce a denormal-scale change no checksum could (or should) see.
+    (*beta)[c] = 0.35F * static_cast<float>(c) - 0.45F;
+  }
+  layers.push_back(std::move(bn));
+  layers.push_back(std::make_unique<nn::ReLU>());
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(4 * 6 * 6, 4);
+  fc->init(rng);
+  layers.push_back(std::move(fc));
+  nn::Network net("convbn", std::move(layers));
+
+  // One training forward moves the running mean/var off their init, so
+  // folding must use the true effective affine, not the identity.
+  Rng warm_rng(seed + 1);
+  Tensor warm(Shape{4, 1, 6, 6});
+  for (std::int64_t i = 0; i < warm.numel(); ++i) {
+    warm[i] = warm_rng.uniform(-1.0F, 1.0F);
+  }
+  net.forward(warm, true);
+  return net;
+}
+
+Tensor random_input(std::uint64_t seed, Shape shape = Shape{3, 1, 6, 6}) {
+  Rng rng(seed);
+  Tensor x(shape);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0F, 1.0F);
+  return x;
+}
+
+void flip_bit(QuantizedNetwork& q, std::size_t param, std::int64_t element,
+              int bit) {
+  float& slot = (*q.mutable_network().params()[param])[element];
+  slot = std::bit_cast<float>(std::bit_cast<std::uint32_t>(slot) ^
+                              (1U << bit));
+}
+
+TEST(BnFoldAbftTest, FoldedForwardIsBitIdenticalAtZeroFaults) {
+  QuantizedNetwork off(make_conv_bn_net(1), kFullBits, nn::Protection::off);
+  QuantizedNetwork full(make_conv_bn_net(1), kFullBits, nn::Protection::full);
+  const Tensor x = random_input(2);
+
+  AbftCheck off_check, full_check;
+  const Tensor y_off = off.forward(x, &off_check);
+  const Tensor y_full = full.forward(x, &full_check);
+  EXPECT_TRUE(allclose(y_off, y_full, 0.0F));
+
+  EXPECT_FALSE(off_check.checked);
+  EXPECT_TRUE(full_check.checked);
+  EXPECT_TRUE(full_check.ok) << "fold must pass with the default tolerance";
+  // conv+BN fold as one checked unit, plus the ReLU guard and the Dense.
+  EXPECT_EQ(full_check.layers_checked, 3);
+}
+
+TEST(BnFoldAbftTest, ReducedPrecisionSkipsFoldButStaysBitIdentical) {
+  // Below kFullBits the top-level fold is disabled (activations truncate
+  // between conv and BN), falling back to separate conv + affine checks —
+  // still bit-identical to the unprotected forward.
+  QuantizedNetwork off(make_conv_bn_net(3), 20, nn::Protection::off);
+  QuantizedNetwork full(make_conv_bn_net(3), 20, nn::Protection::full);
+  const Tensor x = random_input(4);
+
+  AbftCheck check;
+  const Tensor y_off = off.forward(x, nullptr);
+  const Tensor y_full = full.forward(x, &check);
+  EXPECT_TRUE(allclose(y_off, y_full, 0.0F));
+  EXPECT_TRUE(check.checked);
+  EXPECT_TRUE(check.ok);
+  // conv, BN affine, ReLU guard, Dense each checked separately.
+  EXPECT_EQ(check.layers_checked, 4);
+}
+
+TEST(BnFoldAbftTest, GammaExponentFlipIsDetected) {
+  QuantizedNetwork q(make_conv_bn_net(5), kFullBits, nn::Protection::full);
+  const Tensor x = random_input(6);
+
+  flip_bit(q, 2, 1, 26);  // gamma[1], high exponent
+  AbftCheck check;
+  q.forward(x, &check);
+  EXPECT_TRUE(check.checked);
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.failed_layer, 0);
+  EXPECT_EQ(check.failed_kind, "conv2d+batchnorm");
+}
+
+TEST(BnFoldAbftTest, BetaExponentFlipIsDetected) {
+  QuantizedNetwork q(make_conv_bn_net(7), kFullBits, nn::Protection::full);
+  const Tensor x = random_input(8);
+
+  flip_bit(q, 3, 2, 26);  // beta[2], high exponent
+  AbftCheck check;
+  q.forward(x, &check);
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.failed_kind, "conv2d+batchnorm");
+}
+
+TEST(BnFoldAbftTest, ConvWeightFlipIsDetectedThroughTheFold) {
+  QuantizedNetwork q(make_conv_bn_net(9), kFullBits, nn::Protection::full);
+  const Tensor x = random_input(10);
+
+  flip_bit(q, 0, 7, 26);  // conv weight behind the folded checksum
+  AbftCheck check;
+  q.forward(x, &check);
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.failed_layer, 0);
+  EXPECT_EQ(check.failed_kind, "conv2d+batchnorm");
+}
+
+TEST(BnFoldAbftTest, RefreshedChecksumRefoldsAfterBnEdit) {
+  QuantizedNetwork q(make_conv_bn_net(11), kFullBits, nn::Protection::full);
+  const Tensor x = random_input(12);
+
+  // A legitimate gamma edit followed by refresh_checksum must re-fold; the
+  // forward then passes again with the default tolerance.
+  (*q.mutable_network().params()[2])[0] = 2.0F;
+  q.refresh_checksum();
+  AbftCheck check;
+  q.forward(x, &check);
+  EXPECT_TRUE(check.checked);
+  EXPECT_TRUE(check.ok);
+}
+
+TEST(BnFoldAbftTest, Resnet20FullProtectionNeedsNoToleranceWidening) {
+  Rng rng(13);
+  nn::Network net = zoo::make_resnet20(zoo::InputSpec{}, rng);
+  // Train-mode forward gives every BN nontrivial running statistics.
+  net.forward(random_input(14, Shape{2, 3, 16, 16}), true);
+  QuantizedNetwork q(std::move(net), kFullBits, nn::Protection::full);
+
+  AbftCheck check;
+  q.forward(random_input(15, Shape{2, 3, 16, 16}), &check);
+  EXPECT_TRUE(check.checked);
+  EXPECT_TRUE(check.ok) << "clean resnet20 forward must pass at the default "
+                           "tolerance (max_rel_error="
+                        << check.max_rel_error;
+  EXPECT_LE(check.max_rel_error, kAbftTolerance);
+}
+
+TEST(BnFoldAbftTest, Resnet20ConvExponentFlipIsDetected) {
+  Rng rng(16);
+  nn::Network net = zoo::make_resnet20(zoo::InputSpec{}, rng);
+  net.forward(random_input(17, Shape{2, 3, 16, 16}), true);
+  QuantizedNetwork q(std::move(net), kFullBits, nn::Protection::full);
+
+  flip_bit(q, 0, 5, 26);  // stem conv weight
+  AbftCheck check;
+  q.forward(random_input(18, Shape{2, 3, 16, 16}), &check);
+  EXPECT_TRUE(check.checked);
+  EXPECT_FALSE(check.ok);
+}
+
+}  // namespace
+}  // namespace pgmr::quant

@@ -1,0 +1,228 @@
+// Incremental weight scrubbing properties: with a per-sweep tensor budget
+// the round-robin cursor still visits every parameter tensor within
+// ceil(P / budget) sweeps (a full logical pass, observable via
+// full_passes), mismatches found mid-window heal or fence exactly as the
+// full sweep would, and the soft hold ceiling keeps the recorded
+// swap-mutex hold histogram bounded while guaranteeing forward progress
+// (at least one tensor per member per acquisition).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "runtime/serving_runtime.h"
+#include "tensor/random.h"
+
+namespace pgmr::runtime {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+/// Six parameter tensors: Flatten + Dense(2,4) + Dense(4,4) + Dense(4,2).
+constexpr std::size_t kParams = 6;
+
+nn::Network multi_param_net() {
+  Rng rng(42);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(std::make_unique<nn::Flatten>());
+  for (auto [in, out] : {std::pair<std::int64_t, std::int64_t>{2, 4},
+                         {4, 4},
+                         {4, 2}}) {
+    auto fc = std::make_unique<nn::Dense>(in, out);
+    fc->init(rng);
+    layers.push_back(std::move(fc));
+  }
+  return nn::Network("multiparam", std::move(layers));
+}
+
+class ScrubIncrementalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    archive_ = (std::filesystem::temp_directory_path() /
+                ("pgmr_scrub_incr_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                 ".net"))
+                   .string();
+    multi_param_net().save(archive_);
+  }
+  void TearDown() override { std::remove(archive_.c_str()); }
+
+  polygraph::PolygraphSystem archive_system(int members) {
+    mr::Ensemble e;
+    for (int m = 0; m < members; ++m) {
+      mr::Member member(std::make_unique<prep::Identity>(),
+                        nn::Network::load(archive_));
+      member.set_archive_source(archive_);
+      e.add(std::move(member));
+    }
+    polygraph::PolygraphSystem sys(std::move(e));
+    sys.set_thresholds({0.5F, members});
+    return sys;
+  }
+
+  static RuntimeOptions incremental_options(std::size_t max_tensors,
+                                            microseconds max_hold =
+                                                microseconds(0)) {
+    RuntimeOptions o;
+    o.threads = 1;
+    o.protection = nn::Protection::full;
+    o.scrub_interval = milliseconds(0);  // sweeps driven by scrub_now()
+    o.scrub_max_tensors = max_tensors;
+    o.scrub_max_hold = max_hold;
+    return o;
+  }
+
+  /// Sign-flips one element of member m's parameter tensor `param`,
+  /// breaking its CRC. Swap-locked so it never races a sweep.
+  static void corrupt_param(ServingRuntime& rt, std::size_t m,
+                            std::size_t param) {
+    rt.with_swap_lock([&rt, m, param] {
+      Tensor* p = rt.system().ensemble().member(m).net().mutable_network()
+                      .params()[param];
+      (*p)[0] = (*p)[0] == 0.0F ? 1.0F : -(*p)[0];
+    });
+  }
+
+  std::string archive_;
+};
+
+TEST_F(ScrubIncrementalTest, EveryTensorIsVisitedWithinPSweeps) {
+  ServingRuntime rt(archive_system(2), incremental_options(1));
+  // Budget 1: each sweep CRCs exactly one tensor per member, and a full
+  // logical pass over all kParams tensors completes every kParams sweeps.
+  for (std::size_t sweep = 1; sweep <= 2 * kParams; ++sweep) {
+    const ScrubReport report = rt.scrub_now();
+    EXPECT_EQ(report.members_checked, 2U);
+    EXPECT_EQ(report.tensors_checked, 2U);  // one per member
+    for (std::size_t m = 0; m < 2; ++m) {
+      EXPECT_EQ(rt.scrubber().full_passes(m), sweep / kParams)
+          << "sweep " << sweep << " member " << m;
+    }
+  }
+}
+
+TEST_F(ScrubIncrementalTest, FullPassCadenceMatchesCeilOfParamsOverBudget) {
+  ServingRuntime rt(archive_system(1), incremental_options(2));
+  // Budget 2 over 6 tensors: pass boundary at every third sweep.
+  for (std::size_t sweep = 1; sweep <= 6; ++sweep) {
+    rt.scrub_now();
+    EXPECT_EQ(rt.scrubber().full_passes(0), sweep / 3) << "sweep " << sweep;
+  }
+}
+
+TEST_F(ScrubIncrementalTest, ZeroBudgetChecksEverythingEachSweep) {
+  ServingRuntime rt(archive_system(3), incremental_options(0));
+  const ScrubReport report = rt.scrub_now();
+  EXPECT_EQ(report.tensors_checked, 3 * kParams);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(rt.scrubber().full_passes(m), 1U);
+  }
+}
+
+TEST_F(ScrubIncrementalTest, MidWindowCorruptionHealsWithinOneLogicalPass) {
+  ServingRuntime rt(archive_system(1), incremental_options(2));
+  // Corrupt tensor 4: the cursor reaches it on the third sweep (windows
+  // {0,1}, {2,3}, {4,...}).
+  corrupt_param(rt, 0, 4);
+
+  ScrubReport first = rt.scrub_now();
+  ScrubReport second = rt.scrub_now();
+  EXPECT_EQ(first.mismatches + second.mismatches, 0U)
+      << "cursor windows before the corrupt tensor must stay clean";
+
+  const ScrubReport third = rt.scrub_now();
+  EXPECT_EQ(third.mismatches, 1U);
+  EXPECT_EQ(third.reloads, 1U);
+  EXPECT_EQ(third.fenced, 0U);
+
+  const MetricsSnapshot snap = rt.metrics_snapshot();
+  EXPECT_EQ(snap.crc_mismatches[0], 1U);
+  EXPECT_EQ(snap.weight_reloads[0], 1U);
+  // Healed: the next full pass over every tensor is clean.
+  for (int i = 0; i < static_cast<int>(kParams); ++i) {
+    EXPECT_EQ(rt.scrub_now().mismatches, 0U);
+  }
+}
+
+TEST_F(ScrubIncrementalTest, IncrementalSweepStillFencesWithoutArchive) {
+  ServingRuntime rt(archive_system(2), incremental_options(1));
+  corrupt_param(rt, 1, 3);
+  rt.with_swap_lock([&rt, this] {
+    rt.system().ensemble().member(1).set_archive_source(archive_ + ".gone");
+  });
+
+  // The cursor reaches the corrupt tensor within one logical pass.
+  std::size_t fenced = 0;
+  for (std::size_t sweep = 0; sweep < kParams && fenced == 0; ++sweep) {
+    fenced = rt.scrub_now().fenced;
+  }
+  EXPECT_EQ(fenced, 1U);
+  EXPECT_EQ(rt.health().state(1), MemberState::fenced);
+  // Fenced members drop out of later sweeps; the healthy member remains.
+  EXPECT_EQ(rt.scrub_now().members_checked, 1U);
+}
+
+TEST_F(ScrubIncrementalTest, HoldCeilingKeepsHistogramBoundedWithProgress) {
+  // Absurdly small ceiling: each acquisition may stop after a single
+  // tensor, but progress is guaranteed (>= 1 tensor per member per sweep),
+  // so a full pass still lands within kParams sweeps.
+  ServingRuntime rt(archive_system(2),
+                    incremental_options(0, microseconds(1)));
+  for (std::size_t sweep = 0; sweep < kParams; ++sweep) {
+    const ScrubReport report = rt.scrub_now();
+    EXPECT_GE(report.tensors_checked, 2U);  // >= one per member
+  }
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_GE(rt.scrubber().full_passes(m), 1U)
+        << "hold ceiling must not starve the cursor";
+  }
+}
+
+TEST_F(ScrubIncrementalTest, HoldHistogramIsRecordedAndBounded) {
+  // A generous 5ms ceiling on a micro net: every per-member acquisition
+  // finishes far inside it, so the p99 hold stays within the histogram
+  // bucket containing the ceiling (6400us upper bound).
+  ServingRuntime rt(archive_system(3),
+                    incremental_options(2, microseconds(5000)));
+  for (int i = 0; i < 10; ++i) rt.scrub_now();
+
+  const MetricsSnapshot snap = rt.metrics_snapshot();
+  std::uint64_t samples = 0;
+  for (std::uint64_t b : snap.scrub_hold_buckets) samples += b;
+  EXPECT_EQ(samples, 30U);  // one sample per member per sweep
+  EXPECT_LE(snap.scrub_hold_quantile_us(0.99), 6400U);
+  EXPECT_LE(snap.scrub_hold_quantile_us(0.5),
+            snap.scrub_hold_quantile_us(0.99));
+}
+
+TEST_F(ScrubIncrementalTest, BackgroundIncrementalScrubberHeals) {
+  RuntimeOptions o = incremental_options(1, microseconds(2000));
+  o.scrub_interval = milliseconds(2);
+  ServingRuntime rt(archive_system(2), o);
+  EXPECT_TRUE(rt.scrubber().running());
+
+  corrupt_param(rt, 0, 5);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (rt.metrics_snapshot().weight_reloads[0] == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "incremental background scrubber never healed the member";
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  EXPECT_GE(rt.metrics_snapshot().crc_mismatches[0], 1U);
+  rt.shutdown();
+  EXPECT_FALSE(rt.scrubber().running());
+}
+
+}  // namespace
+}  // namespace pgmr::runtime

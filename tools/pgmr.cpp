@@ -16,8 +16,12 @@
 #include <optional>
 #include <stop_token>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "fault/injector.h"
+#include "mr/protection.h"
+#include "perf/cost_model.h"
 #include "polygraph/builder.h"
 #include "polygraph/config.h"
 #include "prep/preprocessor.h"
@@ -118,8 +122,64 @@ int cmd_predict(const std::string& config_path, std::int64_t index) {
   return 0;
 }
 
-/// Drives the serving runtime with a synthetic open-loop load drawn from
-/// the benchmark's test split and reports throughput, latency and quality.
+std::vector<std::int64_t> row_argmax(const Tensor& probs) {
+  const std::int64_t n = probs.shape()[0];
+  const std::int64_t c = probs.shape()[1];
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = probs.data() + i * c;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+/// --protection auto's per-member sensitivity probe: with ABFT temporarily
+/// off (so faults flow through), inject a handful of high-exponent weight
+/// flips per member and measure the fraction of probe predictions each
+/// flip changes. Weights are restored bit-exactly; the member's protection
+/// (and thereby its CRC blessing) is reinstated before returning.
+std::vector<double> probe_sensitivities(polygraph::PolygraphSystem& system,
+                                        const data::Dataset& probe) {
+  constexpr int kFlipsPerMember = 8;
+  std::vector<double> sens(system.ensemble().size(), 1.0);
+  for (std::size_t m = 0; m < system.ensemble().size(); ++m) {
+    mr::Member& mem = system.ensemble().member(m);
+    const nn::Protection saved = mem.protection();
+    mem.set_protection(nn::Protection::off);
+    const std::vector<std::int64_t> base =
+        row_argmax(mem.probabilities(probe.images));
+    Rng rng(0x9E3779B9ULL + m);
+    std::vector<fault::FaultSite> sites = fault::sample_sites(
+        mem.net().mutable_network(), kFlipsPerMember, rng);
+    double changed = 0.0;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      sites[i].bit = 23 + static_cast<int>(i % 8);  // exponent bits only
+      const float orig = fault::inject(mem.net().mutable_network(), sites[i]);
+      const std::vector<std::int64_t> pred =
+          row_argmax(mem.probabilities(probe.images));
+      fault::restore(mem.net().mutable_network(), sites[i], orig);
+      std::int64_t diff = 0;
+      for (std::size_t j = 0; j < base.size(); ++j) {
+        if (pred[j] != base[j]) ++diff;
+      }
+      changed += static_cast<double>(diff) / static_cast<double>(base.size());
+    }
+    sens[m] = sites.empty()
+                  ? 1.0
+                  : changed / static_cast<double>(sites.size());
+    mem.set_protection(saved);
+  }
+  return sens;
+}
+
+/// Drives the serving runtime with load drawn from the benchmark's test
+/// split — open-loop (flood every request up front) by default, or
+/// fixed-concurrency closed-loop with --closed-loop K — and reports
+/// throughput, latency and quality.
 int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   runtime::RuntimeOptions opts;
   opts.threads = 1;
@@ -127,7 +187,10 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   opts.max_delay = std::chrono::microseconds(2000);
   long long requests = 1000;
   long long deadline_us = 0;  // 0 = no per-request deadline
+  long long closed_loop = 0;  // 0 = open loop, K = concurrent clients
   bool replacement = false;
+  bool protection_auto = false;
+  double sdc_budget = 0.05;
   for (int i = 0; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const std::string arg = argv[i + 1];
@@ -144,6 +207,8 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       requests = value;
     } else if (flag == "--deadline-us") {
       deadline_us = value;
+    } else if (flag == "--closed-loop") {
+      closed_loop = value;
     } else if (flag == "--protection") {
       if (arg == "off") {
         opts.protection = nn::Protection::off;
@@ -151,13 +216,25 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
         opts.protection = nn::Protection::final_fc;
       } else if (arg == "full") {
         opts.protection = nn::Protection::full;
+      } else if (arg == "auto") {
+        protection_auto = true;
       } else {
         std::fprintf(stderr,
-                     "serve-bench: --protection must be off|fc|full\n");
+                     "serve-bench: --protection must be off|fc|full|auto\n");
         return 2;
       }
+    } else if (flag == "--sdc-budget") {
+      sdc_budget = std::atof(arg.c_str());
     } else if (flag == "--scrub-interval-ms") {
       opts.scrub_interval = std::chrono::milliseconds(value);
+    } else if (flag == "--scrub-max-tensors") {
+      opts.scrub_max_tensors = static_cast<std::size_t>(value);
+    } else if (flag == "--scrub-max-hold-us") {
+      opts.scrub_max_hold = std::chrono::microseconds(value);
+    } else if (flag == "--training-threads") {
+      opts.replacement.training_threads = static_cast<std::size_t>(value);
+    } else if (flag == "--training-nice") {
+      opts.replacement.training_nice = static_cast<int>(value);
     } else if (flag == "--replacement") {
       if (arg == "on") {
         replacement = true;
@@ -176,6 +253,10 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
     std::fprintf(stderr, "serve-bench: --requests must be positive\n");
     return 2;
   }
+  if (closed_loop < 0) {
+    std::fprintf(stderr, "serve-bench: --closed-loop must be >= 0\n");
+    return 2;
+  }
 
   const polygraph::SystemConfig config = polygraph::load_config(config_path);
   const zoo::Benchmark& bm = zoo::find_benchmark(config.benchmark);
@@ -183,12 +264,40 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   const std::int64_t pool_n = splits.test.size();
   std::printf("serve-bench: %s (%zu members, threads=%zu, max_batch=%zu, "
               "max_delay=%lldus, requests=%lld, protection=%s, "
-              "scrub_interval=%lldms)\n",
+              "scrub_interval=%lldms, mode=%s)\n",
               config.benchmark.c_str(), config.members.size(), opts.threads,
               opts.max_batch,
               static_cast<long long>(opts.max_delay.count()), requests,
-              nn::to_string(opts.protection),
-              static_cast<long long>(opts.scrub_interval.count()));
+              protection_auto ? "auto" : nn::to_string(opts.protection),
+              static_cast<long long>(opts.scrub_interval.count()),
+              closed_loop > 0 ? "closed-loop" : "open-loop");
+
+  polygraph::PolygraphSystem system = polygraph::make_system(config);
+  if (protection_auto) {
+    // Cost-driven plan: probe each member's SDC sensitivity with a few
+    // exponent flips on a small slice, then pick the cheapest per-member
+    // assignment whose residual SDC mass fits the budget.
+    const std::int64_t probe_n = std::min<std::int64_t>(32, splits.val.size());
+    const data::Dataset probe = splits.val.slice(0, probe_n);
+    const std::vector<double> sens = probe_sensitivities(system, probe);
+    const perf::CostModel cost_model;
+    const Shape in{1, bm.input.channels, bm.input.size, bm.input.size};
+    const std::vector<mr::MemberProtectionInput> inputs =
+        mr::protection_inputs(system.ensemble(), in, cost_model, sens);
+    const std::vector<mr::ProtectionPlan> frontier =
+        mr::protection_frontier(inputs);
+    const mr::ProtectionPlan plan =
+        mr::select_protection(frontier, sdc_budget);
+    opts.protection_per_member = plan.levels;
+    std::printf("protection plan (sdc_budget=%.3f, residual=%.4f, "
+                "frontier=%zu):\n",
+                sdc_budget, plan.residual_sdc, frontier.size());
+    for (std::size_t m = 0; m < plan.levels.size(); ++m) {
+      std::printf("  member %zu: %-8s (sensitivity %.3f, share %.3f)\n", m,
+                  nn::to_string(plan.levels[m]), sens[m],
+                  inputs[m].param_share);
+    }
+  }
 
   // The replacement factory needs the live ensemble's composition, which
   // only exists once the runtime does — hand it a cell filled in below.
@@ -208,25 +317,15 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       return zoo::make_replacement_member(bm, spec, config.bits, cancel);
     };
   }
-  runtime::ServingRuntime rt(polygraph::make_system(config), opts);
+  runtime::ServingRuntime rt(std::move(system), opts);
   live->store(&rt);
-  std::vector<std::future<polygraph::Verdict>> futures;
-  futures.reserve(static_cast<std::size_t>(requests));
 
-  const auto t0 = std::chrono::steady_clock::now();
-  for (long long r = 0; r < requests; ++r) {
-    std::optional<std::chrono::steady_clock::time_point> deadline;
-    if (deadline_us > 0) {
-      deadline = std::chrono::steady_clock::now() +
-                 std::chrono::microseconds(deadline_us);
-    }
-    futures.push_back(rt.submit(splits.test.sample(r % pool_n), deadline));
-  }
-  std::int64_t tp = 0, fp = 0, unreliable = 0, degraded = 0, shed = 0,
-               failed = 0;
-  for (long long r = 0; r < requests; ++r) {
+  std::atomic<std::int64_t> tp{0}, fp{0}, unreliable{0}, degraded{0},
+      shed{0}, failed{0};
+  const auto classify = [&](std::future<polygraph::Verdict>& future,
+                            long long r) {
     try {
-      const polygraph::Verdict v = futures[static_cast<std::size_t>(r)].get();
+      const polygraph::Verdict v = future.get();
       const std::int64_t truth =
           splits.test.labels[static_cast<std::size_t>(r % pool_n)];
       if (v.degraded) ++degraded;
@@ -241,6 +340,47 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       ++shed;
     } catch (const std::exception&) {
       ++failed;
+    }
+  };
+  const auto request_deadline = [&] {
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (deadline_us > 0) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(deadline_us);
+    }
+    return deadline;
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (closed_loop > 0) {
+    // Fixed concurrency: K clients each keep exactly one request in
+    // flight, pulling the next index off a shared counter — the
+    // latency-oriented mode (queueing delay reflects K, not the flood).
+    std::atomic<long long> next{0};
+    std::vector<std::jthread> clients;
+    clients.reserve(static_cast<std::size_t>(closed_loop));
+    for (long long k = 0; k < closed_loop; ++k) {
+      clients.emplace_back([&] {
+        for (long long r = next.fetch_add(1); r < requests;
+             r = next.fetch_add(1)) {
+          std::future<polygraph::Verdict> future =
+              rt.submit(splits.test.sample(r % pool_n), request_deadline());
+          classify(future, r);
+        }
+      });
+    }
+    clients.clear();  // joins every client
+  } else {
+    // Open loop: flood every request up front, then drain — the
+    // throughput-oriented mode (batcher sees maximum coalescing pressure).
+    std::vector<std::future<polygraph::Verdict>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    for (long long r = 0; r < requests; ++r) {
+      futures.push_back(
+          rt.submit(splits.test.sample(r % pool_n), request_deadline()));
+    }
+    for (long long r = 0; r < requests; ++r) {
+      classify(futures[static_cast<std::size_t>(r)], r);
     }
   }
   const double secs =
@@ -287,10 +427,16 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
               static_cast<unsigned long long>(snap.batches),
               snap.mean_batch_size(),
               static_cast<unsigned long long>(snap.max_batch_size));
-  std::printf("latency:    p50 %llu us  p90 %llu us  p99 %llu us\n",
+  std::printf("latency:    p50 %llu us  p95 %llu us  p99 %llu us (%s)\n",
               static_cast<unsigned long long>(snap.latency_quantile_us(0.5)),
-              static_cast<unsigned long long>(snap.latency_quantile_us(0.9)),
-              static_cast<unsigned long long>(snap.latency_quantile_us(0.99)));
+              static_cast<unsigned long long>(snap.latency_quantile_us(0.95)),
+              static_cast<unsigned long long>(snap.latency_quantile_us(0.99)),
+              closed_loop > 0 ? "closed-loop" : "open-loop");
+  std::printf("scrub hold: p50 %llu us  p99 %llu us\n",
+              static_cast<unsigned long long>(
+                  snap.scrub_hold_quantile_us(0.5)),
+              static_cast<unsigned long long>(
+                  snap.scrub_hold_quantile_us(0.99)));
   std::printf("-- metrics snapshot --\n%s", snap.to_string().c_str());
   return 0;
 }
@@ -304,8 +450,11 @@ int usage() {
                "  pgmr predict <config.cfg> <sample-index>\n"
                "  pgmr serve-bench <config.cfg> [--threads N] [--max-batch B]"
                " [--max-delay-us D] [--queue-cap Q] [--requests R]"
-               " [--deadline-us T] [--protection off|fc|full]"
-               " [--scrub-interval-ms S] [--replacement on|off]\n");
+               " [--deadline-us T] [--closed-loop K]"
+               " [--protection off|fc|full|auto] [--sdc-budget B]"
+               " [--scrub-interval-ms S] [--scrub-max-tensors N]"
+               " [--scrub-max-hold-us H] [--replacement on|off]"
+               " [--training-threads N] [--training-nice L]\n");
   return 2;
 }
 
