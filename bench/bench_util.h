@@ -1,9 +1,15 @@
 // Shared helpers for the figure/table benches.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -36,6 +42,112 @@ inline std::vector<mr::Vote> member_votes_on(const zoo::Benchmark& bm,
 /// Prints a separator line for readability in the bench transcripts.
 inline void rule(const char* title) {
   std::printf("\n==== %s ====\n", title);
+}
+
+/// One measured step of a closed-loop load: K clients, each holding exactly
+/// one request in flight (submit, wait for the verdict, classify, repeat).
+/// Unlike the open-loop flood, throughput here is self-clocked by service
+/// latency, so ramping K exposes the concurrency knee of a serving stack.
+struct ClosedLoopResult {
+  std::size_t clients = 0;
+  long long requests = 0;
+  long long errors = 0;  ///< submissions or futures that threw
+  std::int64_t tp = 0, fp = 0, unreliable = 0;
+  double seconds = 0.0;
+
+  double rps() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+  double fp_rate() const {
+    const std::int64_t reliable = tp + fp;
+    return reliable ? static_cast<double>(fp) / static_cast<double>(reliable)
+                    : 0.0;
+  }
+};
+
+/// Drives `requests` submissions through `submit` with `clients` closed-loop
+/// clients sharing one atomic request counter. `submit(i)` must return the
+/// verdict future for global request index i (any Verdict-like with
+/// `.label` / `.reliable`); `truth(i)` its ground-truth label. A submission
+/// or future that throws counts as an error, not a served request.
+template <typename SubmitFn, typename TruthFn>
+ClosedLoopResult closed_loop_load(std::size_t clients, long long requests,
+                                  SubmitFn&& submit, TruthFn&& truth) {
+  ClosedLoopResult res;
+  res.clients = clients == 0 ? 1 : clients;
+  res.requests = requests;
+  std::atomic<long long> next{0};
+  std::atomic<long long> errors{0};
+  std::atomic<std::int64_t> tp{0};
+  std::atomic<std::int64_t> fp{0};
+  std::atomic<std::int64_t> unreliable{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(res.clients);
+    for (std::size_t c = 0; c < res.clients; ++c) {
+      workers.emplace_back([&] {
+        for (long long i = next.fetch_add(1); i < requests;
+             i = next.fetch_add(1)) {
+          try {
+            const auto v = submit(i).get();
+            if (!v.reliable) {
+              unreliable.fetch_add(1, std::memory_order_relaxed);
+            } else if (v.label == truth(i)) {
+              tp.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              fp.fetch_add(1, std::memory_order_relaxed);
+            }
+          } catch (const std::exception&) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }  // joins the clients
+  res.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  res.errors = errors.load();
+  res.tp = tp.load();
+  res.fp = fp.load();
+  res.unreliable = unreliable.load();
+  return res;
+}
+
+/// Concurrency ramp: doubles the client count 1, 2, 4, ... up to
+/// `max_clients` (always measuring `max_clients` itself last if the
+/// doubling overshoots it), stopping early once a step's marginal
+/// throughput gain over the previous one falls below `knee_gain` — the
+/// knee. Returns every step measured, in ramp order.
+template <typename SubmitFn, typename TruthFn>
+std::vector<ClosedLoopResult> closed_loop_ramp(std::size_t max_clients,
+                                               long long requests_per_step,
+                                               SubmitFn&& submit,
+                                               TruthFn&& truth,
+                                               double knee_gain = 0.10) {
+  std::vector<ClosedLoopResult> steps;
+  if (max_clients == 0) max_clients = 1;
+  for (std::size_t k = 1; k <= max_clients;
+       k = k * 2 > max_clients && k < max_clients ? max_clients : k * 2) {
+    steps.push_back(closed_loop_load(k, requests_per_step, submit, truth));
+    const std::size_t n = steps.size();
+    if (n >= 2 &&
+        steps[n - 1].rps() < steps[n - 2].rps() * (1.0 + knee_gain)) {
+      break;  // past the knee: concurrency stopped buying throughput
+    }
+  }
+  return steps;
+}
+
+/// The best-throughput step of a ramp (the knee or the last step).
+inline const ClosedLoopResult& ramp_best(
+    const std::vector<ClosedLoopResult>& steps) {
+  const ClosedLoopResult* best = &steps.front();
+  for (const ClosedLoopResult& s : steps) {
+    if (s.rps() > best->rps()) best = &s;
+  }
+  return *best;
 }
 
 }  // namespace pgmr::bench

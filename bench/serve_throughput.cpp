@@ -2,6 +2,11 @@
 // a 4-member SMNIST (lenet5) PolygraphMR system under an open-loop load, at
 // 1/2/4 worker threads. The verdict tallies must be identical across rows —
 // per-member parallelism never changes the decision.
+//
+// A second section ramps closed-loop concurrency (K clients, one request in
+// flight each — bench::closed_loop_ramp, shared with fleet_bench) against a
+// single runtime to locate its per-replica knee: the K past which more
+// concurrency buys < 10% throughput. fleet_bench stacks N such replicas.
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -90,6 +95,37 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(row.p99_us),
                 static_cast<long long>(row.tp), static_cast<long long>(row.fp),
                 static_cast<long long>(row.unreliable), row.rps / base_rps);
+  }
+
+  pgmr::bench::rule("closed-loop concurrency ramp (1 worker, K clients)");
+  {
+    runtime::RuntimeOptions opts;
+    opts.threads = 1;
+    opts.max_batch = 16;
+    opts.max_delay = std::chrono::microseconds(2000);
+    polygraph::PolygraphSystem system(zoo::make_ensemble(
+        bm, {"ORG", "FlipX", "ConNorm", "Gamma(2.00)"}));
+    system.set_thresholds({0.5F, mr::majority_threshold(4)});
+    runtime::ServingRuntime rt(std::move(system), opts);
+    const std::int64_t pool_n = splits.test.size();
+    const auto steps = pgmr::bench::closed_loop_ramp(
+        8, requests,
+        [&](long long i) { return rt.submit(splits.test.sample(i % pool_n)); },
+        [&](long long i) {
+          return splits.test.labels[static_cast<std::size_t>(i % pool_n)];
+        });
+    std::printf("%-8s %10s %6s %6s %6s %7s\n", "clients", "req/s", "TP", "FP",
+                "unrel", "errors");
+    for (const pgmr::bench::ClosedLoopResult& s : steps) {
+      std::printf("%-8zu %10.1f %6lld %6lld %6lld %7lld\n", s.clients,
+                  s.rps(), static_cast<long long>(s.tp),
+                  static_cast<long long>(s.fp),
+                  static_cast<long long>(s.unreliable), s.errors);
+    }
+    std::printf("knee: %zu clients @ %.1f req/s\n",
+                pgmr::bench::ramp_best(steps).clients,
+                pgmr::bench::ramp_best(steps).rps());
+    rt.shutdown();
   }
   return 0;
 }

@@ -51,6 +51,34 @@ std::uint64_t ChaosInjector::fired(std::size_t member) const {
   return plans_.at(member).fired;
 }
 
+void ChaosInjector::kill_shard(std::size_t shard) {
+  std::lock_guard lock(mutex_);
+  if (shard >= shards_.size()) shards_.resize(shard + 1);
+  shards_[shard].down = true;
+}
+
+void ChaosInjector::revive_shard(std::size_t shard) {
+  std::lock_guard lock(mutex_);
+  if (shard >= shards_.size()) shards_.resize(shard + 1);
+  shards_[shard].down = false;
+}
+
+bool ChaosInjector::shard_down(std::size_t shard) const {
+  std::lock_guard lock(mutex_);
+  return shard < shards_.size() && shards_[shard].down;
+}
+
+void ChaosInjector::on_shard_refused(std::size_t shard) {
+  std::lock_guard lock(mutex_);
+  if (shard >= shards_.size()) shards_.resize(shard + 1);
+  ++shards_[shard].refusals;
+}
+
+std::uint64_t ChaosInjector::shard_refusals(std::size_t shard) const {
+  std::lock_guard lock(mutex_);
+  return shard < shards_.size() ? shards_[shard].refusals : 0;
+}
+
 namespace {
 
 /// The decorator chaos_wrap() returns.

@@ -62,6 +62,29 @@ class ChaosInjector {
   /// Total faults acted out on `member` since construction.
   std::uint64_t fired(std::size_t member) const;
 
+  /// Shard-loss hooks (fleet campaigns): fail-stop a whole serving
+  /// replica. The fleet router consults shard_down() on every submission
+  /// it routes — a down shard refuses the hand-off, which is how its
+  /// circuit breaker learns the shard died (there is no side channel: the
+  /// breaker sees only failed submissions, exactly as it would a crashed
+  /// process behind a load balancer). Shard indices are independent of the
+  /// member indices above and sized lazily, so one injector can drive both
+  /// member-level and shard-level chaos in a single campaign.
+  void kill_shard(std::size_t shard);
+
+  /// Brings a killed shard back; the next half-open probe routed to it
+  /// succeeds and restores it to the serving rotation.
+  void revive_shard(std::size_t shard);
+
+  /// True while `shard` is killed. Never throws (unknown shards are up).
+  bool shard_down(std::size_t shard) const;
+
+  /// Submissions refused because `shard` was down (bumped by shard_down
+  /// observers via on_shard_refused — the router calls it so the campaign
+  /// can assert the outage was actually exercised).
+  void on_shard_refused(std::size_t shard);
+  std::uint64_t shard_refusals(std::size_t shard) const;
+
  private:
   struct Plan {
     ChaosFault fault = ChaosFault::none;
@@ -70,8 +93,14 @@ class ChaosInjector {
     std::uint64_t fired = 0;
   };
 
+  struct ShardPlan {
+    bool down = false;
+    std::uint64_t refusals = 0;
+  };
+
   mutable std::mutex mutex_;
   std::vector<Plan> plans_;
+  std::vector<ShardPlan> shards_;  ///< grown on first touch of a shard
 };
 
 /// Decorates `inner` so that member `member`'s inferences consult `chaos`

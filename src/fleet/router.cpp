@@ -1,0 +1,218 @@
+#include "fleet/router.h"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace pgmr::fleet {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mixing, so rendezvous
+/// scores for (key, shard) pairs are independent uniform draws.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+FleetOptions normalized(FleetOptions o) {
+  if (o.shards == 0) o.shards = 1;
+  if (o.shard_quarantine_after < 1) o.shard_quarantine_after = 1;
+  return o;
+}
+
+}  // namespace
+
+std::string FleetSnapshot::to_string() const {
+  std::ostringstream out;
+  out << merged.to_string();
+  out << "fleet_shards " << shards.size() << "\n";
+  out << "fleet_spills " << spills << "\n";
+  out << "fleet_probes " << probes << "\n";
+  out << "fleet_unavailable " << unavailable << "\n";
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    out << "shard[" << s << "] state "
+        << runtime::to_string(shard_states[s]) << " routed " << routed[s]
+        << " faults " << shard_faults[s] << " quarantines "
+        << shard_quarantines[s] << " completed "
+        << shards[s].requests_completed << "\n";
+  }
+  return out.str();
+}
+
+FleetRouter::FleetRouter(const SystemFactory& factory, FleetOptions options)
+    : options_(normalized(std::move(options))),
+      health_(options_.shards,
+              runtime::MemberHealth::Options{
+                  options_.shard_quarantine_after, options_.shard_cooldown,
+                  /*fence_after_quarantines=*/0}),
+      routed_(options_.shards),
+      shard_faults_(options_.shards),
+      shard_quarantines_(options_.shards) {
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<runtime::ServingRuntime>(
+        factory(s), options_.runtime));
+  }
+}
+
+FleetRouter::~FleetRouter() { shutdown(); }
+
+void FleetRouter::shutdown() {
+  stopped_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->shutdown();
+}
+
+std::size_t FleetRouter::rendezvous(std::uint64_t key,
+                                    const std::vector<bool>& eligible) const {
+  std::size_t winner = shards_.size();
+  std::uint64_t best = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!eligible[s]) continue;
+    const std::uint64_t score =
+        mix64(key ^ mix64(static_cast<std::uint64_t>(s) + 1));
+    if (winner == shards_.size() || score > best) {
+      winner = s;
+      best = score;
+    }
+  }
+  return winner;
+}
+
+std::size_t FleetRouter::shard_for(std::uint64_t key) const {
+  std::vector<bool> eligible(shards_.size());
+  bool any = false;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const runtime::MemberState st = health_.state(s);
+      eligible[s] = st == runtime::MemberState::healthy ||
+                    st == runtime::MemberState::half_open;
+      any = any || eligible[s];
+    }
+  }
+  // With nothing eligible, answer from the full membership — the advisory
+  // view of where the key would land once anything recovers.
+  if (!any) eligible.assign(shards_.size(), true);
+  return rendezvous(key, eligible);
+}
+
+runtime::MemberState FleetRouter::record_refusal(
+    std::size_t shard, std::chrono::steady_clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  if (health_.on_result(shard, false, now)) {
+    shard_quarantines_[shard].fetch_add(1, std::memory_order_relaxed);
+  }
+  return health_.state(shard);
+}
+
+std::future<polygraph::Verdict> FleetRouter::submit(
+    Tensor image, std::uint64_t key,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("FleetRouter::submit after shutdown");
+  }
+  const auto now = std::chrono::steady_clock::now();
+
+  // Route under the lock (run_mask may transition cooled-down shards to
+  // half_open); hand off outside it so one shard's backpressure never
+  // stalls routing for the rest of the fleet.
+  std::size_t winner = shards_.size();
+  bool probe = false;
+  std::vector<bool> mask;
+  {
+    std::lock_guard lock(mutex_);
+    mask = health_.run_mask(now);
+    winner = rendezvous(key, mask);
+    probe = winner < shards_.size() &&
+            health_.state(winner) == runtime::MemberState::half_open;
+  }
+  if (winner == shards_.size()) {
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    throw ShardUnavailable("fleet: no shard eligible (all quarantined)");
+  }
+  if (probe) probes_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fail-stop check: a chaos-killed shard refuses the hand-off the way a
+  // crashed process would. The refusal feeds the breaker; the caller eats
+  // a ShardUnavailable until quarantine takes the shard out of rotation.
+  const auto down = [this](std::size_t s) {
+    return options_.chaos != nullptr && options_.chaos->shard_down(s);
+  };
+  if (down(winner)) {
+    options_.chaos->on_shard_refused(winner);
+    shard_faults_[winner].fetch_add(1, std::memory_order_relaxed);
+    const runtime::MemberState st = record_refusal(winner, now);
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    throw ShardUnavailable("fleet: shard " + std::to_string(winner) +
+                           " is down (now " +
+                           std::string(runtime::to_string(st)) + ")");
+  }
+
+  const auto accepted = [this, now](std::size_t s) {
+    std::lock_guard lock(mutex_);
+    health_.on_result(s, true, now);
+    routed_[s].fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // try_submit consumes its tensor even when it refuses, so the first
+  // attempt hands over a copy and keeps `image` for the spill path.
+  if (auto future = shards_[winner]->try_submit(image, deadline)) {
+    accepted(winner);
+    return std::move(*future);
+  }
+
+  // Overflow spill: the winner is alive but backlogged. Shed the request
+  // sideways to the least-loaded eligible shard instead of blocking.
+  spills_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t target = shards_.size();
+  std::uint64_t lightest = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (s == winner || !mask[s] || down(s)) continue;
+    const std::uint64_t load = shards_[s]->metrics().in_flight();
+    if (load < lightest) {
+      lightest = load;
+      target = s;
+    }
+  }
+  if (target < shards_.size()) {
+    if (auto future = shards_[target]->try_submit(image, deadline)) {
+      accepted(target);
+      return std::move(*future);
+    }
+  }
+
+  // Genuine fleet saturation: every eligible queue is full. Block on the
+  // elected shard — backpressure reaches the caller, ordering respects
+  // the routing decision.
+  std::future<polygraph::Verdict> future =
+      shards_[winner]->submit(std::move(image), deadline);
+  accepted(winner);
+  return future;
+}
+
+FleetSnapshot FleetRouter::snapshot() const {
+  FleetSnapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snap.shards.push_back(shard->metrics_snapshot());
+  }
+  snap.merged = runtime::merge_snapshots(snap.shards);
+  snap.shard_states.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    snap.shard_states.push_back(health_.state(s));
+    snap.routed.push_back(routed_[s].load(std::memory_order_relaxed));
+    snap.shard_faults.push_back(
+        shard_faults_[s].load(std::memory_order_relaxed));
+    snap.shard_quarantines.push_back(
+        shard_quarantines_[s].load(std::memory_order_relaxed));
+  }
+  snap.spills = spills_.load(std::memory_order_relaxed);
+  snap.probes = probes_.load(std::memory_order_relaxed);
+  snap.unavailable = unavailable_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace pgmr::fleet

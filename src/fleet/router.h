@@ -1,0 +1,188 @@
+// FleetRouter: horizontal scale-out of the serving runtime — the layer
+// between the request stream and N ServingRuntime replicas ("shards").
+//
+//   submit(image, key) --> rendezvous-hash over healthy shards --> shard's
+//       own ServingRuntime (thread-isolated: private ensemble, batcher,
+//       worker pool, scrubber, replacer, metrics registry) --> Verdict
+//
+// Member-level modular redundancy (PolygraphMR's ensembles) makes one
+// replica trustworthy; the fleet adds *system-level* redundancy so losing
+// a replica degrades capacity by 1/N instead of taking serving down.
+//
+// Routing: highest-random-weight (rendezvous) hashing of the request key
+// over the currently eligible shards. Consistency property: when a shard
+// leaves the rotation only the keys it owned move (they redistribute
+// evenly over the survivors), and they move back when it returns — no
+// global reshuffle, so per-shard caches and batch locality survive
+// membership churn.
+//
+// Shard health reuses the MemberHealth circuit breaker at shard
+// granularity (healthy -> quarantined -> half-open probe -> restored):
+//  * A shard that refuses a routed hand-off (fail-stop kill, shutdown)
+//    records a fault; quarantine_after consecutive faults quarantine it
+//    and rendezvous stops offering it keys.
+//  * After the cooldown the shard turns half-open; the next submission
+//    whose key elects it is the probe. A successful hand-off restores the
+//    shard (its keys return), a refused one re-quarantines it.
+//  * Failures during the detection window surface to callers as
+//    ShardUnavailable — the availability cost of discovering a dead shard
+//    without an oracle. It is bounded by quarantine_after + one probe per
+//    cooldown, so fleet availability stays >= (N-1)/N through an outage.
+//  * fenced is unused at shard granularity (fence_after_quarantines = 0):
+//    a dead replica is presumed restartable, so it probes forever.
+//
+// Overflow spill: when the elected shard's bounded queue refuses the
+// hand-off (backlog, not death), the request spills to the least-loaded
+// eligible shard (by in-flight requests) instead of failing — load peaks
+// shed sideways, only genuine fleet saturation blocks the caller.
+//
+// Chaos: an optional fault::ChaosInjector models shard loss. The router
+// consults ChaosInjector::shard_down() at hand-off time; a killed shard
+// refuses exactly like a crashed process behind a load balancer, and the
+// breaker machinery above learns of the death purely from those refusals.
+//
+// Metrics: every shard keeps its own MetricsRegistry (no cross-shard
+// cache-line traffic on the hot path); snapshot() merges the per-shard
+// snapshots bucket-by-bucket via runtime::merge_snapshots, so fleet-wide
+// reports (serve-bench, fleet-bench) read exactly like single-replica
+// ones, plus fleet-level routing counters.
+//
+// Threading: submit() is safe from any number of client threads. Routing
+// state (the shard breaker) is mutex-guarded; hand-offs happen outside
+// the lock, so a shard's bounded-queue backpressure never blocks routing
+// decisions for other shards.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.h"
+#include "polygraph/system.h"
+#include "runtime/serving_runtime.h"
+
+namespace pgmr::fleet {
+
+/// The error a submission raises when no shard could take it: either the
+/// routed shard is down and not yet quarantined (detection window / probe)
+/// or no shard is eligible at all.
+class ShardUnavailable : public std::runtime_error {
+ public:
+  explicit ShardUnavailable(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Fleet knobs. `runtime` is the per-shard pipeline template — every
+/// replica gets its own copy (own worker pool, scrubber, replacer).
+struct FleetOptions {
+  std::size_t shards = 2;              ///< replica count (clamped >= 1)
+  runtime::RuntimeOptions runtime;     ///< per-shard ServingRuntime knobs
+  int shard_quarantine_after = 3;      ///< refused hand-offs to quarantine
+  std::chrono::milliseconds shard_cooldown{250};  ///< half-open delay
+  /// Optional shard-loss chaos switch (see header comment). The router
+  /// only ever reads shard_down() / bumps refusal counters.
+  std::shared_ptr<fault::ChaosInjector> chaos;
+};
+
+/// Fleet-wide observability: merged runtime metrics + routing counters.
+struct FleetSnapshot {
+  runtime::MetricsSnapshot merged;               ///< cross-shard aggregate
+  std::vector<runtime::MetricsSnapshot> shards;  ///< per-shard views
+  std::vector<runtime::MemberState> shard_states;
+  std::vector<std::uint64_t> routed;          ///< accepted hand-offs
+  std::vector<std::uint64_t> shard_faults;    ///< refused hand-offs
+  std::vector<std::uint64_t> shard_quarantines;  ///< breaker trips
+  std::uint64_t spills = 0;       ///< overflow re-routes to another shard
+  std::uint64_t probes = 0;       ///< hand-offs that were half-open probes
+  std::uint64_t unavailable = 0;  ///< submissions failed ShardUnavailable
+
+  /// Multi-line fleet report: the merged snapshot followed by per-shard
+  /// routing/health lines.
+  std::string to_string() const;
+};
+
+class FleetRouter {
+ public:
+  /// Builds shard `s`'s system — called once per shard at construction.
+  /// Shards must be *equivalent* (same composition, same thresholds) for
+  /// verdicts to be shard-independent; the factory owns that guarantee.
+  using SystemFactory =
+      std::function<polygraph::PolygraphSystem(std::size_t shard)>;
+
+  FleetRouter(const SystemFactory& factory, FleetOptions options);
+
+  /// shutdown()s every shard (each drains its accepted requests).
+  ~FleetRouter();
+
+  FleetRouter(const FleetRouter&) = delete;
+  FleetRouter& operator=(const FleetRouter&) = delete;
+
+  std::size_t shards() const { return shards_.size(); }
+  const FleetOptions& options() const { return options_; }
+
+  /// Routes one [1, C, H, W] request by `key` (a stable request/session
+  /// identifier — equal keys ride the same shard while it stays healthy).
+  /// Returns the shard's verdict future. Throws ShardUnavailable when the
+  /// elected shard is down (detection window) or the whole fleet is; other
+  /// submit errors propagate from the shard runtime.
+  std::future<polygraph::Verdict> submit(
+      Tensor image, std::uint64_t key,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt);
+
+  /// Advisory routing preview: the shard `key` elects against the current
+  /// non-quarantined membership (no probe transitions, no submission).
+  /// Tests and ops tooling use it; the answer can be stale by the time a
+  /// real submit runs.
+  std::size_t shard_for(std::uint64_t key) const;
+
+  /// Stops accepting requests and shuts every shard down (each drains).
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Direct shard access (campaigns corrupt weights, tests read health).
+  runtime::ServingRuntime& shard(std::size_t i) { return *shards_.at(i); }
+
+  /// Live shard circuit-breaker state (thread-safe reads).
+  const runtime::MemberHealth& shard_health() const { return health_; }
+
+  /// Merged metrics + routing counters (see FleetSnapshot).
+  FleetSnapshot snapshot() const;
+
+ private:
+  /// Rendezvous winner for `key` among shards where eligible[s] is true;
+  /// shards() when none is.
+  std::size_t rendezvous(std::uint64_t key,
+                         const std::vector<bool>& eligible) const;
+
+  /// Records a refused hand-off under the router lock; returns the shard's
+  /// resulting breaker state for the caller's error message.
+  runtime::MemberState record_refusal(
+      std::size_t shard, std::chrono::steady_clock::time_point now);
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<runtime::ServingRuntime>> shards_;
+  /// The shard-granularity circuit breaker (one "member" per shard) and
+  /// the mutex serializing its batcher-only API across client threads.
+  mutable std::mutex mutex_;
+  runtime::MemberHealth health_;
+  std::atomic<bool> stopped_{false};
+  // Fleet-level routing counters (relaxed; snapshot() reads them).
+  std::vector<std::atomic<std::uint64_t>> routed_;
+  std::vector<std::atomic<std::uint64_t>> shard_faults_;
+  std::vector<std::atomic<std::uint64_t>> shard_quarantines_;
+  std::atomic<std::uint64_t> spills_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> unavailable_{0};
+};
+
+}  // namespace pgmr::fleet

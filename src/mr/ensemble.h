@@ -80,6 +80,17 @@ class Member {
   /// CRC check of one parameter tensor (params() order).
   bool param_intact(std::size_t i) { return net_.param_intact(i); }
 
+  /// Chunks in parameter tensor `i` — the resumable scrubber's work unit
+  /// (see quant::QuantizedNetwork::kCrcChunkElems).
+  std::size_t param_chunk_count(std::size_t i) {
+    return net_.param_chunk_count(i);
+  }
+
+  /// CRC check of one chunk of parameter tensor `i`.
+  bool param_chunk_intact(std::size_t i, std::size_t chunk) {
+    return net_.param_chunk_intact(i, chunk);
+  }
+
   /// Outcome of a reload_params() self-heal attempt.
   enum class ReloadStatus {
     healed,       ///< weights replaced from the archive, CRCs match again

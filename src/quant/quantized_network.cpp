@@ -67,6 +67,17 @@ void QuantizedNetwork::refresh_checksum() {
       break;
   }
   golden_crcs_ = current_param_crcs();
+  golden_chunk_crcs_.clear();
+  for (Tensor* p : network_.params()) {
+    std::vector<std::uint32_t> chunks;
+    const std::int64_t n = p->numel();
+    for (std::int64_t at = 0; at == 0 || at < n; at += kCrcChunkElems) {
+      const std::int64_t len = std::min<std::int64_t>(kCrcChunkElems, n - at);
+      chunks.push_back(crc32(p->data() + at,
+                             static_cast<std::size_t>(len) * sizeof(float)));
+    }
+    golden_chunk_crcs_.push_back(std::move(chunks));
+  }
 }
 
 std::vector<std::uint32_t> QuantizedNetwork::current_param_crcs() {
@@ -93,6 +104,27 @@ bool QuantizedNetwork::param_intact(std::size_t i) {
   return crc32(p->data(),
                static_cast<std::size_t>(p->numel()) * sizeof(float)) ==
          golden_crcs_[i];
+}
+
+std::size_t QuantizedNetwork::param_chunk_count(std::size_t i) {
+  if (i >= golden_chunk_crcs_.size()) return 0;
+  return golden_chunk_crcs_[i].size();
+}
+
+bool QuantizedNetwork::param_chunk_intact(std::size_t i, std::size_t chunk) {
+  const std::vector<Tensor*> params = network_.params();
+  if (i >= params.size() || i >= golden_chunk_crcs_.size()) return false;
+  const std::vector<std::uint32_t>& golden = golden_chunk_crcs_[i];
+  if (chunk >= golden.size()) return false;
+  const Tensor* p = params[i];
+  const std::int64_t at = static_cast<std::int64_t>(chunk) * kCrcChunkElems;
+  // The golden chunking implies the blessed numel; a live tensor that no
+  // longer covers this chunk has drifted in size — corruption, not a pass.
+  if (at > p->numel()) return false;
+  const std::int64_t len = std::min<std::int64_t>(kCrcChunkElems,
+                                                  p->numel() - at);
+  return crc32(p->data() + at,
+               static_cast<std::size_t>(len) * sizeof(float)) == golden[chunk];
 }
 
 int QuantizedNetwork::first_corrupt_param() {

@@ -108,6 +108,20 @@ class QuantizedNetwork {
   /// out-of-range index or a live/golden size drift.
   bool param_intact(std::size_t i);
 
+  /// Chunk granularity of the resumable CRC snapshot: a parameter tensor
+  /// is blessed as independent CRC32s over kCrcChunkElems-float windows,
+  /// so the scrubber can verify (and be interrupted inside) a tensor far
+  /// larger than one swap-mutex hold budget. 16384 floats = 64 KiB.
+  static constexpr std::int64_t kCrcChunkElems = 16384;
+
+  /// Chunks in parameter tensor `i` (ceil(numel / kCrcChunkElems), at
+  /// least 1 for an in-range tensor); 0 for an out-of-range index.
+  std::size_t param_chunk_count(std::size_t i);
+
+  /// CRC check of one chunk of parameter tensor `i`; false out of range or
+  /// on live/golden size drift — a drift is a corruption signal.
+  bool param_chunk_intact(std::size_t i, std::size_t chunk);
+
  private:
   /// True when layers [l, l+1] are a conv→BN pair the checksum can fold.
   bool foldable_at(std::size_t l) const;
@@ -118,6 +132,9 @@ class QuantizedNetwork {
   /// Golden checksum per top-level layer; empty entries are unprotected.
   std::vector<nn::AbftChecksum> layer_golden_;
   std::vector<std::uint32_t> golden_crcs_;
+  /// Per-tensor chunked CRC snapshot (kCrcChunkElems floats per chunk),
+  /// captured at the same blessings as golden_crcs_.
+  std::vector<std::vector<std::uint32_t>> golden_chunk_crcs_;
 };
 
 }  // namespace pgmr::quant

@@ -108,6 +108,51 @@ std::string MetricsSnapshot::to_string() const {
   return out;
 }
 
+namespace {
+
+/// result[i] += part[i], growing result to fit (shards may differ in
+/// ensemble width; absent slots count zero).
+void accumulate(std::vector<std::uint64_t>& result,
+                const std::vector<std::uint64_t>& part) {
+  if (part.size() > result.size()) result.resize(part.size(), 0);
+  for (std::size_t i = 0; i < part.size(); ++i) result[i] += part[i];
+}
+
+}  // namespace
+
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot merged;
+  for (const MetricsSnapshot& p : parts) {
+    merged.requests_submitted += p.requests_submitted;
+    merged.requests_completed += p.requests_completed;
+    merged.requests_rejected += p.requests_rejected;
+    merged.requests_shed += p.requests_shed;
+    merged.batches += p.batches;
+    merged.batch_size_sum += p.batch_size_sum;
+    merged.max_batch_size = std::max(merged.max_batch_size, p.max_batch_size);
+    merged.reliable += p.reliable;
+    merged.unreliable += p.unreliable;
+    merged.degraded_verdicts += p.degraded_verdicts;
+    merged.scrub_cycles += p.scrub_cycles;
+    merged.replacements_started += p.replacements_started;
+    merged.replacements_completed += p.replacements_completed;
+    merged.replacements_failed += p.replacements_failed;
+    merged.quorum_size += p.quorum_size;
+    accumulate(merged.member_activations, p.member_activations);
+    accumulate(merged.member_faults, p.member_faults);
+    accumulate(merged.quarantine_events, p.quarantine_events);
+    accumulate(merged.crc_mismatches, p.crc_mismatches);
+    accumulate(merged.weight_reloads, p.weight_reloads);
+    for (std::size_t b = 0; b < p.latency_buckets.size(); ++b) {
+      merged.latency_buckets[b] += p.latency_buckets[b];
+    }
+    for (std::size_t b = 0; b < p.scrub_hold_buckets.size(); ++b) {
+      merged.scrub_hold_buckets[b] += p.scrub_hold_buckets[b];
+    }
+  }
+  return merged;
+}
+
 MetricsRegistry::MetricsRegistry(std::size_t members)
     : quorum_size_{members},
       member_activations_(members),

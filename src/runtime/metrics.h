@@ -76,6 +76,15 @@ struct MetricsSnapshot {
   std::string to_string() const;
 };
 
+/// Cross-shard aggregation: counters sum, histograms merge bucket-wise
+/// (every registry shares kLatencyBucketBounds, so merged quantiles equal
+/// the quantiles of the pooled samples), per-member vectors sum slot-wise
+/// (padded to the widest ensemble), max_batch_size takes the max and the
+/// quorum_size gauge sums — the fleet's total members in service. The
+/// fleet router reports through this so serve-bench-style reports work
+/// over N runtime replicas unchanged.
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
+
 /// The live registry the runtime writes into.
 class MetricsRegistry {
  public:
@@ -112,6 +121,22 @@ class MetricsRegistry {
   void on_scrub_hold_us(std::uint64_t micros);
 
   std::size_t members() const { return member_activations_.size(); }
+
+  /// Requests accepted so far (relaxed read; cheap enough for routing).
+  std::uint64_t submitted() const {
+    return requests_submitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Accepted requests not yet answered or shed — the shard-load signal
+  /// the fleet router's least-loaded spill uses. The three relaxed loads
+  /// are not a consistent cut, so the difference saturates at zero.
+  std::uint64_t in_flight() const {
+    const std::uint64_t in = submitted();
+    const std::uint64_t out =
+        requests_completed_.load(std::memory_order_relaxed) +
+        requests_shed_.load(std::memory_order_relaxed);
+    return in > out ? in - out : 0;
+  }
 
   MetricsSnapshot snapshot() const;
 

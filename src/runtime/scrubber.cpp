@@ -10,7 +10,7 @@ WeightScrubber::WeightScrubber(mr::Ensemble& ensemble, MemberHealth& health,
       metrics_(metrics),
       swap_mutex_(swap_mutex),
       options_(options),
-      cursors_(ensemble.size(), 0),
+      cursors_(ensemble.size()),
       passes_(ensemble.size()) {}
 
 WeightScrubber::~WeightScrubber() { stop(); }
@@ -67,27 +67,55 @@ ScrubReport WeightScrubber::scrub_once() {
           options_.max_tensors_per_sweep == 0
               ? total
               : std::min(options_.max_tensors_per_sweep, total);
-      std::size_t& cursor = cursors_[m];
-      if (cursor >= total) cursor = 0;
+      Cursor& cursor = cursors_[m];
+      if (cursor.tensor >= total) cursor = Cursor{};
 
+      // Verify CRC chunks from the cursor until a tensor budget, chunk
+      // budget or the hold ceiling stops the sweep — possibly mid-tensor,
+      // where the chunk cursor resumes next sweep. At least one chunk is
+      // always verified, so progress never starves.
       bool corrupt = false;
-      for (std::size_t i = 0; i < budget; ++i) {
-        if (!member.param_intact(cursor)) corrupt = true;
-        ++report.tensors_checked;
-        cursor = (cursor + 1) % total;
-        if (cursor == 0) passes_[m].fetch_add(1, std::memory_order_relaxed);
-        if (corrupt) break;
-        // Soft hold ceiling: release the batcher after the current tensor
-        // once the configured budget of lock time is spent.
-        if (options_.max_hold.count() > 0 &&
-            clock::now() - hold_start >= options_.max_hold) {
-          break;
+      std::size_t tensors_done = 0;
+      std::size_t chunks_done = 0;
+      bool stop = false;
+      while (!stop && tensors_done < budget) {
+        const std::size_t chunks = member.param_chunk_count(cursor.tensor);
+        if (cursor.chunk >= chunks) cursor.chunk = 0;
+        while (cursor.chunk < chunks) {
+          if (!member.param_chunk_intact(cursor.tensor, cursor.chunk)) {
+            corrupt = true;
+          }
+          ++report.chunks_checked;
+          ++chunks_done;
+          ++cursor.chunk;
+          if (corrupt ||
+              (options_.max_chunks_per_sweep > 0 &&
+               chunks_done >= options_.max_chunks_per_sweep) ||
+              // Soft hold ceiling: release the batcher after the current
+              // chunk once the configured budget of lock time is spent.
+              (options_.max_hold.count() > 0 &&
+               clock::now() - hold_start >= options_.max_hold)) {
+            stop = true;
+            break;
+          }
+        }
+        if (!corrupt && cursor.chunk >= chunks) {  // whole tensor clean
+          ++report.tensors_checked;
+          ++tensors_done;
+          cursor.tensor = (cursor.tensor + 1) % total;
+          cursor.chunk = 0;
+          if (cursor.tensor == 0) {
+            passes_[m].fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
 
       if (corrupt) {
         ++report.mismatches;
         metrics_.on_crc_mismatch(m);
+        // Whatever happens next, the member's weights change (heal) or the
+        // member leaves service (fence): restart its verification cycle.
+        cursor = Cursor{};
         const mr::Member::ReloadStatus status = member.reload_params();
         if (status == mr::Member::ReloadStatus::healed) {
           ++report.reloads;

@@ -36,7 +36,8 @@ namespace pgmr::runtime {
 /// What one scrub sweep over the ensemble found and did.
 struct ScrubReport {
   std::size_t members_checked = 0;  ///< members whose CRCs were re-verified
-  std::size_t tensors_checked = 0;  ///< parameter tensors CRC-verified
+  std::size_t tensors_checked = 0;  ///< parameter tensors fully CRC-verified
+  std::size_t chunks_checked = 0;   ///< intra-tensor CRC chunks verified
   std::size_t mismatches = 0;       ///< members with a corrupted parameter
   std::size_t reloads = 0;          ///< members healed from their archive
   std::size_t fenced = 0;           ///< members fenced (archive bad too)
@@ -56,10 +57,18 @@ class WeightScrubber {
     std::size_t max_tensors_per_sweep = 0;
 
     /// Soft per-acquisition hold ceiling: once a member's CRC work has run
-    /// this long the sweep releases the swap mutex after the current tensor
-    /// (at least one is always checked). 0 disables the ceiling. Measured
-    /// hold time is exported as the scrub_hold_us histogram either way.
+    /// this long the sweep releases the swap mutex after the current CRC
+    /// *chunk* (at least one is always checked) and resumes mid-tensor on
+    /// the next sweep — so the ceiling binds even when a single tensor's
+    /// CRC outweighs it. 0 disables the ceiling. Measured hold time is
+    /// exported as the scrub_hold_us histogram either way.
     std::chrono::microseconds max_hold{0};
+
+    /// Deterministic chunk budget: at most this many intra-tensor CRC
+    /// chunks (quant::QuantizedNetwork::kCrcChunkElems floats each) are
+    /// verified per member per sweep, resuming mid-tensor like the hold
+    /// ceiling. 0 leaves chunking to max_tensors_per_sweep/max_hold alone.
+    std::size_t max_chunks_per_sweep = 0;
   };
 
   /// All referees must outlive the scrubber. `swap_mutex` is the runtime's
@@ -113,9 +122,15 @@ class WeightScrubber {
   Options options_;
   std::function<void()> on_fence_;
 
-  /// Round-robin tensor cursor per member (guarded by swap_mutex_) and the
-  /// count of completed full passes (atomic for test observers).
-  std::vector<std::size_t> cursors_;
+  /// Round-robin (tensor, chunk) cursor per member (guarded by
+  /// swap_mutex_): chunk > 0 means a sweep was interrupted mid-tensor and
+  /// resumes there. passes_ counts completed full passes (atomic for test
+  /// observers).
+  struct Cursor {
+    std::size_t tensor = 0;
+    std::size_t chunk = 0;
+  };
+  std::vector<Cursor> cursors_;
   std::vector<std::atomic<std::uint64_t>> passes_;
 
   std::mutex wake_mutex_;

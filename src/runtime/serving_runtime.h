@@ -89,6 +89,10 @@ struct RuntimeOptions {
   /// Incremental scrubbing: parameter tensors CRC'd per member per sweep
   /// (round-robin cursor). 0 checks every tensor each sweep.
   std::size_t scrub_max_tensors = 0;
+  /// Resumable intra-tensor scrubbing: CRC chunks (64 KiB windows) checked
+  /// per member per sweep; a sweep interrupted mid-tensor resumes at its
+  /// chunk cursor. 0 disables the deterministic chunk budget.
+  std::size_t scrub_max_chunks = 0;
   /// Soft per-acquisition swap-mutex hold ceiling for scrub sweeps
   /// (see WeightScrubber::Options::max_hold). 0 disables the ceiling.
   std::chrono::microseconds scrub_max_hold{0};

@@ -1,0 +1,210 @@
+// Resumable intra-tensor scrubbing: with a per-sweep chunk budget
+// (scrub_max_chunks) the cursor walks a fixed number of 64 KiB CRC windows
+// per member per sweep, pausing and resuming *inside* a tensor, so the
+// swap-mutex hold per acquisition is bounded by the chunk budget even when
+// a single tensor outweighs it. A full logical pass completes every
+// ceil(total_chunks / budget) sweeps, corruption hiding in a late chunk is
+// still caught the sweep its window comes up, and the soft hold ceiling
+// now yields mid-tensor instead of being forced to finish the tensor.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "quant/quantized_network.h"
+#include "runtime/serving_runtime.h"
+#include "tensor/random.h"
+
+namespace pgmr::runtime {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+constexpr std::int64_t kChunk = quant::QuantizedNetwork::kCrcChunkElems;
+
+/// Flatten + Dense(2, 20000) + Dense(20000, 2): four parameter tensors of
+/// 40000 / 20000 / 40000 / 2 floats = 3 + 2 + 3 + 1 = 9 CRC chunks.
+constexpr std::size_t kParams = 4;
+constexpr std::size_t kTotalChunks = 9;
+
+nn::Network multi_chunk_net() {
+  Rng rng(21);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto up = std::make_unique<nn::Dense>(2, 20000);
+  up->init(rng);
+  layers.push_back(std::move(up));
+  auto down = std::make_unique<nn::Dense>(20000, 2);
+  down->init(rng);
+  layers.push_back(std::move(down));
+  return nn::Network("multichunk", std::move(layers));
+}
+
+class ScrubChunkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    archive_ = (std::filesystem::temp_directory_path() /
+                ("pgmr_scrub_chunk_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                 ".net"))
+                   .string();
+    multi_chunk_net().save(archive_);
+  }
+  void TearDown() override { std::remove(archive_.c_str()); }
+
+  polygraph::PolygraphSystem archive_system(int members) {
+    mr::Ensemble e;
+    for (int m = 0; m < members; ++m) {
+      mr::Member member(std::make_unique<prep::Identity>(),
+                        nn::Network::load(archive_));
+      member.set_archive_source(archive_);
+      e.add(std::move(member));
+    }
+    polygraph::PolygraphSystem sys(std::move(e));
+    sys.set_thresholds({0.5F, members});
+    return sys;
+  }
+
+  static RuntimeOptions chunk_options(std::size_t max_chunks,
+                                      microseconds max_hold = microseconds(0)) {
+    RuntimeOptions o;
+    o.threads = 1;
+    o.scrub_interval = milliseconds(0);  // sweeps driven by scrub_now()
+    o.scrub_max_chunks = max_chunks;
+    o.scrub_max_hold = max_hold;
+    return o;
+  }
+
+  /// Sign-flips element `idx` of member m's parameter tensor `param`,
+  /// breaking exactly the CRC chunk that holds it. Swap-locked so it never
+  /// races a sweep.
+  static void corrupt_param(ServingRuntime& rt, std::size_t m,
+                            std::size_t param, std::int64_t idx) {
+    rt.with_swap_lock([&rt, m, param, idx] {
+      Tensor* p = rt.system().ensemble().member(m).net().mutable_network()
+                      .params()[param];
+      (*p)[idx] = (*p)[idx] == 0.0F ? 1.0F : -(*p)[idx];
+    });
+  }
+
+  std::string archive_;
+};
+
+TEST_F(ScrubChunkTest, UnitChunkBudgetWalksEveryChunkInTotalChunksSweeps) {
+  ServingRuntime rt(archive_system(1), chunk_options(1));
+  // Budget 1: one 64 KiB window per sweep, pausing inside the 3-chunk
+  // tensors; the pass boundary lands exactly every kTotalChunks sweeps.
+  std::size_t tensors_completed = 0;
+  for (std::size_t sweep = 1; sweep <= 2 * kTotalChunks; ++sweep) {
+    const ScrubReport report = rt.scrub_now();
+    EXPECT_EQ(report.members_checked, 1U);
+    EXPECT_EQ(report.chunks_checked, 1U) << "sweep " << sweep;
+    tensors_completed += report.tensors_checked;
+    EXPECT_EQ(rt.scrubber().full_passes(0), sweep / kTotalChunks)
+        << "sweep " << sweep;
+  }
+  EXPECT_EQ(tensors_completed, 2 * kParams);
+}
+
+TEST_F(ScrubChunkTest, ChunkBudgetSpansTensorBoundaries) {
+  ServingRuntime rt(archive_system(1), chunk_options(4));
+  // Budget 4 over chunk layout {3,2,3,1}: sweeps stop mid-tensor and the
+  // cursor resumes there, so 9 chunks complete a pass in 3 sweeps.
+  for (std::size_t sweep = 1; sweep <= 3; ++sweep) {
+    const ScrubReport report = rt.scrub_now();
+    EXPECT_EQ(report.chunks_checked, 4U) << "sweep " << sweep;
+  }
+  EXPECT_EQ(rt.scrubber().full_passes(0), 1U);
+}
+
+TEST_F(ScrubChunkTest, LateChunkCorruptionIsCaughtWhenItsWindowComesUp) {
+  ServingRuntime rt(archive_system(1), chunk_options(1));
+  // Corrupt chunk 2 of tensor 0 (element past two full windows): sweeps 1
+  // and 2 verify the clean windows before it, sweep 3 hits the corruption
+  // and heals from the archive.
+  corrupt_param(rt, 0, 0, 2 * kChunk + 7);
+
+  EXPECT_EQ(rt.scrub_now().mismatches, 0U);
+  EXPECT_EQ(rt.scrub_now().mismatches, 0U);
+  const ScrubReport third = rt.scrub_now();
+  EXPECT_EQ(third.mismatches, 1U);
+  EXPECT_EQ(third.reloads, 1U);
+  EXPECT_EQ(third.fenced, 0U);
+  EXPECT_EQ(rt.metrics_snapshot().crc_mismatches[0], 1U);
+  EXPECT_EQ(rt.metrics_snapshot().weight_reloads[0], 1U);
+
+  // Healing restarted the member's cycle: the next full logical pass over
+  // all nine windows is clean.
+  for (std::size_t sweep = 0; sweep < kTotalChunks; ++sweep) {
+    EXPECT_EQ(rt.scrub_now().mismatches, 0U) << "post-heal sweep " << sweep;
+  }
+  EXPECT_GE(rt.scrubber().full_passes(0), 1U);
+}
+
+TEST_F(ScrubChunkTest, ChunkBudgetStillFencesWithoutArchive) {
+  ServingRuntime rt(archive_system(1), chunk_options(2));
+  corrupt_param(rt, 0, 2, 2 * kChunk + 1);  // last chunk of tensor 2
+  rt.with_swap_lock([&rt, this] {
+    rt.system().ensemble().member(0).set_archive_source(archive_ + ".gone");
+  });
+
+  // The cursor reaches the corrupt window within one logical pass.
+  std::size_t fenced = 0;
+  for (std::size_t sweep = 0; sweep < kTotalChunks && fenced == 0; ++sweep) {
+    fenced = rt.scrub_now().fenced;
+  }
+  EXPECT_EQ(fenced, 1U);
+  EXPECT_EQ(rt.health().state(0), MemberState::fenced);
+  EXPECT_EQ(rt.scrub_now().members_checked, 0U);
+}
+
+TEST_F(ScrubChunkTest, HoldCeilingYieldsMidTensorWithoutStarving) {
+  // A 1us ceiling is far below the cost of CRC-ing a 40000-float tensor,
+  // so acquisitions must be allowed to stop between chunks; progress is
+  // still guaranteed (>= 1 chunk per member per sweep), so a full pass
+  // lands within kTotalChunks sweeps.
+  ServingRuntime rt(archive_system(1), chunk_options(0, microseconds(1)));
+  for (std::size_t sweep = 1; sweep <= kTotalChunks; ++sweep) {
+    const ScrubReport report = rt.scrub_now();
+    EXPECT_GE(report.chunks_checked, 1U) << "sweep " << sweep;
+    EXPECT_LE(report.chunks_checked, kTotalChunks) << "sweep " << sweep;
+  }
+  EXPECT_GE(rt.scrubber().full_passes(0), 1U)
+      << "hold ceiling must not starve the chunk cursor";
+  // One hold sample per member per sweep, ceiling or not.
+  std::uint64_t samples = 0;
+  for (std::uint64_t b : rt.metrics_snapshot().scrub_hold_buckets) {
+    samples += b;
+  }
+  EXPECT_EQ(samples, kTotalChunks);
+}
+
+TEST_F(ScrubChunkTest, ChunkBudgetComposesWithTensorBudget) {
+  // scrub_max_tensors=1 + scrub_max_chunks=8: the tensor budget stops the
+  // sweep at each tensor boundary even when chunks remain, so the layout
+  // {3,2,3,1} takes exactly kParams sweeps per pass.
+  RuntimeOptions o = chunk_options(8);
+  o.scrub_max_tensors = 1;
+  ServingRuntime rt(archive_system(1), o);
+  const std::size_t expected_chunks[] = {3, 2, 3, 1};
+  for (std::size_t sweep = 0; sweep < kParams; ++sweep) {
+    const ScrubReport report = rt.scrub_now();
+    EXPECT_EQ(report.tensors_checked, 1U) << "sweep " << sweep;
+    EXPECT_EQ(report.chunks_checked, expected_chunks[sweep])
+        << "sweep " << sweep;
+  }
+  EXPECT_EQ(rt.scrubber().full_passes(0), 1U);
+}
+
+}  // namespace
+}  // namespace pgmr::runtime

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fault/injector.h"
+#include "fleet/router.h"
 #include "mr/protection.h"
 #include "perf/cost_model.h"
 #include "polygraph/builder.h"
@@ -179,7 +180,9 @@ std::vector<double> probe_sensitivities(polygraph::PolygraphSystem& system,
 /// Drives the serving runtime with load drawn from the benchmark's test
 /// split — open-loop (flood every request up front) by default, or
 /// fixed-concurrency closed-loop with --closed-loop K — and reports
-/// throughput, latency and quality.
+/// throughput, latency and quality. --shards N > 1 serves through a
+/// fleet::FleetRouter over N replicas (each built from the same config)
+/// instead of a single runtime, reporting merged metrics.
 int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   runtime::RuntimeOptions opts;
   opts.threads = 1;
@@ -188,6 +191,7 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   long long requests = 1000;
   long long deadline_us = 0;  // 0 = no per-request deadline
   long long closed_loop = 0;  // 0 = open loop, K = concurrent clients
+  std::size_t shards = 1;     // > 1 = fleet-routed serving
   bool replacement = false;
   bool protection_auto = false;
   double sdc_budget = 0.05;
@@ -209,6 +213,8 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       deadline_us = value;
     } else if (flag == "--closed-loop") {
       closed_loop = value;
+    } else if (flag == "--shards") {
+      shards = static_cast<std::size_t>(value);
     } else if (flag == "--protection") {
       if (arg == "off") {
         opts.protection = nn::Protection::off;
@@ -229,6 +235,8 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       opts.scrub_interval = std::chrono::milliseconds(value);
     } else if (flag == "--scrub-max-tensors") {
       opts.scrub_max_tensors = static_cast<std::size_t>(value);
+    } else if (flag == "--scrub-max-chunks") {
+      opts.scrub_max_chunks = static_cast<std::size_t>(value);
     } else if (flag == "--scrub-max-hold-us") {
       opts.scrub_max_hold = std::chrono::microseconds(value);
     } else if (flag == "--training-threads") {
@@ -257,16 +265,25 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
     std::fprintf(stderr, "serve-bench: --closed-loop must be >= 0\n");
     return 2;
   }
+  if (shards == 0) shards = 1;
+  if (replacement && shards > 1) {
+    // The replacement factory is wired to one live runtime (and trains on
+    // process-wide thread settings); per-shard self-healing is not routed
+    // through serve-bench yet.
+    std::fprintf(stderr,
+                 "serve-bench: --replacement on requires --shards 1\n");
+    return 2;
+  }
 
   const polygraph::SystemConfig config = polygraph::load_config(config_path);
   const zoo::Benchmark& bm = zoo::find_benchmark(config.benchmark);
   const data::DatasetSplits splits = zoo::benchmark_splits(bm);
   const std::int64_t pool_n = splits.test.size();
-  std::printf("serve-bench: %s (%zu members, threads=%zu, max_batch=%zu, "
-              "max_delay=%lldus, requests=%lld, protection=%s, "
-              "scrub_interval=%lldms, mode=%s)\n",
-              config.benchmark.c_str(), config.members.size(), opts.threads,
-              opts.max_batch,
+  std::printf("serve-bench: %s (%zu members, shards=%zu, threads=%zu, "
+              "max_batch=%zu, max_delay=%lldus, requests=%lld, "
+              "protection=%s, scrub_interval=%lldms, mode=%s)\n",
+              config.benchmark.c_str(), config.members.size(), shards,
+              opts.threads, opts.max_batch,
               static_cast<long long>(opts.max_delay.count()), requests,
               protection_auto ? "auto" : nn::to_string(opts.protection),
               static_cast<long long>(opts.scrub_interval.count()),
@@ -317,8 +334,22 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       return zoo::make_replacement_member(bm, spec, config.bits, cancel);
     };
   }
-  runtime::ServingRuntime rt(std::move(system), opts);
-  live->store(&rt);
+  // Exactly one of the two serving stacks is live: a single runtime, or a
+  // fleet router over `shards` replicas built from the same config (the
+  // probed protection plan rides along in the shared RuntimeOptions).
+  std::optional<runtime::ServingRuntime> rt;
+  std::optional<fleet::FleetRouter> fleet_rt;
+  if (shards > 1) {
+    fleet::FleetOptions fopts;
+    fopts.shards = shards;
+    fopts.runtime = opts;
+    fleet_rt.emplace(
+        [&config](std::size_t) { return polygraph::make_system(config); },
+        fopts);
+  } else {
+    rt.emplace(std::move(system), opts);
+    live->store(&*rt);
+  }
 
   std::atomic<std::int64_t> tp{0}, fp{0}, unreliable{0}, degraded{0},
       shed{0}, failed{0};
@@ -351,6 +382,15 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
     return deadline;
   };
 
+  // Fleet routing is keyed by request index: stable, uniformly spread.
+  const auto submit_one = [&](long long r) {
+    Tensor sample = splits.test.sample(r % pool_n);
+    return fleet_rt ? fleet_rt->submit(std::move(sample),
+                                       static_cast<std::uint64_t>(r),
+                                       request_deadline())
+                    : rt->submit(std::move(sample), request_deadline());
+  };
+
   const auto t0 = std::chrono::steady_clock::now();
   if (closed_loop > 0) {
     // Fixed concurrency: K clients each keep exactly one request in
@@ -363,9 +403,12 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       clients.emplace_back([&] {
         for (long long r = next.fetch_add(1); r < requests;
              r = next.fetch_add(1)) {
-          std::future<polygraph::Verdict> future =
-              rt.submit(splits.test.sample(r % pool_n), request_deadline());
-          classify(future, r);
+          try {
+            std::future<polygraph::Verdict> future = submit_one(r);
+            classify(future, r);
+          } catch (const std::exception&) {
+            ++failed;  // e.g. a fleet shard refused the hand-off
+          }
         }
       });
     }
@@ -376,8 +419,7 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
     std::vector<std::future<polygraph::Verdict>> futures;
     futures.reserve(static_cast<std::size_t>(requests));
     for (long long r = 0; r < requests; ++r) {
-      futures.push_back(
-          rt.submit(splits.test.sample(r % pool_n), request_deadline()));
+      futures.push_back(submit_one(r));
     }
     for (long long r = 0; r < requests; ++r) {
       classify(futures[static_cast<std::size_t>(r)], r);
@@ -386,9 +428,13 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  rt.shutdown();
+  if (rt) rt->shutdown();
+  if (fleet_rt) fleet_rt->shutdown();
 
-  const runtime::MetricsSnapshot snap = rt.metrics_snapshot();
+  std::optional<fleet::FleetSnapshot> fleet_snap;
+  if (fleet_rt) fleet_snap = fleet_rt->snapshot();
+  const runtime::MetricsSnapshot snap =
+      fleet_rt ? fleet_snap->merged : rt->metrics_snapshot();
   std::printf("throughput: %.1f req/s (%lld requests in %.3fs)\n",
               static_cast<double>(requests) / secs, requests, secs);
   std::printf("quality:    TP %lld  FP %lld  unreliable %lld  "
@@ -404,12 +450,20 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   for (const std::uint64_t q : snap.quarantine_events) quarantines += q;
   for (const std::uint64_t c : snap.crc_mismatches) crc_mismatches += c;
   for (const std::uint64_t w : snap.weight_reloads) weight_reloads += w;
+  std::size_t quarantined_now = 0;
+  if (fleet_rt) {
+    for (std::size_t s = 0; s < fleet_rt->shards(); ++s) {
+      quarantined_now += fleet_rt->shard(s).health().quarantined_count();
+    }
+  } else {
+    quarantined_now = rt->health().quarantined_count();
+  }
   std::printf("resilience: shed %lld  failed %lld  member_faults %llu  "
               "quarantines %llu (%zu member(s) quarantined now)\n",
               static_cast<long long>(shed), static_cast<long long>(failed),
               static_cast<unsigned long long>(member_faults),
               static_cast<unsigned long long>(quarantines),
-              rt.health().quarantined_count());
+              quarantined_now);
   std::printf("scrubbing:  %llu cycle(s), crc_mismatches %llu, "
               "weight_reloads %llu\n",
               static_cast<unsigned long long>(snap.scrub_cycles),
@@ -437,7 +491,9 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
                   snap.scrub_hold_quantile_us(0.5)),
               static_cast<unsigned long long>(
                   snap.scrub_hold_quantile_us(0.99)));
-  std::printf("-- metrics snapshot --\n%s", snap.to_string().c_str());
+  std::printf("-- metrics snapshot --\n%s",
+              fleet_snap ? fleet_snap->to_string().c_str()
+                         : snap.to_string().c_str());
   return 0;
 }
 
@@ -450,10 +506,11 @@ int usage() {
                "  pgmr predict <config.cfg> <sample-index>\n"
                "  pgmr serve-bench <config.cfg> [--threads N] [--max-batch B]"
                " [--max-delay-us D] [--queue-cap Q] [--requests R]"
-               " [--deadline-us T] [--closed-loop K]"
+               " [--deadline-us T] [--closed-loop K] [--shards N]"
                " [--protection off|fc|full|auto] [--sdc-budget B]"
                " [--scrub-interval-ms S] [--scrub-max-tensors N]"
-               " [--scrub-max-hold-us H] [--replacement on|off]"
+               " [--scrub-max-chunks N] [--scrub-max-hold-us H]"
+               " [--replacement on|off]"
                " [--training-threads N] [--training-nice L]\n");
   return 2;
 }
