@@ -22,6 +22,12 @@
 //             never-faulted single-replica reference
 //   recovery  after revive_shard, the half-open probe restores the shard
 //             and the fleet serves error-free at full membership again
+//
+// --isolation process runs every shard as a fork/exec'd pgmr-shard-worker
+// process behind a proc::ShardSupervisor. The campaign gates are the
+// same, but kill_shard delivers a real SIGKILL to the worker, detection
+// rides the broken socket instead of a simulation flag, and recovery
+// additionally requires the supervisor to have respawned the worker.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -48,7 +54,7 @@ const char* const kPreps[kMembers] = {"ORG", "FlipX", "ConNorm",
                                       "Gamma(2.00)"};
 
 fleet::FleetRouter make_fleet(
-    const zoo::Benchmark& bm, std::size_t shards,
+    const zoo::Benchmark& bm, std::size_t shards, fleet::Isolation isolation,
     std::shared_ptr<fault::ChaosInjector> chaos = nullptr) {
   fleet::FleetOptions opts;
   opts.shards = shards;
@@ -59,6 +65,15 @@ fleet::FleetRouter make_fleet(
   opts.shard_quarantine_after = 3;
   opts.shard_cooldown = milliseconds(100);
   opts.chaos = std::move(chaos);
+  opts.isolation = isolation;
+  if (isolation == fleet::Isolation::process) {
+    opts.process.worker_path = PGMR_SHARD_WORKER_BIN;
+    // A respawn cadence that gives the campaign a real outage window to
+    // measure, without stretching recovery past the probing budget.
+    opts.process.backoff_initial = milliseconds(400);
+    opts.process.backoff_max = milliseconds(2000);
+    opts.process.healthy_uptime = milliseconds(1000);
+  }
   return fleet::FleetRouter(
       [&bm](std::size_t) {
         polygraph::PolygraphSystem system(zoo::make_ensemble(
@@ -144,11 +159,14 @@ void serve_compare(fleet::FleetRouter& fleet,
 }
 
 /// Kill a shard mid-campaign, measure the outage, revive it, and require
-/// the half-open probe to restore full membership.
+/// the half-open probe to restore full membership. In process isolation
+/// the kill is a real SIGKILL of the worker and recovery additionally
+/// requires the supervisor to have respawned it.
 bool run_shard_loss_campaign(const zoo::Benchmark& bm,
-                             const data::Dataset& test, std::size_t shards) {
+                             const data::Dataset& test, std::size_t shards,
+                             fleet::Isolation isolation) {
   auto chaos = std::make_shared<fault::ChaosInjector>(0);
-  fleet::FleetRouter fleet = make_fleet(bm, shards, chaos);
+  fleet::FleetRouter fleet = make_fleet(bm, shards, isolation, chaos);
   polygraph::PolygraphSystem reference(
       zoo::make_ensemble(bm, {kPreps[0], kPreps[1], kPreps[2], kPreps[3]}));
   reference.set_thresholds({0.5F, mr::majority_threshold(kMembers)});
@@ -162,10 +180,21 @@ bool run_shard_loss_campaign(const zoo::Benchmark& bm,
   chaos->kill_shard(victim);
   // Long enough for quarantine (3 refusals) plus a few failed half-open
   // probes — the full detection + re-probe cycle while the shard is dead.
-  serve_compare(fleet, reference, test, 160, 64, milliseconds(2), outage);
-  const runtime::MemberState at_detect = fleet.shard_health().state(victim);
-  const bool detected = at_detect != runtime::MemberState::healthy &&
-                        chaos->shard_refusals(victim) >= 3;
+  // Detection is checked between chunks, not only at the end: in process
+  // mode the supervisor respawns the worker on its own schedule, so by the
+  // end of the phase the shard may already be healthy again.
+  bool detected = false;
+  runtime::MemberState at_detect = runtime::MemberState::healthy;
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    serve_compare(fleet, reference, test, 16, 64 + 16 * chunk,
+                  milliseconds(2), outage);
+    const runtime::MemberState state = fleet.shard_health().state(victim);
+    if (!detected && state != runtime::MemberState::healthy &&
+        chaos->shard_refusals(victim) >= 3) {
+      detected = true;
+      at_detect = state;
+    }
+  }
   const double floor =
       static_cast<double>(shards - 1) / static_cast<double>(shards);
   const bool outage_ok = detected && outage.mismatched == 0 &&
@@ -187,8 +216,12 @@ bool run_shard_loss_campaign(const zoo::Benchmark& bm,
   }
   serve_compare(fleet, reference, test, 64, 512, milliseconds(0), post);
   const fleet::FleetSnapshot snap = fleet.snapshot();
+  // In process mode the recovery is only real if the supervisor actually
+  // respawned the SIGKILLed worker (a fresh pid rebuilt from the spec).
+  const bool respawned = isolation != fleet::Isolation::process ||
+                         snap.shard_restarts[victim] >= 1;
   const bool recovery_ok = recovered_at >= 0 && post.unavailable == 0 &&
-                           post.mismatched == 0 &&
+                           post.mismatched == 0 && respawned &&
                            snap.routed[victim] > 0;
 
   std::printf("pre-outage:  availability %.3f, %lld/%lld verdicts "
@@ -208,6 +241,12 @@ bool run_shard_loss_campaign(const zoo::Benchmark& bm,
               victim, recovered_at, post.availability(),
               post.served - post.mismatched, post.served,
               recovery_ok ? "ok" : "VIOLATED");
+  if (isolation == fleet::Isolation::process) {
+    std::printf("supervisor:  worker respawns for shard %zu: %llu -> %s\n",
+                victim,
+                static_cast<unsigned long long>(snap.shard_restarts[victim]),
+                respawned ? "ok" : "VIOLATED");
+  }
   std::printf("fleet counters: spills %llu probes %llu unavailable %llu\n",
               static_cast<unsigned long long>(snap.spills),
               static_cast<unsigned long long>(snap.probes),
@@ -224,6 +263,7 @@ int main(int argc, char** argv) {
   std::size_t max_clients = 8;  // ramp ceiling for the per-shard knee
   long long requests = 640;
   bool campaign = false;
+  fleet::Isolation isolation = fleet::Isolation::thread;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--shards") == 0) {
       shards = static_cast<std::size_t>(std::atoll(argv[i + 1]));
@@ -233,6 +273,15 @@ int main(int argc, char** argv) {
       requests = std::atoll(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--campaign") == 0) {
       campaign = std::atoll(argv[i + 1]) != 0;
+    } else if (std::strcmp(argv[i], "--isolation") == 0) {
+      if (std::strcmp(argv[i + 1], "thread") == 0) {
+        isolation = fleet::Isolation::thread;
+      } else if (std::strcmp(argv[i + 1], "process") == 0) {
+        isolation = fleet::Isolation::process;
+      } else {
+        std::fprintf(stderr, "--isolation must be thread|process\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -247,10 +296,11 @@ int main(int argc, char** argv) {
   const std::int64_t pool_n = test.size();
   bool ok = true;
 
+  std::printf("isolation: %s\n", fleet::to_string(isolation));
   pgmr::bench::rule("single replica, closed-loop ramp to the knee");
   std::printf("%-8s %10s %6s %6s %6s %7s\n", "clients", "req/s", "TP", "FP",
               "unrel", "errors");
-  fleet::FleetRouter single = make_fleet(bm, 1);
+  fleet::FleetRouter single = make_fleet(bm, 1, isolation);
   const auto single_steps = bench::closed_loop_ramp(
       max_clients, requests,
       [&](long long i) {
@@ -275,7 +325,7 @@ int main(int argc, char** argv) {
   pgmr::bench::rule(title);
   std::printf("%-8s %10s %6s %6s %6s %7s\n", "clients", "req/s", "TP", "FP",
               "unrel", "errors");
-  fleet::FleetRouter fleet = make_fleet(bm, shards);
+  fleet::FleetRouter fleet = make_fleet(bm, shards, isolation);
   const bench::ClosedLoopResult fleet_step =
       measure(fleet, test, knee.clients * shards, requests);
   print_step(fleet_step);
@@ -307,7 +357,7 @@ int main(int argc, char** argv) {
     ok = ok && scale_ok;
 
     pgmr::bench::rule("shard-loss chaos campaign (kill + revive one shard)");
-    ok = run_shard_loss_campaign(bm, test, shards) && ok;
+    ok = run_shard_loss_campaign(bm, test, shards, isolation) && ok;
   }
 
   std::printf("\nacceptance: %s\n", ok ? "PASS" : "FAIL");

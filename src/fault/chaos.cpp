@@ -52,15 +52,31 @@ std::uint64_t ChaosInjector::fired(std::size_t member) const {
 }
 
 void ChaosInjector::kill_shard(std::size_t shard) {
-  std::lock_guard lock(mutex_);
-  if (shard >= shards_.size()) shards_.resize(shard + 1);
-  shards_[shard].down = true;
+  std::function<void()> deliver;
+  {
+    std::lock_guard lock(mutex_);
+    if (shard >= shards_.size()) shards_.resize(shard + 1);
+    if (shards_[shard].deliver) {
+      deliver = shards_[shard].deliver;  // real signal; no down latch
+    } else {
+      shards_[shard].down = true;  // simulation (thread backend)
+    }
+  }
+  if (deliver) deliver();  // outside the lock: it syscalls into kill(2)
 }
 
 void ChaosInjector::revive_shard(std::size_t shard) {
   std::lock_guard lock(mutex_);
   if (shard >= shards_.size()) shards_.resize(shard + 1);
+  if (shards_[shard].deliver) return;  // supervisor restarts real workers
   shards_[shard].down = false;
+}
+
+void ChaosInjector::set_shard_signal(std::size_t shard,
+                                     std::function<void()> deliver) {
+  std::lock_guard lock(mutex_);
+  if (shard >= shards_.size()) shards_.resize(shard + 1);
+  shards_[shard].deliver = std::move(deliver);
 }
 
 bool ChaosInjector::shard_down(std::size_t shard) const {

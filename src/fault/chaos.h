@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -63,18 +64,32 @@ class ChaosInjector {
   std::uint64_t fired(std::size_t member) const;
 
   /// Shard-loss hooks (fleet campaigns): fail-stop a whole serving
-  /// replica. The fleet router consults shard_down() on every submission
-  /// it routes — a down shard refuses the hand-off, which is how its
-  /// circuit breaker learns the shard died (there is no side channel: the
-  /// breaker sees only failed submissions, exactly as it would a crashed
-  /// process behind a load balancer). Shard indices are independent of the
-  /// member indices above and sized lazily, so one injector can drive both
-  /// member-level and shard-level chaos in a single campaign.
+  /// replica. What kill_shard() *does* depends on the fleet's isolation
+  /// backend:
+  ///  * thread backend (no signal hook): simulation — shard_down() latches
+  ///    true and the router refuses hand-offs to the shard until
+  ///    revive_shard().
+  ///  * process backend (set_shard_signal registered): the hook delivers a
+  ///    real SIGKILL to the shard's worker process. shard_down() stays
+  ///    false — the death is observed exactly as in production, through
+  ///    hand-offs refused by a genuinely dead process, and revive_shard()
+  ///    is a no-op because the supervisor restarts the worker itself.
+  /// Either way the router bumps the same shard_refusals counter on every
+  /// refused hand-off, so campaign assertions read identically across
+  /// backends. Shard indices are independent of the member indices above
+  /// and sized lazily, so one injector can drive both member-level and
+  /// shard-level chaos in a single campaign.
   void kill_shard(std::size_t shard);
 
-  /// Brings a killed shard back; the next half-open probe routed to it
-  /// succeeds and restores it to the serving rotation.
+  /// Brings a simulation-killed shard back; the next half-open probe
+  /// routed to it succeeds and restores it to the serving rotation. No-op
+  /// for shards with a registered signal hook (see kill_shard).
   void revive_shard(std::size_t shard);
+
+  /// Arms real-signal delivery for `shard` (the process backend registers
+  /// a SIGKILL-the-worker callback here at fleet construction). An empty
+  /// function un-registers, reverting kill_shard to simulation.
+  void set_shard_signal(std::size_t shard, std::function<void()> deliver);
 
   /// True while `shard` is killed. Never throws (unknown shards are up).
   bool shard_down(std::size_t shard) const;
@@ -96,6 +111,9 @@ class ChaosInjector {
   struct ShardPlan {
     bool down = false;
     std::uint64_t refusals = 0;
+    /// Real-signal hook; non-null switches kill_shard from simulation to
+    /// actual signal delivery (process isolation).
+    std::function<void()> deliver;
   };
 
   mutable std::mutex mutex_;

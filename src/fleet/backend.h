@@ -1,0 +1,128 @@
+// ShardBackend: the seam between the FleetRouter's routing brain and a
+// shard's execution substrate.
+//
+// The router owns rendezvous hashing, the shard circuit breaker, spill and
+// merged metrics; a backend owns *how* a routed request actually runs:
+//
+//   Isolation::thread   a ServingRuntime inside this process — threads
+//                       isolate replicas, a stray pointer does not
+//   Isolation::process  a fork/exec'd pgmr-shard-worker child supervised
+//                       by proc::ShardSupervisor — fail-stop containment:
+//                       a crash (real SIGKILL included) kills one shard's
+//                       process, and the router's breaker observes it as
+//                       refused hand-offs, exactly like the thread case
+//
+// Contract:
+//  * available() is the fail-stop signal: false while the shard cannot
+//    accept a hand-off at all (process dead / restarting / restart-storm
+//    capped). The router turns an unavailable election into a refusal that
+//    feeds the breaker. Thread shards are always available — their
+//    fail-stop is simulated by ChaosInjector::shard_down.
+//  * try_submit refuses (nullopt) on a full queue — backlog, not death —
+//    which the router spills sideways. submit() blocks on backpressure and
+//    throws ShardUnavailable if the shard dies while it waits.
+//  * Futures from a shard that later fail-stops carry ShardUnavailable;
+//    accepted work is never silently dropped.
+//  * metrics_snapshot() must keep counting across worker restarts (a
+//    SIGKILL loses at most the in-flight requests' worth of drift).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "polygraph/system.h"
+#include "runtime/metrics.h"
+#include "tensor/tensor.h"
+
+namespace pgmr::fleet {
+
+/// The error a submission raises when no shard could take it: the routed
+/// shard is down and not yet quarantined (detection window / probe), the
+/// whole fleet is, or the router was shut down.
+class ShardUnavailable : public std::runtime_error {
+ public:
+  explicit ShardUnavailable(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// How each shard's replica is isolated from the others.
+enum class Isolation {
+  thread,   ///< N ServingRuntimes in this process (PR 6 behaviour)
+  process,  ///< N supervised worker processes (fail-stop containment)
+};
+
+const char* to_string(Isolation isolation);
+
+/// Process-backend knobs (ignored for Isolation::thread).
+struct ProcessOptions {
+  /// Worker binary to fork/exec. Empty = $PGMR_SHARD_WORKER, falling back
+  /// to "pgmr-shard-worker" next to the current executable.
+  std::string worker_path;
+  /// Where per-shard spec directories are written. Empty = a fresh
+  /// directory under the system temp dir, removed at router teardown.
+  std::string spec_root;
+  /// How long construction waits for a worker's hello before declaring
+  /// the spawn failed (spec load + model deserialization happen here).
+  std::chrono::milliseconds startup_timeout{30000};
+  /// Idle gap after which the supervisor sends a ping.
+  std::chrono::milliseconds heartbeat_interval{250};
+  /// Silence after which a live-but-mute worker is declared hung and
+  /// SIGKILLed (then restarted like any other death).
+  std::chrono::milliseconds heartbeat_timeout{5000};
+  /// Exponential restart backoff: initial delay, doubling per consecutive
+  /// failure, capped at backoff_max. An incarnation that stays up past
+  /// healthy_uptime resets the schedule.
+  std::chrono::milliseconds backoff_initial{200};
+  std::chrono::milliseconds backoff_max{5000};
+  std::chrono::milliseconds healthy_uptime{2000};
+  /// Restart-storm cap: more than max_restarts deaths inside
+  /// restart_window gives the shard up for good (available() stays false,
+  /// so the breaker quarantines it and probes keep failing).
+  int max_restarts = 8;
+  std::chrono::milliseconds restart_window{60000};
+  /// Graceful-drain budget at shutdown before SIGTERM/SIGKILL escalation.
+  std::chrono::milliseconds drain_timeout{10000};
+  /// In-flight cap per worker (submit blocks above it); 0 = the runtime
+  /// queue capacity.
+  std::size_t max_inflight = 0;
+};
+
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// False while the shard is fail-stopped (see header comment).
+  virtual bool available() const = 0;
+
+  /// Non-blocking hand-off; nullopt when the queue is full or the shard
+  /// cannot accept (the router decides spill vs refusal via available()).
+  virtual std::optional<std::future<polygraph::Verdict>> try_submit(
+      Tensor image,
+      std::optional<std::chrono::steady_clock::time_point> deadline) = 0;
+
+  /// Blocking hand-off (backpressure reaches the caller). Throws
+  /// ShardUnavailable when the shard dies or stops while waiting.
+  virtual std::future<polygraph::Verdict> submit(
+      Tensor image,
+      std::optional<std::chrono::steady_clock::time_point> deadline) = 0;
+
+  /// Accepted-but-unanswered requests — the router's spill load signal.
+  virtual std::uint64_t in_flight() const = 0;
+
+  /// Cumulative metrics across the shard's lifetime (all incarnations).
+  virtual runtime::MetricsSnapshot metrics_snapshot() const = 0;
+
+  /// Worker respawns performed so far (0 for thread shards).
+  virtual std::uint64_t restarts() const { return 0; }
+
+  /// Stops accepting, drains accepted work, tears the substrate down.
+  /// Idempotent.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace pgmr::fleet

@@ -1,8 +1,14 @@
 #include "fleet/router.h"
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <limits>
 #include <sstream>
 #include <utility>
+
+#include "proc/spec.h"
+#include "proc/supervisor.h"
 
 namespace pgmr::fleet {
 
@@ -20,10 +26,66 @@ std::uint64_t mix64(std::uint64_t x) {
 FleetOptions normalized(FleetOptions o) {
   if (o.shards == 0) o.shards = 1;
   if (o.shard_quarantine_after < 1) o.shard_quarantine_after = 1;
+  if (o.process.max_inflight == 0) {
+    o.process.max_inflight = o.runtime.queue_capacity;
+  }
   return o;
 }
 
+/// Thread isolation: a ServingRuntime in this address space behind the
+/// backend seam. Always available — its fail-stop is only ever simulated
+/// (ChaosInjector::shard_down), which the router checks separately.
+class ThreadShard final : public ShardBackend {
+ public:
+  ThreadShard(polygraph::PolygraphSystem system,
+              const runtime::RuntimeOptions& options)
+      : rt_(std::move(system), options) {}
+
+  bool available() const override { return true; }
+
+  std::optional<std::future<polygraph::Verdict>> try_submit(
+      Tensor image,
+      std::optional<std::chrono::steady_clock::time_point> deadline) override {
+    return rt_.try_submit(std::move(image), deadline);
+  }
+
+  std::future<polygraph::Verdict> submit(
+      Tensor image,
+      std::optional<std::chrono::steady_clock::time_point> deadline) override {
+    return rt_.submit(std::move(image), deadline);
+  }
+
+  std::uint64_t in_flight() const override { return rt_.metrics().in_flight(); }
+
+  runtime::MetricsSnapshot metrics_snapshot() const override {
+    return rt_.metrics_snapshot();
+  }
+
+  void shutdown() override { rt_.shutdown(); }
+
+  runtime::ServingRuntime& runtime() { return rt_; }
+
+ private:
+  runtime::ServingRuntime rt_;
+};
+
+std::string fresh_spec_root() {
+  static std::atomic<std::uint64_t> seq{0};
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("pgmr-fleet-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(seq.fetch_add(1)));
+  return root.string();
+}
+
 }  // namespace
+
+const char* to_string(Isolation isolation) {
+  switch (isolation) {
+    case Isolation::thread: return "thread";
+    case Isolation::process: return "process";
+  }
+  return "unknown";
+}
 
 std::string FleetSnapshot::to_string() const {
   std::ostringstream out;
@@ -36,8 +98,8 @@ std::string FleetSnapshot::to_string() const {
     out << "shard[" << s << "] state "
         << runtime::to_string(shard_states[s]) << " routed " << routed[s]
         << " faults " << shard_faults[s] << " quarantines "
-        << shard_quarantines[s] << " completed "
-        << shards[s].requests_completed << "\n";
+        << shard_quarantines[s] << " restarts " << shard_restarts[s]
+        << " completed " << shards[s].requests_completed << "\n";
   }
   return out.str();
 }
@@ -52,17 +114,76 @@ FleetRouter::FleetRouter(const SystemFactory& factory, FleetOptions options)
       shard_faults_(options_.shards),
       shard_quarantines_(options_.shards) {
   shards_.reserve(options_.shards);
+  if (options_.isolation == Isolation::thread) {
+    runtimes_.reserve(options_.shards);
+    for (std::size_t s = 0; s < options_.shards; ++s) {
+      auto shard = std::make_unique<ThreadShard>(factory(s), options_.runtime);
+      runtimes_.push_back(&shard->runtime());
+      shards_.push_back(std::move(shard));
+    }
+    return;
+  }
+
+  // Process isolation: build each shard's system once, serialize it to a
+  // spec directory, and put a supervised worker process behind the seam.
+  std::string root = options_.process.spec_root;
+  if (root.empty()) {
+    root = fresh_spec_root();
+    owned_spec_root_ = root;
+  }
   for (std::size_t s = 0; s < options_.shards; ++s) {
-    shards_.push_back(std::make_unique<runtime::ServingRuntime>(
-        factory(s), options_.runtime));
+    const std::string dir =
+        (std::filesystem::path(root) / ("shard" + std::to_string(s)))
+            .string();
+    polygraph::PolygraphSystem system = factory(s);
+    proc::write_system_spec(dir, system, options_.runtime);
+    shards_.push_back(std::make_unique<proc::ShardSupervisor>(
+        dir, options_.process, "shard" + std::to_string(s)));
+  }
+  if (options_.chaos != nullptr) {
+    // kill_shard() now delivers a real SIGKILL to the worker instead of
+    // latching the simulated-down flag. The hooks are un-registered at
+    // shutdown, before the supervisors they point into are destroyed.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      auto* supervisor = static_cast<proc::ShardSupervisor*>(shards_[s].get());
+      options_.chaos->set_shard_signal(
+          s, [supervisor] { supervisor->kill_worker(); });
+    }
   }
 }
 
-FleetRouter::~FleetRouter() { shutdown(); }
+FleetRouter::~FleetRouter() {
+  shutdown();
+  if (!owned_spec_root_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(owned_spec_root_, ec);  // best effort
+  }
+}
 
 void FleetRouter::shutdown() {
-  stopped_.store(true, std::memory_order_release);
+  {
+    std::unique_lock lifecycle(lifecycle_);
+    if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  }
+  // No submission can now be mid-hand-off (they run under the shared side
+  // of lifecycle_ and fail fast once stopped_ is set), so the shards can
+  // drain without racing new arrivals.
+  if (options_.isolation == Isolation::process &&
+      options_.chaos != nullptr) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      options_.chaos->set_shard_signal(s, {});
+    }
+  }
   for (auto& shard : shards_) shard->shutdown();
+}
+
+runtime::ServingRuntime& FleetRouter::shard(std::size_t i) {
+  if (options_.isolation != Isolation::thread) {
+    throw std::logic_error(
+        "FleetRouter::shard: process-isolated shards live in a worker "
+        "process; use backend()/snapshot() instead");
+  }
+  return *runtimes_.at(i);
 }
 
 std::size_t FleetRouter::rendezvous(std::uint64_t key,
@@ -108,11 +229,20 @@ runtime::MemberState FleetRouter::record_refusal(
   return health_.state(shard);
 }
 
+bool FleetRouter::shard_is_down(std::size_t s) const {
+  if (options_.chaos != nullptr && options_.chaos->shard_down(s)) return true;
+  return !shards_[s]->available();
+}
+
 std::future<polygraph::Verdict> FleetRouter::submit(
     Tensor image, std::uint64_t key,
     std::optional<std::chrono::steady_clock::time_point> deadline) {
+  // Shared lifecycle hold: shutdown() cannot start draining shards while
+  // any submission is between the stopped_ check and its hand-off.
+  std::shared_lock lifecycle(lifecycle_);
   if (stopped_.load(std::memory_order_acquire)) {
-    throw std::runtime_error("FleetRouter::submit after shutdown");
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    throw ShardUnavailable("fleet: submit after shutdown");
   }
   const auto now = std::chrono::steady_clock::now();
 
@@ -135,14 +265,12 @@ std::future<polygraph::Verdict> FleetRouter::submit(
   }
   if (probe) probes_.fetch_add(1, std::memory_order_relaxed);
 
-  // Fail-stop check: a chaos-killed shard refuses the hand-off the way a
-  // crashed process would. The refusal feeds the breaker; the caller eats
-  // a ShardUnavailable until quarantine takes the shard out of rotation.
-  const auto down = [this](std::size_t s) {
-    return options_.chaos != nullptr && options_.chaos->shard_down(s);
-  };
-  if (down(winner)) {
-    options_.chaos->on_shard_refused(winner);
+  // Fail-stop check: a dead shard refuses the hand-off the way a crashed
+  // process would — for process isolation it *is* a crashed process. The
+  // refusal feeds the breaker; the caller eats a ShardUnavailable until
+  // quarantine takes the shard out of rotation.
+  if (shard_is_down(winner)) {
+    if (options_.chaos != nullptr) options_.chaos->on_shard_refused(winner);
     shard_faults_[winner].fetch_add(1, std::memory_order_relaxed);
     const runtime::MemberState st = record_refusal(winner, now);
     unavailable_.fetch_add(1, std::memory_order_relaxed);
@@ -164,14 +292,27 @@ std::future<polygraph::Verdict> FleetRouter::submit(
     return std::move(*future);
   }
 
+  // The winner refused. If it refused because it just died (its process
+  // backend noticed before our shard_is_down check above), that is a
+  // fault, not a backlog — feed the breaker like any other refusal.
+  if (!shards_[winner]->available()) {
+    if (options_.chaos != nullptr) options_.chaos->on_shard_refused(winner);
+    shard_faults_[winner].fetch_add(1, std::memory_order_relaxed);
+    const runtime::MemberState st = record_refusal(winner, now);
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    throw ShardUnavailable("fleet: shard " + std::to_string(winner) +
+                           " died during hand-off (now " +
+                           std::string(runtime::to_string(st)) + ")");
+  }
+
   // Overflow spill: the winner is alive but backlogged. Shed the request
   // sideways to the least-loaded eligible shard instead of blocking.
   spills_.fetch_add(1, std::memory_order_relaxed);
   std::size_t target = shards_.size();
   std::uint64_t lightest = std::numeric_limits<std::uint64_t>::max();
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (s == winner || !mask[s] || down(s)) continue;
-    const std::uint64_t load = shards_[s]->metrics().in_flight();
+    if (s == winner || !mask[s] || shard_is_down(s)) continue;
+    const std::uint64_t load = shards_[s]->in_flight();
     if (load < lightest) {
       lightest = load;
       target = s;
@@ -208,6 +349,7 @@ FleetSnapshot FleetRouter::snapshot() const {
         shard_faults_[s].load(std::memory_order_relaxed));
     snap.shard_quarantines.push_back(
         shard_quarantines_[s].load(std::memory_order_relaxed));
+    snap.shard_restarts.push_back(shards_[s]->restarts());
   }
   snap.spills = spills_.load(std::memory_order_relaxed);
   snap.probes = probes_.load(std::memory_order_relaxed);

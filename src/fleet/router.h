@@ -1,9 +1,9 @@
 // FleetRouter: horizontal scale-out of the serving runtime — the layer
-// between the request stream and N ServingRuntime replicas ("shards").
+// between the request stream and N serving replicas ("shards").
 //
-//   submit(image, key) --> rendezvous-hash over healthy shards --> shard's
-//       own ServingRuntime (thread-isolated: private ensemble, batcher,
-//       worker pool, scrubber, replacer, metrics registry) --> Verdict
+//   submit(image, key) --> rendezvous-hash over healthy shards --> shard
+//       backend (thread: in-process ServingRuntime; process: supervised
+//       pgmr-shard-worker child, see backend.h) --> Verdict
 //
 // Member-level modular redundancy (PolygraphMR's ensembles) makes one
 // replica trustworthy; the fleet adds *system-level* redundancy so losing
@@ -29,17 +29,27 @@
 //    without an oracle. It is bounded by quarantine_after + one probe per
 //    cooldown, so fleet availability stays >= (N-1)/N through an outage.
 //  * fenced is unused at shard granularity (fence_after_quarantines = 0):
-//    a dead replica is presumed restartable, so it probes forever.
+//    a dead replica is presumed restartable, so it probes forever. With
+//    process isolation that presumption is *implemented*: the shard's
+//    ShardSupervisor respawns its worker with exponential backoff, and
+//    the first probe after the respawn restores the shard.
+//
+// Isolation: FleetOptions::isolation picks the backend. `thread` shares
+// the router's address space (PR 6 behaviour, zero-copy hand-offs);
+// `process` fork/execs one pgmr-shard-worker per shard so a wild write,
+// abort or real SIGKILL is contained to one replica. The routing, breaker,
+// spill and snapshot logic is backend-blind.
 //
 // Overflow spill: when the elected shard's bounded queue refuses the
 // hand-off (backlog, not death), the request spills to the least-loaded
 // eligible shard (by in-flight requests) instead of failing — load peaks
 // shed sideways, only genuine fleet saturation blocks the caller.
 //
-// Chaos: an optional fault::ChaosInjector models shard loss. The router
-// consults ChaosInjector::shard_down() at hand-off time; a killed shard
-// refuses exactly like a crashed process behind a load balancer, and the
-// breaker machinery above learns of the death purely from those refusals.
+// Chaos: an optional fault::ChaosInjector models shard loss. With thread
+// shards kill_shard() latches a simulated-down flag the router consults at
+// hand-off time; with process shards the router registers a signal hook so
+// kill_shard() delivers a real SIGKILL to the worker. Either way the
+// breaker learns of the death purely from refused hand-offs.
 //
 // Metrics: every shard keeps its own MetricsRegistry (no cross-shard
 // cache-line traffic on the hot path); snapshot() merges the per-shard
@@ -47,10 +57,14 @@
 // reports (serve-bench, fleet-bench) read exactly like single-replica
 // ones, plus fleet-level routing counters.
 //
-// Threading: submit() is safe from any number of client threads. Routing
-// state (the shard breaker) is mutex-guarded; hand-offs happen outside
-// the lock, so a shard's bounded-queue backpressure never blocks routing
-// decisions for other shards.
+// Threading: submit() is safe from any number of client threads, and safe
+// against a concurrent shutdown(): the router's lifecycle is guarded by a
+// shared mutex (submissions shared, shutdown exclusive), so a submission
+// either completes its hand-off before any shard stops, or fails fast
+// with ShardUnavailable — never a torn hand-off into a dying shard.
+// Routing state (the shard breaker) is mutex-guarded; hand-offs happen
+// outside that lock, so a shard's bounded-queue backpressure never blocks
+// routing decisions for other shards.
 #pragma once
 
 #include <atomic>
@@ -62,24 +76,16 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <stdexcept>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "fault/chaos.h"
+#include "fleet/backend.h"
 #include "polygraph/system.h"
 #include "runtime/serving_runtime.h"
 
 namespace pgmr::fleet {
-
-/// The error a submission raises when no shard could take it: either the
-/// routed shard is down and not yet quarantined (detection window / probe)
-/// or no shard is eligible at all.
-class ShardUnavailable : public std::runtime_error {
- public:
-  explicit ShardUnavailable(const std::string& what)
-      : std::runtime_error(what) {}
-};
 
 /// Fleet knobs. `runtime` is the per-shard pipeline template — every
 /// replica gets its own copy (own worker pool, scrubber, replacer).
@@ -88,8 +94,13 @@ struct FleetOptions {
   runtime::RuntimeOptions runtime;     ///< per-shard ServingRuntime knobs
   int shard_quarantine_after = 3;      ///< refused hand-offs to quarantine
   std::chrono::milliseconds shard_cooldown{250};  ///< half-open delay
+  /// Backend choice (see header comment and backend.h).
+  Isolation isolation = Isolation::thread;
+  /// Process-backend knobs; ignored for thread isolation.
+  ProcessOptions process;
   /// Optional shard-loss chaos switch (see header comment). The router
-  /// only ever reads shard_down() / bumps refusal counters.
+  /// only ever reads shard_down() / bumps refusal counters, and for
+  /// process isolation registers the kill_shard signal hooks.
   std::shared_ptr<fault::ChaosInjector> chaos;
 };
 
@@ -101,6 +112,7 @@ struct FleetSnapshot {
   std::vector<std::uint64_t> routed;          ///< accepted hand-offs
   std::vector<std::uint64_t> shard_faults;    ///< refused hand-offs
   std::vector<std::uint64_t> shard_quarantines;  ///< breaker trips
+  std::vector<std::uint64_t> shard_restarts;  ///< worker respawns (process)
   std::uint64_t spills = 0;       ///< overflow re-routes to another shard
   std::uint64_t probes = 0;       ///< hand-offs that were half-open probes
   std::uint64_t unavailable = 0;  ///< submissions failed ShardUnavailable
@@ -115,6 +127,8 @@ class FleetRouter {
   /// Builds shard `s`'s system — called once per shard at construction.
   /// Shards must be *equivalent* (same composition, same thresholds) for
   /// verdicts to be shard-independent; the factory owns that guarantee.
+  /// With process isolation the built system is serialized to the shard's
+  /// spec directory (proc/spec.h) and reconstructed inside the worker.
   using SystemFactory =
       std::function<polygraph::PolygraphSystem(std::size_t shard)>;
 
@@ -128,12 +142,14 @@ class FleetRouter {
 
   std::size_t shards() const { return shards_.size(); }
   const FleetOptions& options() const { return options_; }
+  Isolation isolation() const { return options_.isolation; }
 
   /// Routes one [1, C, H, W] request by `key` (a stable request/session
   /// identifier — equal keys ride the same shard while it stays healthy).
   /// Returns the shard's verdict future. Throws ShardUnavailable when the
-  /// elected shard is down (detection window) or the whole fleet is; other
-  /// submit errors propagate from the shard runtime.
+  /// elected shard is down (detection window), the whole fleet is, or the
+  /// router has been shut down; other submit errors propagate from the
+  /// shard runtime.
   std::future<polygraph::Verdict> submit(
       Tensor image, std::uint64_t key,
       std::optional<std::chrono::steady_clock::time_point> deadline =
@@ -146,11 +162,18 @@ class FleetRouter {
   std::size_t shard_for(std::uint64_t key) const;
 
   /// Stops accepting requests and shuts every shard down (each drains).
-  /// Idempotent; called by the destructor.
+  /// Safe to race with in-flight submit() calls: they either complete
+  /// their hand-off first or fail fast with ShardUnavailable. Idempotent;
+  /// called by the destructor.
   void shutdown();
 
-  /// Direct shard access (campaigns corrupt weights, tests read health).
-  runtime::ServingRuntime& shard(std::size_t i) { return *shards_.at(i); }
+  /// Direct in-process shard access (campaigns corrupt weights, tests
+  /// read health). Thread isolation only — process shards live in another
+  /// address space; throws std::logic_error for them.
+  runtime::ServingRuntime& shard(std::size_t i);
+
+  /// The shard's backend (restarts(), availability — any isolation).
+  const ShardBackend& backend(std::size_t i) const { return *shards_.at(i); }
 
   /// Live shard circuit-breaker state (thread-safe reads).
   const runtime::MemberHealth& shard_health() const { return health_; }
@@ -169,12 +192,26 @@ class FleetRouter {
   runtime::MemberState record_refusal(
       std::size_t shard, std::chrono::steady_clock::time_point now);
 
+  /// True when `s` cannot take a hand-off: chaos-simulated death (thread)
+  /// or a genuinely unavailable backend (process worker down/restarting).
+  bool shard_is_down(std::size_t s) const;
+
   FleetOptions options_;
-  std::vector<std::unique_ptr<runtime::ServingRuntime>> shards_;
+  std::vector<std::unique_ptr<ShardBackend>> shards_;
+  /// Thread isolation only: the in-process runtimes behind shards_
+  /// (non-owning, same indexing). Empty for process isolation.
+  std::vector<runtime::ServingRuntime*> runtimes_;
+  /// Spec root this router created and must remove (empty when the caller
+  /// supplied ProcessOptions::spec_root or isolation is thread).
+  std::string owned_spec_root_;
   /// The shard-granularity circuit breaker (one "member" per shard) and
   /// the mutex serializing its batcher-only API across client threads.
   mutable std::mutex mutex_;
   runtime::MemberHealth health_;
+  /// Lifecycle gate: submit() holds it shared across route + hand-off,
+  /// shutdown() takes it exclusive to flip stopped_ — so no submission
+  /// can be midway through a hand-off when shards start draining.
+  mutable std::shared_mutex lifecycle_;
   std::atomic<bool> stopped_{false};
   // Fleet-level routing counters (relaxed; snapshot() reads them).
   std::vector<std::atomic<std::uint64_t>> routed_;

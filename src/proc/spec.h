@@ -1,0 +1,52 @@
+// System spec: how a PolygraphSystem crosses the fork/exec boundary.
+//
+// A SystemFactory is a std::function — it cannot ride an execv. Instead
+// the parent *builds* the shard's system once, then serializes everything
+// a worker process needs to reconstruct it bit-for-bit into a spec
+// directory:
+//
+//   <dir>/spec.pgmr     member table (prep spec, bits, protection level,
+//                       network file), decision thresholds, and the POD
+//                       subset of RuntimeOptions (archive format v2, so
+//                       every field is CRC-guarded on the way back in)
+//   <dir>/member<m>.net each member's network via nn::Network::save —
+//                       architecture + truncated weights, exactly the
+//                       floats the parent's copy serves with
+//
+// Reconstruction is deterministic: load + re-truncate at the recorded
+// bits is idempotent on already-truncated weights, so a restarted worker
+// produces verdicts bit-identical to the incarnation that was SIGKILLed —
+// the property the post-recovery campaign gate asserts. Each member's
+// archive_source points at its spec file, so the worker's weight scrubber
+// can heal in-memory corruption from the spec exactly as the thread
+// backend heals from the zoo cache.
+//
+// Deliberately not serialized: the replacement factory (a closure; process
+// workers serve with replacement disabled) and RADE staging (profile state
+// lives with the parent; staged serving stays a thread-backend feature).
+#pragma once
+
+#include <string>
+
+#include "polygraph/system.h"
+#include "runtime/serving_runtime.h"
+
+namespace pgmr::proc {
+
+/// Everything load_system_spec reconstructs for the worker.
+struct WorkerSystem {
+  polygraph::PolygraphSystem system;
+  runtime::RuntimeOptions options;
+};
+
+/// Serializes `system` + the POD subset of `options` under `dir`
+/// (created if missing). Throws std::runtime_error on I/O failure.
+void write_system_spec(const std::string& dir,
+                       polygraph::PolygraphSystem& system,
+                       const runtime::RuntimeOptions& options);
+
+/// Rebuilds the system and options from a spec directory. Throws
+/// std::runtime_error on a missing/corrupt spec (CRC mismatches included).
+WorkerSystem load_system_spec(const std::string& dir);
+
+}  // namespace pgmr::proc

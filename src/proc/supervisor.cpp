@@ -1,0 +1,453 @@
+#include "proc/supervisor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "proc/wire.h"
+#include "runtime/serving_runtime.h"
+
+namespace pgmr::proc {
+
+namespace {
+
+/// The child's end of the socketpair always lands on fd 3 — the first
+/// descriptor after stdio, stable regardless of what the parent had open.
+constexpr int kWorkerFd = 3;
+
+std::string resolve_worker_path(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  if (const char* env = std::getenv("PGMR_SHARD_WORKER");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  // Last resort: next to the current executable (the usual build layout),
+  // falling back to PATH lookup semantics via the bare name.
+  std::error_code ec;
+  const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    auto candidate = self.parent_path() / "pgmr-shard-worker";
+    if (std::filesystem::exists(candidate, ec)) return candidate.string();
+  }
+  return "pgmr-shard-worker";
+}
+
+}  // namespace
+
+std::chrono::milliseconds restart_backoff(std::chrono::milliseconds initial,
+                                          std::chrono::milliseconds cap,
+                                          int consecutive_failures) {
+  auto backoff = initial;
+  for (int i = 0; i < consecutive_failures && backoff < cap; ++i) {
+    backoff *= 2;
+  }
+  return std::min(backoff, cap);
+}
+
+ShardSupervisor::ShardSupervisor(std::string spec_dir,
+                                 fleet::ProcessOptions options,
+                                 std::string label)
+    : spec_dir_(std::move(spec_dir)),
+      opts_(std::move(options)),
+      label_(std::move(label)) {
+  monitor_ = std::jthread([this](std::stop_token st) { monitor_loop(st); });
+  // Block until the first worker says hello (it loads and deserializes the
+  // whole ensemble first) or the spawn path gives up. A shard that cannot
+  // start is *unavailable*, not a constructor failure — the router's
+  // breaker owns the consequence.
+  std::unique_lock lock(pending_mutex_);
+  pending_cv_.wait_for(lock, opts_.startup_timeout, [this] {
+    return connected_.load() || failed_.load() || stopping_.load();
+  });
+}
+
+ShardSupervisor::~ShardSupervisor() { shutdown(); }
+
+bool ShardSupervisor::available() const {
+  return connected_.load() && !stopping_.load() && !failed_.load();
+}
+
+std::size_t ShardSupervisor::inflight_cap() const {
+  return opts_.max_inflight > 0 ? opts_.max_inflight : 256;
+}
+
+bool ShardSupervisor::send_payload(const std::vector<std::uint8_t>& payload) {
+  std::lock_guard guard(write_mutex_);
+  if (fd_ < 0) return false;
+  try {
+    write_frame(fd_, payload);
+    return true;
+  } catch (const WireError&) {
+    // The monitor notices the dead socket on its side; callers just see a
+    // refused hand-off.
+    return false;
+  }
+}
+
+std::optional<std::future<polygraph::Verdict>> ShardSupervisor::try_submit(
+    Tensor image,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  if (!available()) return std::nullopt;
+
+  SubmitMsg msg;
+  msg.image = std::move(image);
+  if (deadline) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        *deadline - std::chrono::steady_clock::now());
+    // A deadline already in the past still crosses the wire (as zero) so
+    // the worker sheds it through the normal DeadlineExceeded path.
+    msg.deadline_us = std::max<std::int64_t>(remaining.count(), 0);
+  }
+
+  std::future<polygraph::Verdict> future;
+  {
+    std::lock_guard guard(pending_mutex_);
+    if (pending_.size() >= inflight_cap()) return std::nullopt;
+    msg.id = next_id_++;
+    Pending entry;
+    future = entry.promise.get_future();
+    pending_.emplace(msg.id, std::move(entry));
+  }
+  if (!send_payload(encode_submit(msg))) {
+    std::lock_guard guard(pending_mutex_);
+    pending_.erase(msg.id);  // may already be failed+erased by the monitor
+    return std::nullopt;
+  }
+  return future;
+}
+
+std::future<polygraph::Verdict> ShardSupervisor::submit(
+    Tensor image,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  for (;;) {
+    if (!available()) {
+      throw fleet::ShardUnavailable("shard " + label_ + " unavailable");
+    }
+    if (auto future = try_submit(image, deadline)) return std::move(*future);
+    if (!available()) continue;  // refusal was death, not backpressure
+    std::unique_lock lock(pending_mutex_);
+    pending_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+      return pending_.size() < inflight_cap() || !available();
+    });
+  }
+}
+
+std::uint64_t ShardSupervisor::in_flight() const {
+  std::lock_guard guard(pending_mutex_);
+  return pending_.size();
+}
+
+runtime::MetricsSnapshot ShardSupervisor::metrics_snapshot() const {
+  std::lock_guard guard(stats_mutex_);
+  std::vector<runtime::MetricsSnapshot> parts;
+  if (have_base_) parts.push_back(base_);
+  if (have_latest_) parts.push_back(latest_);
+  if (parts.empty()) return {};
+  if (parts.size() == 1) return parts.front();
+  return runtime::merge_snapshots(parts);
+}
+
+void ShardSupervisor::kill_worker() {
+  const auto pid = static_cast<pid_t>(pid_.load());
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+void ShardSupervisor::shutdown() {
+  std::lock_guard guard(shutdown_mutex_);  // serializes the join
+  if (!stopping_.exchange(true)) {
+    // Ask the worker to drain; the monitor keeps pumping verdicts until
+    // the worker's bye/EOF, then exits without restarting.
+    if (connected_.load()) send_payload(encode_control(FrameType::shutdown));
+    pending_cv_.notify_all();
+  }
+  if (monitor_.joinable()) monitor_.join();
+  fail_pending("shard " + label_ + " shut down");
+}
+
+// ---- monitor side --------------------------------------------------------
+
+void ShardSupervisor::monitor_loop(std::stop_token st) {
+  int consecutive_failures = 0;
+  bool first = true;
+  while (!st.stop_requested() && !stopping_.load()) {
+    if (!first) restarts_.fetch_add(1);
+    first = false;
+
+    const auto born = std::chrono::steady_clock::now();
+    bool served = false;
+    if (spawn()) {
+      served = true;
+      serve(st);
+    }
+    const bool graceful = stopping_.load() && saw_bye_;
+    on_worker_dead(graceful);
+    if (stopping_.load() || st.stop_requested()) break;
+
+    // Restart accounting: deaths (spawn failures included) inside the
+    // sliding window; blowing the cap gives the shard up for good.
+    const auto now = std::chrono::steady_clock::now();
+    death_times_.push_back(now);
+    const auto cutoff = now - opts_.restart_window;
+    std::erase_if(death_times_,
+                  [cutoff](const auto& t) { return t < cutoff; });
+    if (static_cast<int>(death_times_.size()) > opts_.max_restarts) {
+      failed_.store(true);
+      pending_cv_.notify_all();
+      break;
+    }
+
+    if (served && now - born >= opts_.healthy_uptime) {
+      consecutive_failures = 0;  // it ran fine for a while; fresh schedule
+    }
+    const auto backoff = restart_backoff(
+        opts_.backoff_initial, opts_.backoff_max, consecutive_failures);
+    ++consecutive_failures;
+
+    const auto wake = std::chrono::steady_clock::now() + backoff;
+    while (std::chrono::steady_clock::now() < wake &&
+           !st.stop_requested() && !stopping_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  pending_cv_.notify_all();
+}
+
+bool ShardSupervisor::spawn() {
+  saw_bye_ = false;
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+
+  // Everything the child needs, materialized before fork: no allocation
+  // between fork and exec.
+  const std::string worker = resolve_worker_path(opts_.worker_path);
+  const std::string fd_arg = std::to_string(kWorkerFd);
+  char* const argv[] = {const_cast<char*>(worker.c_str()),
+                        const_cast<char*>("--fd"),
+                        const_cast<char*>(fd_arg.c_str()),
+                        const_cast<char*>("--spec"),
+                        const_cast<char*>(spec_dir_.c_str()),
+                        nullptr};
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (child == 0) {
+    // Child. async-signal-safe calls only until exec. Close the parent's
+    // end *before* the dup2: socketpair may well have handed out fd 3
+    // itself (it takes the lowest free descriptors), and closing it after
+    // would destroy the freshly installed worker end.
+    ::close(fds[0]);
+    if (fds[1] != kWorkerFd) {
+      ::dup2(fds[1], kWorkerFd);
+      ::close(fds[1]);
+    }
+#ifdef __linux__
+    // The kernel reaps us if the parent dies first — a crashed fleet
+    // process can never leak worker processes.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() == 1) ::_exit(125);  // parent already gone
+#endif
+    ::execv(worker.c_str(), argv);
+    ::_exit(127);
+  }
+
+  // Parent.
+  ::close(fds[1]);
+  {
+    std::lock_guard guard(write_mutex_);
+    fd_ = fds[0];
+  }
+  pid_.store(static_cast<std::uint64_t>(child));
+
+  // Wait for hello: the worker deserializes the full ensemble before it
+  // says anything, so give it the startup budget.
+  const auto give_up = std::chrono::steady_clock::now() + opts_.startup_timeout;
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        give_up - std::chrono::steady_clock::now());
+    if (left.count() <= 0 || stopping_.load()) return false;
+    try {
+      const ReadStatus status = read_frame(
+          fd_, payload, std::min(left, std::chrono::milliseconds(100)));
+      if (status == ReadStatus::eof) return false;  // exec failed / crashed
+      if (status == ReadStatus::timeout) continue;
+      if (frame_type(payload) != FrameType::hello) continue;
+      const HelloMsg hello = decode_hello(payload);
+      members_.store(hello.members);
+    } catch (const WireError&) {
+      return false;
+    }
+    connected_.store(true);
+    pending_cv_.notify_all();
+    return true;
+  }
+}
+
+void ShardSupervisor::serve(std::stop_token st) {
+  auto last_frame = std::chrono::steady_clock::now();
+  std::vector<std::uint8_t> payload;
+  while (!st.stop_requested()) {
+    try {
+      const ReadStatus status =
+          read_frame(fd_, payload, opts_.heartbeat_interval);
+      if (status == ReadStatus::eof) return;  // death or graceful exit
+      if (status == ReadStatus::timeout) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_frame >= opts_.heartbeat_timeout) {
+          kill_worker();  // alive but mute: hung. Same as dead.
+          return;
+        }
+        send_payload(encode_control(FrameType::ping));
+        continue;
+      }
+      last_frame = std::chrono::steady_clock::now();
+      handle_frame(payload);
+    } catch (const WireError&) {
+      // Truncated / corrupt frame or undecodable payload: the stream is
+      // poisoned. Fail-stop the worker; restart recovers a clean one.
+      kill_worker();
+      return;
+    }
+    if (saw_bye_) return;
+  }
+}
+
+void ShardSupervisor::handle_frame(const std::vector<std::uint8_t>& payload) {
+  switch (frame_type(payload)) {
+    case FrameType::verdict: {
+      const VerdictMsg msg = decode_verdict(payload);
+      std::promise<polygraph::Verdict> promise;
+      {
+        std::lock_guard guard(pending_mutex_);
+        auto it = pending_.find(msg.id);
+        if (it == pending_.end()) return;  // failed earlier (restart race)
+        promise = std::move(it->second.promise);
+        pending_.erase(it);
+      }
+      pending_cv_.notify_all();
+      switch (msg.status) {
+        case VerdictStatus::ok:
+          promise.set_value(msg.verdict);
+          break;
+        case VerdictStatus::deadline:
+          promise.set_exception(
+              std::make_exception_ptr(runtime::DeadlineExceeded()));
+          break;
+        case VerdictStatus::stopped:
+          promise.set_exception(std::make_exception_ptr(
+              fleet::ShardUnavailable("shard " + label_ + ": " + msg.error)));
+          break;
+        case VerdictStatus::error:
+          promise.set_exception(std::make_exception_ptr(
+              std::runtime_error("shard " + label_ + ": " + msg.error)));
+          break;
+      }
+      break;
+    }
+    case FrameType::stats: {
+      runtime::MetricsSnapshot s = decode_stats(payload);
+      std::lock_guard guard(stats_mutex_);
+      latest_ = std::move(s);
+      have_latest_ = true;
+      break;
+    }
+    case FrameType::pong:
+      break;  // heartbeat satisfied by arrival itself
+    case FrameType::ping:
+      send_payload(encode_control(FrameType::pong));
+      break;
+    case FrameType::bye:
+      saw_bye_ = true;
+      break;
+    case FrameType::hello:
+    case FrameType::submit:
+    case FrameType::shutdown:
+      break;  // nonsensical from a worker; ignore rather than escalate
+  }
+}
+
+void ShardSupervisor::on_worker_dead(bool graceful) {
+  connected_.store(false);
+  {
+    std::lock_guard guard(write_mutex_);
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  reap_child(graceful ? opts_.drain_timeout : std::chrono::milliseconds(500));
+  fail_pending("shard " + label_ + " worker died");
+
+  // Fold the dead incarnation into the cumulative base. Its quorum gauge
+  // is zeroed — a dead worker serves with no members — so the merged view
+  // never double-counts live quorum across incarnations.
+  std::lock_guard guard(stats_mutex_);
+  if (have_latest_) {
+    latest_.quorum_size = 0;
+    if (have_base_) {
+      base_ = runtime::merge_snapshots({base_, latest_});
+      // merge sums the gauges, which is what we want here: base_ keeps 0.
+    } else {
+      base_ = latest_;
+      have_base_ = true;
+    }
+    have_latest_ = false;
+  }
+}
+
+void ShardSupervisor::reap_child(std::chrono::milliseconds patience) {
+  const auto pid = static_cast<pid_t>(pid_.load());
+  if (pid <= 0) return;
+  auto give_up = std::chrono::steady_clock::now() + patience;
+  bool sent_term = false;
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid || (r < 0 && errno == ECHILD)) break;  // reaped
+    if (std::chrono::steady_clock::now() >= give_up) {
+      if (!sent_term) {
+        ::kill(pid, SIGTERM);
+        sent_term = true;
+        give_up += std::chrono::milliseconds(500);  // grace before SIGKILL
+      } else {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);  // SIGKILL cannot be ignored: no zombie
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  pid_.store(0);
+}
+
+void ShardSupervisor::fail_pending(const std::string& why) {
+  std::unordered_map<std::uint64_t, Pending> orphaned;
+  {
+    std::lock_guard guard(pending_mutex_);
+    orphaned.swap(pending_);
+  }
+  for (auto& [id, entry] : orphaned) {
+    entry.promise.set_exception(
+        std::make_exception_ptr(fleet::ShardUnavailable(why)));
+  }
+  if (!orphaned.empty()) pending_cv_.notify_all();
+}
+
+}  // namespace pgmr::proc

@@ -1,0 +1,144 @@
+// ShardSupervisor: the parent-side half of a process-isolated shard.
+//
+// One supervisor owns one worker process (tools/pgmr-shard-worker) hosting
+// a full ServingRuntime, and presents it to the FleetRouter as a plain
+// fleet::ShardBackend. Internally it is a small state machine driven by a
+// monitor thread:
+//
+//   spawn ── hello ──> connected ── death ──> reap -> backoff -> spawn
+//                          │                              │
+//                          │ (storm cap / shutdown)       │ max_restarts
+//                          v                              v inside window
+//                       drain+exit                      failed (for good)
+//
+//  * spawn: socketpair(AF_UNIX, SOCK_STREAM) + fork/exec; the child gets
+//    its end as fd 3 and PR_SET_PDEATHSIG=SIGKILL so a dying parent can
+//    never leak a worker.
+//  * serve: the monitor thread multiplexes the socket — verdict frames
+//    fulfil pending futures by id, stats frames refresh the metrics view,
+//    pong answers the heartbeat. Silence beyond heartbeat_timeout means a
+//    hung worker: SIGKILL it and treat it as a death.
+//  * death: close the socket, waitpid (no zombies — ever), fail all
+//    pending futures with ShardUnavailable, fold the dead incarnation's
+//    last stats into the cumulative base, then restart after an
+//    exponential backoff. More than max_restarts deaths inside
+//    restart_window latches `failed` — the shard stays unavailable, so
+//    the router's breaker quarantines it exactly like a chaos-downed
+//    thread shard.
+//  * shutdown: stop accepting, send `shutdown`, let the worker drain and
+//    reply `bye`, then waitpid with a drain budget and SIGTERM/SIGKILL
+//    escalation. Idempotent, safe against concurrent submit().
+//
+// kill_worker() delivers a real SIGKILL — ChaosInjector::kill_shard routes
+// here in process mode, so the chaos campaign exercises the genuine
+// kernel-mediated failure path instead of a simulated flag.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/backend.h"
+#include "runtime/metrics.h"
+
+namespace pgmr::proc {
+
+/// Delay before restart attempt `consecutive_failures` (0-based): initial
+/// doubled per failure, capped. Pure — the monitor uses it, tests pin the
+/// schedule.
+std::chrono::milliseconds restart_backoff(std::chrono::milliseconds initial,
+                                          std::chrono::milliseconds cap,
+                                          int consecutive_failures);
+
+class ShardSupervisor final : public fleet::ShardBackend {
+ public:
+  /// Spawns the worker and blocks until its hello (or startup_timeout /
+  /// storm-capped spawn failure — the supervisor is then constructed but
+  /// permanently unavailable; it does not throw, so a fleet with one bad
+  /// shard still comes up and the breaker handles the rest).
+  ShardSupervisor(std::string spec_dir, fleet::ProcessOptions options,
+                  std::string label);
+  ~ShardSupervisor() override;
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  bool available() const override;
+  std::optional<std::future<polygraph::Verdict>> try_submit(
+      Tensor image,
+      std::optional<std::chrono::steady_clock::time_point> deadline) override;
+  std::future<polygraph::Verdict> submit(
+      Tensor image,
+      std::optional<std::chrono::steady_clock::time_point> deadline) override;
+  std::uint64_t in_flight() const override;
+  runtime::MetricsSnapshot metrics_snapshot() const override;
+  std::uint64_t restarts() const override { return restarts_.load(); }
+  void shutdown() override;
+
+  /// Real SIGKILL to the current worker incarnation (chaos hook). No-op
+  /// while no worker is alive.
+  void kill_worker();
+
+  /// Pid of the live worker, 0 when none (tests).
+  std::uint64_t worker_pid() const { return pid_.load(); }
+  /// True once the restart-storm cap latched the shard as dead for good.
+  bool failed() const { return failed_.load(); }
+
+ private:
+  struct Pending {
+    std::promise<polygraph::Verdict> promise;
+  };
+
+  void monitor_loop(std::stop_token st);
+  bool spawn();
+  void serve(std::stop_token st);
+  void handle_frame(const std::vector<std::uint8_t>& payload);
+  void on_worker_dead(bool graceful);
+  void reap_child(std::chrono::milliseconds patience);
+  void fail_pending(const std::string& why);
+  bool send_payload(const std::vector<std::uint8_t>& payload);
+  std::size_t inflight_cap() const;
+
+  const std::string spec_dir_;
+  const fleet::ProcessOptions opts_;
+  const std::string label_;
+
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> failed_{false};
+  std::atomic<std::uint64_t> pid_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint32_t> members_{0};
+
+  int fd_ = -1;  // monitor thread + writers; guarded by write_mutex_ for IO
+  std::mutex write_mutex_;
+  std::mutex shutdown_mutex_;
+
+  mutable std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;  // capacity + startup + drain waits
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_id_ = 1;
+  bool saw_bye_ = false;
+
+  // Cumulative metrics: base_ holds the sum of all dead incarnations
+  // (quorum gauge zeroed — a dead worker serves with no members), latest_
+  // the live worker's last cumulative report.
+  mutable std::mutex stats_mutex_;
+  runtime::MetricsSnapshot base_;
+  runtime::MetricsSnapshot latest_;
+  bool have_base_ = false;
+  bool have_latest_ = false;
+
+  std::vector<std::chrono::steady_clock::time_point> death_times_;
+  std::jthread monitor_;
+};
+
+}  // namespace pgmr::proc

@@ -1,0 +1,187 @@
+#include "proc/worker.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "proc/spec.h"
+#include "proc/wire.h"
+#include "runtime/serving_runtime.h"
+
+namespace pgmr::proc {
+
+namespace {
+
+/// The socket is shared by the read loop (pongs) and the reply pump
+/// (verdict + stats frames); one mutex keeps frames whole.
+struct Socket {
+  int fd = -1;
+  std::mutex mutex;
+  /// Once a write fails the supervisor is gone; keep draining futures so
+  /// the runtime can shut down cleanly, but stop touching the socket.
+  bool dead = false;
+
+  bool send(const std::vector<std::uint8_t>& payload) {
+    std::lock_guard guard(mutex);
+    if (dead) return false;
+    try {
+      write_frame(fd, payload);
+      return true;
+    } catch (const WireError&) {
+      dead = true;
+      return false;
+    }
+  }
+};
+
+struct Reply {
+  std::uint64_t id;
+  std::future<polygraph::Verdict> future;
+};
+
+VerdictMsg classify(std::uint64_t id, std::future<polygraph::Verdict>& f) {
+  VerdictMsg msg;
+  msg.id = id;
+  try {
+    msg.verdict = f.get();
+    msg.status = VerdictStatus::ok;
+  } catch (const runtime::DeadlineExceeded& e) {
+    msg.status = VerdictStatus::deadline;
+    msg.error = e.what();
+  } catch (const std::exception& e) {
+    msg.status = VerdictStatus::error;
+    msg.error = e.what();
+  } catch (...) {
+    msg.status = VerdictStatus::error;
+    msg.error = "unknown inference error";
+  }
+  return msg;
+}
+
+}  // namespace
+
+int run_worker(int fd, const std::string& spec_dir) {
+  // EPIPE must stay an error code, not a process-killing signal, while
+  // the runtime drains after the supervisor dies.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  Socket sock;
+  sock.fd = fd;
+  std::optional<runtime::ServingRuntime> rt;
+  std::uint32_t member_count = 0;
+  try {
+    WorkerSystem ws = load_system_spec(spec_dir);
+    member_count = static_cast<std::uint32_t>(ws.system.ensemble().size());
+    rt.emplace(std::move(ws.system), ws.options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pgmr-shard-worker: cannot start: %s\n", e.what());
+    return 1;
+  }
+
+  HelloMsg hello;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  hello.members = member_count;
+  if (!sock.send(encode_hello(hello))) return 2;
+
+  // Reply pump: waits each accepted request's future in submit order and
+  // ships verdict + cumulative stats. Stats after *every* verdict keep the
+  // supervisor's cumulative view within one request of the truth, so a
+  // SIGKILL loses almost nothing.
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<Reply> replies;
+  bool closed = false;
+  std::thread pump([&] {
+    for (;;) {
+      Reply r;
+      {
+        std::unique_lock lock(queue_mutex);
+        queue_cv.wait(lock, [&] { return !replies.empty() || closed; });
+        if (replies.empty()) return;
+        r = std::move(replies.front());
+        replies.pop_front();
+      }
+      const VerdictMsg msg = classify(r.id, r.future);
+      if (sock.send(encode_verdict(msg))) {
+        sock.send(encode_stats(rt->metrics_snapshot()));
+      }
+    }
+  });
+
+  bool graceful = false;
+  std::vector<std::uint8_t> payload;
+  for (bool serving = true; serving;) {
+    try {
+      const ReadStatus status =
+          read_frame(fd, payload, std::chrono::milliseconds(500));
+      if (status == ReadStatus::timeout) continue;
+      if (status == ReadStatus::eof) break;  // orphaned: supervisor gone
+      switch (frame_type(payload)) {
+        case FrameType::submit: {
+          SubmitMsg msg = decode_submit(payload);
+          // Deadlines travel as remaining budget; re-anchor on our clock.
+          std::optional<std::chrono::steady_clock::time_point> deadline;
+          if (msg.deadline_us >= 0) {
+            deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(msg.deadline_us);
+          }
+          try {
+            // Blocking submit is safe: the supervisor caps in-flight, and
+            // while we block here batches complete, so verdict frames keep
+            // the heartbeat alive.
+            Reply r{msg.id, rt->submit(std::move(msg.image), deadline)};
+            std::lock_guard lock(queue_mutex);
+            replies.push_back(std::move(r));
+            queue_cv.notify_one();
+          } catch (const std::exception& e) {
+            VerdictMsg refused;
+            refused.id = msg.id;
+            refused.status = VerdictStatus::stopped;
+            refused.error = e.what();
+            sock.send(encode_verdict(refused));
+          }
+          break;
+        }
+        case FrameType::ping:
+          sock.send(encode_control(FrameType::pong));
+          break;
+        case FrameType::shutdown:
+          graceful = true;
+          serving = false;
+          break;
+        default:
+          break;  // pong/hello/...: nothing for a worker to do
+      }
+    } catch (const WireError&) {
+      break;  // poisoned stream: fail-stop, supervisor restarts us
+    }
+  }
+
+  // Drain: the runtime answers everything it accepted, the pump ships the
+  // answers (when the socket still works), then we say goodbye.
+  rt->shutdown();
+  {
+    std::lock_guard lock(queue_mutex);
+    closed = true;
+    queue_cv.notify_all();
+  }
+  pump.join();
+  if (graceful) {
+    sock.send(encode_stats(rt->metrics_snapshot()));
+    sock.send(encode_control(FrameType::bye));
+    return 0;
+  }
+  return 2;
+}
+
+}  // namespace pgmr::proc

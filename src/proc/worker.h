@@ -1,0 +1,19 @@
+// The shard worker's event loop — the child-process half of a
+// process-isolated shard. tools/pgmr-shard-worker is a thin main() around
+// run_worker(); the loop lives in the library so tests can drive it
+// in-process over a socketpair without fork/exec.
+#pragma once
+
+#include <string>
+
+namespace pgmr::proc {
+
+/// Serves one shard over `fd` (a SOCK_STREAM socketpair end):
+/// loads the spec directory, builds a ServingRuntime, says hello, then
+/// pumps submit frames into the runtime and verdict+stats frames back out
+/// until a shutdown frame (graceful drain -> bye -> 0) or EOF/poisoned
+/// stream (orphaned: drain and exit nonzero). Returns the process exit
+/// code; never throws.
+int run_worker(int fd, const std::string& spec_dir);
+
+}  // namespace pgmr::proc

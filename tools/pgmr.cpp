@@ -192,6 +192,7 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   long long deadline_us = 0;  // 0 = no per-request deadline
   long long closed_loop = 0;  // 0 = open loop, K = concurrent clients
   std::size_t shards = 1;     // > 1 = fleet-routed serving
+  fleet::Isolation isolation = fleet::Isolation::thread;
   bool replacement = false;
   bool protection_auto = false;
   double sdc_budget = 0.05;
@@ -215,6 +216,16 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
       closed_loop = value;
     } else if (flag == "--shards") {
       shards = static_cast<std::size_t>(value);
+    } else if (flag == "--isolation") {
+      if (arg == "thread") {
+        isolation = fleet::Isolation::thread;
+      } else if (arg == "process") {
+        isolation = fleet::Isolation::process;
+      } else {
+        std::fprintf(stderr,
+                     "serve-bench: --isolation must be thread|process\n");
+        return 2;
+      }
     } else if (flag == "--protection") {
       if (arg == "off") {
         opts.protection = nn::Protection::off;
@@ -279,10 +290,12 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   const zoo::Benchmark& bm = zoo::find_benchmark(config.benchmark);
   const data::DatasetSplits splits = zoo::benchmark_splits(bm);
   const std::int64_t pool_n = splits.test.size();
-  std::printf("serve-bench: %s (%zu members, shards=%zu, threads=%zu, "
+  std::printf("serve-bench: %s (%zu members, shards=%zu, isolation=%s, "
+              "threads=%zu, "
               "max_batch=%zu, max_delay=%lldus, requests=%lld, "
               "protection=%s, scrub_interval=%lldms, mode=%s)\n",
               config.benchmark.c_str(), config.members.size(), shards,
+              fleet::to_string(isolation),
               opts.threads, opts.max_batch,
               static_cast<long long>(opts.max_delay.count()), requests,
               protection_auto ? "auto" : nn::to_string(opts.protection),
@@ -343,6 +356,9 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
     fleet::FleetOptions fopts;
     fopts.shards = shards;
     fopts.runtime = opts;
+    // process isolation: each shard is a fork/exec'd pgmr-shard-worker
+    // found next to this binary (the supervisor's default resolution).
+    fopts.isolation = isolation;
     fleet_rt.emplace(
         [&config](std::size_t) { return polygraph::make_system(config); },
         fopts);
@@ -452,9 +468,13 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   for (const std::uint64_t w : snap.weight_reloads) weight_reloads += w;
   std::size_t quarantined_now = 0;
   if (fleet_rt) {
-    for (std::size_t s = 0; s < fleet_rt->shards(); ++s) {
-      quarantined_now += fleet_rt->shard(s).health().quarantined_count();
+    if (fleet_rt->isolation() == fleet::Isolation::thread) {
+      for (std::size_t s = 0; s < fleet_rt->shards(); ++s) {
+        quarantined_now += fleet_rt->shard(s).health().quarantined_count();
+      }
     }
+    // process isolation: member health lives inside the worker processes;
+    // only the merged metrics (quarantine_events above) cross the wire.
   } else {
     quarantined_now = rt->health().quarantined_count();
   }
@@ -507,6 +527,7 @@ int usage() {
                "  pgmr serve-bench <config.cfg> [--threads N] [--max-batch B]"
                " [--max-delay-us D] [--queue-cap Q] [--requests R]"
                " [--deadline-us T] [--closed-loop K] [--shards N]"
+               " [--isolation thread|process]"
                " [--protection off|fc|full|auto] [--sdc-budget B]"
                " [--scrub-interval-ms S] [--scrub-max-tensors N]"
                " [--scrub-max-chunks N] [--scrub-max-hold-us H]"

@@ -1,0 +1,39 @@
+// pgmr-shard-worker: one process-isolated fleet shard.
+//
+// Spawned by proc::ShardSupervisor, never run by hand:
+//
+//   pgmr-shard-worker --fd 3 --spec <dir>
+//
+// fd 3 is the supervisor's socketpair end; <dir> a spec directory written
+// by proc::write_system_spec. Everything interesting lives in
+// proc::run_worker.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "proc/worker.h"
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  std::string spec_dir;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--fd") == 0 && i + 1 < argc) {
+      fd = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--spec") == 0 && i + 1 < argc) {
+      spec_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "pgmr-shard-worker: unknown argument %s\n", arg);
+      return 64;
+    }
+  }
+  if (fd < 0 || spec_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: pgmr-shard-worker --fd <socket-fd> --spec <dir>\n"
+                 "(spawned by the fleet's ShardSupervisor, not by hand)\n");
+    return 64;
+  }
+  return pgmr::proc::run_worker(fd, spec_dir);
+}
