@@ -1,9 +1,13 @@
 #include "fault/chaos.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
+
+#include "quant/quantized_network.h"
 
 namespace pgmr::fault {
 
@@ -13,32 +17,60 @@ const char* to_string(ChaosFault fault) {
     case ChaosFault::member_exception: return "member_exception";
     case ChaosFault::latency_spike: return "latency_spike";
     case ChaosFault::nan_output: return "nan_output";
+    case ChaosFault::activation_corrupt: return "activation_corrupt";
   }
   return "unknown";
 }
 
 ChaosInjector::ChaosInjector(std::size_t members) : plans_(members) {}
 
+ChaosInjector::Plan& ChaosInjector::plan_at(std::size_t member) {
+  if (member >= plans_.size()) {
+    throw std::out_of_range("chaos: member index " + std::to_string(member) +
+                            " out of range (injector has " +
+                            std::to_string(plans_.size()) + " members)");
+  }
+  return plans_[member];
+}
+
+const ChaosInjector::Plan& ChaosInjector::plan_at(std::size_t member) const {
+  return const_cast<ChaosInjector*>(this)->plan_at(member);
+}
+
 void ChaosInjector::arm(std::size_t member, ChaosFault fault, int count,
                         std::chrono::milliseconds latency) {
   std::lock_guard lock(mutex_);
-  Plan& p = plans_.at(member);
+  if (fault == ChaosFault::activation_corrupt) {
+    throw std::invalid_argument(
+        "chaos: activation_corrupt carries a region spec; arm it with "
+        "arm_activation()");
+  }
+  Plan& p = plan_at(member);
   p.fault = fault;
   p.remaining = count;
   p.latency = latency;
 }
 
+void ChaosInjector::arm_activation(std::size_t member,
+                                   const ActivationCorrupt& spec, int count) {
+  std::lock_guard lock(mutex_);
+  Plan& p = plan_at(member);
+  p.act = spec;
+  p.act_remaining = count;
+}
+
 void ChaosInjector::disarm(std::size_t member) {
   std::lock_guard lock(mutex_);
-  Plan& p = plans_.at(member);
+  Plan& p = plan_at(member);
   p.fault = ChaosFault::none;
   p.remaining = 0;
+  p.act_remaining = 0;
 }
 
 ChaosFault ChaosInjector::fire(std::size_t member,
                                std::chrono::milliseconds* latency) {
   std::lock_guard lock(mutex_);
-  Plan& p = plans_.at(member);
+  Plan& p = plan_at(member);
   if (p.fault == ChaosFault::none || p.remaining == 0) return ChaosFault::none;
   if (p.remaining > 0) --p.remaining;
   ++p.fired;
@@ -46,9 +78,27 @@ ChaosFault ChaosInjector::fire(std::size_t member,
   return p.fault;
 }
 
+bool ChaosInjector::fire_activation(std::size_t member, int layer,
+                                    ActivationCorrupt* spec) {
+  std::lock_guard lock(mutex_);
+  Plan& p = plan_at(member);
+  if (p.act_remaining == 0) return false;
+  const int target = p.act.layer < 0 ? 0 : p.act.layer;
+  if (layer != target) return false;
+  if (p.act_remaining > 0) --p.act_remaining;
+  ++p.act_fired;
+  if (spec != nullptr) *spec = p.act;
+  return true;
+}
+
 std::uint64_t ChaosInjector::fired(std::size_t member) const {
   std::lock_guard lock(mutex_);
-  return plans_.at(member).fired;
+  return plan_at(member).fired;
+}
+
+std::uint64_t ChaosInjector::activation_fired(std::size_t member) const {
+  std::lock_guard lock(mutex_);
+  return plan_at(member).act_fired;
 }
 
 void ChaosInjector::kill_shard(std::size_t shard) {
@@ -116,6 +166,10 @@ class ChaosPreprocessor final : public prep::Preprocessor {
       case ChaosFault::latency_spike:
         std::this_thread::sleep_for(latency);
         break;
+      case ChaosFault::activation_corrupt:
+        // Never armed on the preprocessor plan (arm() rejects it); the
+        // forward tap installed by tap_activations() acts it out instead.
+        break;
       case ChaosFault::nan_output: {
         // Poison the member's whole view of the input: an all-NaN batch
         // stays non-finite through every layer (a lone NaN pixel could be
@@ -146,6 +200,27 @@ std::unique_ptr<prep::Preprocessor> chaos_wrap(
   }
   return std::make_unique<ChaosPreprocessor>(std::move(inner),
                                              std::move(chaos), member);
+}
+
+void tap_activations(quant::QuantizedNetwork& net,
+                     std::shared_ptr<ChaosInjector> chaos, std::size_t member) {
+  if (chaos == nullptr || member >= chaos->members()) {
+    throw std::invalid_argument("tap_activations: bad injector or member");
+  }
+  net.set_forward_tap([chaos = std::move(chaos), member](Tensor& activation,
+                                                         int layer) {
+    ActivationCorrupt spec;
+    if (!chaos->fire_activation(member, layer, &spec)) return;
+    const std::int64_t numel = activation.numel();
+    if (numel <= 0) return;
+    const std::int64_t start = std::clamp<std::int64_t>(spec.offset, 0,
+                                                        numel - 1);
+    const std::int64_t len =
+        std::clamp<std::int64_t>(spec.elems, 1, numel - start);
+    for (std::int64_t i = start; i < start + len; ++i) {
+      activation[i] = spec.value;
+    }
+  });
 }
 
 }  // namespace pgmr::fault

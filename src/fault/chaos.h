@@ -26,18 +26,43 @@
 #include "fault/injector.h"
 #include "prep/preprocessor.h"
 
+namespace pgmr::quant {
+class QuantizedNetwork;
+}  // namespace pgmr::quant
+
 namespace pgmr::fault {
 
 /// Runtime-level fault classes injectable into a member's inference path.
 enum class ChaosFault {
   none,
-  member_exception,  ///< the member throws std::runtime_error
-  latency_spike,     ///< the member sleeps `latency` before answering
-  nan_output,        ///< the member's input is poisoned with NaN, so its
-                     ///< softmax output turns non-finite
+  member_exception,    ///< the member throws std::runtime_error
+  latency_spike,       ///< the member sleeps `latency` before answering
+  nan_output,          ///< the member's input is poisoned with NaN, so its
+                       ///< softmax output turns non-finite
+  activation_corrupt,  ///< an in-flight activation region is overwritten
+                       ///< between two layers of the member's forward pass
+                       ///< (armed via arm_activation, fired by the
+                       ///< QuantizedNetwork forward tap — see
+                       ///< tap_activations below)
 };
 
 const char* to_string(ChaosFault fault);
+
+/// Activation-resolution fault spec: which inter-layer activation to hit
+/// and how. Unlike a stored-weight flip this corruption lives only for one
+/// forward pass and is invisible to ABFT (each GEMM is verified against
+/// its *actual* input, corrupted or not) and to the weight scrubber (no
+/// weight changed) — detection is entirely up to the MR vote and the
+/// non-finite output check, which is exactly what the taxonomy's
+/// activation row claims.
+struct ActivationCorrupt {
+  int layer = -1;            ///< top-level layer index to fire after; -1 =
+                             ///< the first tapped layer of the pass
+  std::int64_t offset = 0;   ///< first corrupted element (clamped)
+  std::int64_t elems = 64;   ///< burst length in elements (clamped)
+  float value = 1.0e20F;     ///< overwrite value (finite but catastrophic;
+                             ///< use NaN to trip the finiteness check)
+};
 
 /// Shared controller: arms fault plans per member and serves fire() calls
 /// from the decorated preprocessors.
@@ -48,11 +73,20 @@ class ChaosInjector {
   std::size_t members() const { return plans_.size(); }
 
   /// Arms `fault` on `member` for the next `count` inferences (count < 0 =
-  /// until disarm). `latency` only applies to latency_spike.
+  /// until disarm). `latency` only applies to latency_spike. Throws
+  /// std::out_of_range for a member index >= members() and
+  /// std::invalid_argument for activation_corrupt (arm it with
+  /// arm_activation, which carries the region spec).
   void arm(std::size_t member, ChaosFault fault, int count = -1,
            std::chrono::milliseconds latency = std::chrono::milliseconds(20));
 
-  /// Clears the member's plan.
+  /// Arms an activation-resolution fault on `member` for the next `count`
+  /// firing forward passes (count < 0 = until disarm). Independent of the
+  /// preprocessor-level plan: one member can carry both.
+  void arm_activation(std::size_t member, const ActivationCorrupt& spec,
+                      int count = -1);
+
+  /// Clears the member's plans (both preprocessor- and activation-level).
   void disarm(std::size_t member);
 
   /// Called by ChaosPreprocessor on every inference of `member`: returns
@@ -60,8 +94,18 @@ class ChaosInjector {
   /// latency to apply for spikes.
   ChaosFault fire(std::size_t member, std::chrono::milliseconds* latency);
 
-  /// Total faults acted out on `member` since construction.
+  /// Called by the member's forward tap after top-level layer `layer`:
+  /// when the armed activation plan matches (spec.layer == layer, or
+  /// spec.layer < 0 and this is the pass's first tap, layer 0), fills
+  /// `spec`, decrements the remaining count and returns true.
+  bool fire_activation(std::size_t member, int layer, ActivationCorrupt* spec);
+
+  /// Total faults acted out on `member` since construction (preprocessor-
+  /// level plans; activation fires are counted separately).
   std::uint64_t fired(std::size_t member) const;
+
+  /// Total activation corruptions acted out on `member`.
+  std::uint64_t activation_fired(std::size_t member) const;
 
   /// Shard-loss hooks (fleet campaigns): fail-stop a whole serving
   /// replica. What kill_shard() *does* depends on the fleet's isolation
@@ -106,7 +150,15 @@ class ChaosInjector {
     int remaining = 0;  ///< -1 = unbounded
     std::chrono::milliseconds latency{0};
     std::uint64_t fired = 0;
+    /// Activation-resolution plan, armed independently via arm_activation.
+    ActivationCorrupt act;
+    int act_remaining = 0;
+    std::uint64_t act_fired = 0;
   };
+
+  /// Returns plans_[member] with a descriptive throw; call under mutex_.
+  Plan& plan_at(std::size_t member);
+  const Plan& plan_at(std::size_t member) const;
 
   struct ShardPlan {
     bool down = false;
@@ -127,5 +179,16 @@ class ChaosInjector {
 std::unique_ptr<prep::Preprocessor> chaos_wrap(
     std::unique_ptr<prep::Preprocessor> inner,
     std::shared_ptr<ChaosInjector> chaos, std::size_t member);
+
+/// Installs a forward tap on `net` that consults `chaos` after every
+/// top-level layer and overwrites the armed activation region in place
+/// (offset and length clamped to the live tensor). The activation-
+/// resolution counterpart of chaos_wrap: chaos_wrap decorates the input
+/// side of a member, tap_activations the layer-to-layer traffic inside it.
+/// Install before serving or under the runtime's swap lock (the tap slot
+/// itself is not synchronized); the consult is mutex-protected and cheap
+/// when nothing is armed.
+void tap_activations(quant::QuantizedNetwork& net,
+                     std::shared_ptr<ChaosInjector> chaos, std::size_t member);
 
 }  // namespace pgmr::fault

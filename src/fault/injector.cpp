@@ -16,7 +16,69 @@ Tensor* param_at(nn::Network& net, std::size_t index) {
   return params[index];
 }
 
+/// Shared golden-run scaffolding for both campaign overloads.
+struct GoldenRun {
+  std::vector<std::int64_t> pred;
+  double accuracy = 0.0;
+};
+
+GoldenRun golden_run(nn::Network& net, const Tensor& images,
+                     const std::vector<std::int64_t>& labels) {
+  if (static_cast<std::int64_t>(labels.size()) != images.shape()[0]) {
+    throw std::invalid_argument("fault: label count mismatch");
+  }
+  const Tensor golden = net.forward(images, /*train=*/false);
+  const std::int64_t n = golden.shape()[0];
+  GoldenRun run;
+  run.pred.resize(static_cast<std::size_t>(n));
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    run.pred[static_cast<std::size_t>(i)] = golden.argmax_row(i);
+    if (run.pred[static_cast<std::size_t>(i)] ==
+        labels[static_cast<std::size_t>(i)]) {
+      ++correct;
+    }
+  }
+  run.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  return run;
+}
+
+/// One faulted forward pass classified against the golden run.
+void classify_trial(nn::Network& net, const Tensor& images,
+                    const std::vector<std::int64_t>& labels,
+                    const GoldenRun& golden, double threshold,
+                    CampaignResult& result) {
+  const Tensor out = net.forward(images, /*train=*/false);
+  const std::int64_t n = out.shape()[0];
+  bool changed = false;
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t pred = out.argmax_row(i);
+    changed |= pred != golden.pred[static_cast<std::size_t>(i)];
+    if (pred == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / static_cast<double>(n);
+
+  ++result.trials;
+  if (!changed) {
+    ++result.masked;
+  } else if (golden.accuracy - acc > threshold) {
+    ++result.corrupted;
+  } else {
+    ++result.degraded;
+  }
+}
+
 }  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::flip: return "flip";
+    case FaultKind::stuck_at_one: return "stuck_at_one";
+    case FaultKind::stuck_at_zero: return "stuck_at_zero";
+  }
+  return "unknown";
+}
 
 float inject(nn::Network& net, const FaultSite& site) {
   Tensor* p = param_at(net, site.param_index);
@@ -29,7 +91,14 @@ float inject(nn::Network& net, const FaultSite& site) {
   float& slot = (*p)[site.element];
   const float original = slot;
   const auto raw = std::bit_cast<std::uint32_t>(slot);
-  slot = std::bit_cast<float>(raw ^ (1U << site.bit));
+  const std::uint32_t mask = 1U << site.bit;
+  std::uint32_t corrupted = raw;
+  switch (site.kind) {
+    case FaultKind::flip: corrupted = raw ^ mask; break;
+    case FaultKind::stuck_at_one: corrupted = raw | mask; break;
+    case FaultKind::stuck_at_zero: corrupted = raw & ~mask; break;
+  }
+  slot = std::bit_cast<float>(corrupted);
   return original;
 }
 
@@ -73,50 +142,70 @@ std::vector<FaultSite> sample_sites(nn::Network& net, int count, Rng& rng,
   return sites;
 }
 
+std::vector<std::vector<FaultSite>> sample_burst_sites(nn::Network& net,
+                                                       int bursts,
+                                                       int burst_len, Rng& rng,
+                                                       int max_bit,
+                                                       FaultKind kind) {
+  const auto params = net.params();
+  if (params.empty()) throw std::invalid_argument("fault: no parameters");
+  if (burst_len < 1) {
+    throw std::invalid_argument("fault: burst_len must be >= 1");
+  }
+  if (max_bit < 0 || max_bit > 31) {
+    throw std::invalid_argument("fault: max_bit out of range");
+  }
+  std::vector<std::vector<FaultSite>> groups;
+  groups.reserve(static_cast<std::size_t>(bursts));
+  for (int b = 0; b < bursts; ++b) {
+    const auto param_index = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(params.size()) - 1));
+    const std::int64_t numel = params[param_index]->numel();
+    // The burst must fit inside its tensor (a row fault never crosses a
+    // row boundary into another array); clamp bursts longer than the
+    // tensor to the whole tensor.
+    const std::int64_t len =
+        std::min<std::int64_t>(burst_len, numel);
+    const std::int64_t start = rng.randint(0, numel - len);
+    const int bit = static_cast<int>(rng.randint(0, max_bit));
+    std::vector<FaultSite> group;
+    group.reserve(static_cast<std::size_t>(len));
+    for (std::int64_t i = 0; i < len; ++i) {
+      group.push_back({param_index, start + i, bit, kind});
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
 CampaignResult run_campaign(nn::Network& net, const Tensor& images,
                             const std::vector<std::int64_t>& labels,
                             const std::vector<FaultSite>& sites,
                             double threshold) {
-  if (static_cast<std::int64_t>(labels.size()) != images.shape()[0]) {
-    throw std::invalid_argument("fault: label count mismatch");
-  }
-  // Golden run.
-  const Tensor golden = net.forward(images, /*train=*/false);
-  const std::int64_t n = golden.shape()[0];
-  std::vector<std::int64_t> golden_pred(static_cast<std::size_t>(n));
-  std::int64_t golden_correct = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    golden_pred[static_cast<std::size_t>(i)] = golden.argmax_row(i);
-    if (golden_pred[static_cast<std::size_t>(i)] ==
-        labels[static_cast<std::size_t>(i)]) {
-      ++golden_correct;
-    }
-  }
-  const double golden_acc =
-      static_cast<double>(golden_correct) / static_cast<double>(n);
+  std::vector<std::vector<FaultSite>> trials;
+  trials.reserve(sites.size());
+  for (const FaultSite& site : sites) trials.push_back({site});
+  return run_campaign(net, images, labels, trials, threshold);
+}
 
+CampaignResult run_campaign(nn::Network& net, const Tensor& images,
+                            const std::vector<std::int64_t>& labels,
+                            const std::vector<std::vector<FaultSite>>& trials,
+                            double threshold) {
+  const GoldenRun golden = golden_run(net, images, labels);
   CampaignResult result;
-  for (const FaultSite& site : sites) {
-    const float original = inject(net, site);
-    const Tensor out = net.forward(images, /*train=*/false);
-    restore(net, site, original);
-
-    bool changed = false;
-    std::int64_t correct = 0;
-    for (std::int64_t i = 0; i < n; ++i) {
-      const std::int64_t pred = out.argmax_row(i);
-      changed |= pred != golden_pred[static_cast<std::size_t>(i)];
-      if (pred == labels[static_cast<std::size_t>(i)]) ++correct;
+  std::vector<float> originals;
+  for (const std::vector<FaultSite>& group : trials) {
+    originals.clear();
+    originals.reserve(group.size());
+    for (const FaultSite& site : group) {
+      originals.push_back(inject(net, site));
     }
-    const double acc = static_cast<double>(correct) / static_cast<double>(n);
-
-    ++result.trials;
-    if (!changed) {
-      ++result.masked;
-    } else if (golden_acc - acc > threshold) {
-      ++result.corrupted;
-    } else {
-      ++result.degraded;
+    classify_trial(net, images, labels, golden, threshold, result);
+    // Reverse order: if two sites in one group hit the same element, the
+    // first-injected original (the pristine value) is restored last.
+    for (std::size_t i = group.size(); i-- > 0;) {
+      restore(net, group[i], originals[i]);
     }
   }
   return result;

@@ -4,8 +4,13 @@
 // *inherent* mispredictions — from the classic dependability literature on
 // transient faults/soft errors in DNN accelerators (Li et al., SC'17).
 // This module provides the classic side so the two failure modes can be
-// studied together: single/multi bit flips in stored weights, with MR's
-// masking ability measured by the same TP/FP machinery.
+// studied together, at MRFI-style multiple resolutions:
+//   * bit        — single flipped or stuck-at bit in one stored weight
+//   * region     — a burst of adjacent elements of one tensor corrupted
+//                  together (a DRAM row / cache-line / DMA-span fault)
+// with MR's masking ability measured by the same TP/FP machinery. The
+// activation-in-flight resolution lives in chaos.h (it needs a live
+// forward pass); member/shard resolutions live in chaos.h + fleet.
 #pragma once
 
 #include <cstdint>
@@ -16,15 +21,27 @@
 
 namespace pgmr::fault {
 
+/// How a fault corrupts the chosen bit.
+enum class FaultKind {
+  flip,           ///< XOR: transient single-event upset (inject twice undoes)
+  stuck_at_one,   ///< OR: the cell reads 1 regardless of the stored value
+  stuck_at_zero,  ///< AND-NOT: the cell reads 0 regardless
+};
+
+const char* to_string(FaultKind kind);
+
 /// One injected fault: which parameter tensor, which element, which bit.
 struct FaultSite {
   std::size_t param_index = 0;
   std::int64_t element = 0;
   int bit = 0;  ///< 0 = LSB of the IEEE-754 mantissa ... 31 = sign
+  FaultKind kind = FaultKind::flip;
 };
 
-/// Flips the chosen bit of the chosen weight in place; returns the site's
-/// original value so it can be restored.
+/// Corrupts the chosen bit of the chosen weight in place (per site.kind);
+/// returns the site's original value so it can be restored. A stuck-at
+/// fault whose bit already holds the stuck value is a no-op (masked by
+/// construction) — restore() is still safe.
 float inject(nn::Network& net, const FaultSite& site);
 
 /// Undoes an inject() using the saved original value.
@@ -35,6 +52,17 @@ void restore(nn::Network& net, const FaultSite& site, float original);
 /// high-exponent bits (23..30) are the catastrophic ones).
 std::vector<FaultSite> sample_sites(nn::Network& net, int count, Rng& rng,
                                     int max_bit = 31);
+
+/// Region-resolution sampling: `bursts` groups of `burst_len` *adjacent*
+/// elements of one tensor, all corrupted at the same bit position with the
+/// same kind — the fault model of a DRAM row hit or a corrupted DMA span,
+/// which single-bit sampling cannot represent. Each group stays inside one
+/// tensor (the start element is drawn so the burst fits; bursts longer
+/// than the tensor are clamped to it). Returns one site group per burst,
+/// ready for the multi-fault run_campaign overload.
+std::vector<std::vector<FaultSite>> sample_burst_sites(
+    nn::Network& net, int bursts, int burst_len, Rng& rng, int max_bit = 31,
+    FaultKind kind = FaultKind::flip);
 
 /// Outcome of a fault-injection campaign on a fixed evaluation set.
 struct CampaignResult {
@@ -60,6 +88,16 @@ struct CampaignResult {
 CampaignResult run_campaign(nn::Network& net, const Tensor& images,
                             const std::vector<std::int64_t>& labels,
                             const std::vector<FaultSite>& sites,
+                            double threshold = 0.01);
+
+/// Multi-fault variant: each trial injects a whole *group* of sites at
+/// once (a burst from sample_burst_sites, or any correlated set), then
+/// classifies the group's combined effect at the same masked / degraded /
+/// corrupted granularity. Weights are restored in reverse injection order
+/// after every trial, so overlapping sites in one group undo correctly.
+CampaignResult run_campaign(nn::Network& net, const Tensor& images,
+                            const std::vector<std::int64_t>& labels,
+                            const std::vector<std::vector<FaultSite>>& trials,
                             double threshold = 0.01);
 
 }  // namespace pgmr::fault

@@ -1,0 +1,57 @@
+#include "fault/scenario.h"
+
+#include <algorithm>
+
+namespace pgmr::fault {
+
+const char* to_string(ScenarioAction action) {
+  switch (action) {
+    case ScenarioAction::arm_member: return "arm_member";
+    case ScenarioAction::disarm_member: return "disarm_member";
+    case ScenarioAction::arm_activation: return "arm_activation";
+    case ScenarioAction::kill_shard: return "kill_shard";
+    case ScenarioAction::revive_shard: return "revive_shard";
+  }
+  return "unknown";
+}
+
+ScenarioSchedule::ScenarioSchedule(std::vector<ScenarioEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.at_request < b.at_request;
+                   });
+}
+
+std::size_t ScenarioSchedule::advance(std::int64_t request_index,
+                                      ChaosInjector& chaos) {
+  std::size_t fired = 0;
+  while (next_ < events_.size() &&
+         events_[next_].at_request <= request_index) {
+    const ScenarioEvent& e = events_[next_];
+    for (std::size_t target : e.targets) {
+      switch (e.action) {
+        case ScenarioAction::arm_member:
+          chaos.arm(target, e.fault, e.count, e.latency);
+          break;
+        case ScenarioAction::disarm_member:
+          chaos.disarm(target);
+          break;
+        case ScenarioAction::arm_activation:
+          chaos.arm_activation(target, e.activation, e.count);
+          break;
+        case ScenarioAction::kill_shard:
+          chaos.kill_shard(target);
+          break;
+        case ScenarioAction::revive_shard:
+          chaos.revive_shard(target);
+          break;
+      }
+    }
+    ++next_;
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace pgmr::fault

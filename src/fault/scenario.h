@@ -1,0 +1,75 @@
+// Scripted, correlated fault scenarios.
+//
+// A single chaos fault exercises one detector; production outages are
+// *correlated* — a bad firmware push slows every member on a host, a rack
+// power event takes out a shard while a neighbouring shard's member is
+// already quarantined. A ScenarioSchedule scripts such episodes as a
+// deterministic list of events keyed to the request clock (the index of
+// the next submitted request, not wall time, so a replay of the same trace
+// against the same schedule is bit-reproducible regardless of machine
+// speed). Each event can target *several* members or shards at once —
+// that is what makes the plan correlated rather than a sequence of
+// independent single faults.
+//
+// The driver calls advance(i, chaos) before submitting request i; all
+// not-yet-applied events with at_request <= i are acted out against the
+// shared ChaosInjector in order.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "fault/chaos.h"
+
+namespace pgmr::fault {
+
+/// What a scenario event does when its request index arrives.
+enum class ScenarioAction {
+  arm_member,      ///< ChaosInjector::arm(fault, count, latency) per target
+  disarm_member,   ///< ChaosInjector::disarm per target
+  arm_activation,  ///< ChaosInjector::arm_activation(activation, count)
+  kill_shard,      ///< ChaosInjector::kill_shard per target
+  revive_shard,    ///< ChaosInjector::revive_shard per target
+};
+
+const char* to_string(ScenarioAction action);
+
+/// One scheduled episode. `targets` lists member indices (member actions)
+/// or shard indices (shard actions); every target is acted on at the same
+/// request tick, which is what "correlated multi-member / multi-shard
+/// fault" means here.
+struct ScenarioEvent {
+  std::int64_t at_request = 0;
+  ScenarioAction action = ScenarioAction::arm_member;
+  std::vector<std::size_t> targets;
+  ChaosFault fault = ChaosFault::member_exception;  ///< arm_member only
+  int count = -1;                                   ///< arm_* plans
+  std::chrono::milliseconds latency{20};            ///< latency_spike only
+  ActivationCorrupt activation;                     ///< arm_activation only
+};
+
+/// An ordered scenario with a replay cursor. Events are stably sorted by
+/// at_request at construction, so authors can list episodes in narrative
+/// order; ties keep their listed order.
+class ScenarioSchedule {
+ public:
+  explicit ScenarioSchedule(std::vector<ScenarioEvent> events);
+
+  /// Applies every not-yet-applied event with at_request <= request_index
+  /// to `chaos`, in order; returns how many were applied. Call before
+  /// submitting request `request_index`.
+  std::size_t advance(std::int64_t request_index, ChaosInjector& chaos);
+
+  /// Events applied so far — with events(), lets a driver log exactly the
+  /// episodes the last advance() acted out: events()[applied-n .. applied).
+  std::size_t applied() const { return next_; }
+  bool done() const { return next_ == events_.size(); }
+  const std::vector<ScenarioEvent>& events() const { return events_; }
+
+ private:
+  std::vector<ScenarioEvent> events_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace pgmr::fault

@@ -148,6 +148,7 @@ Tensor QuantizedNetwork::forward(const Tensor& input, AbftCheck* abft) {
     if (!verify) {
       x = layers[l]->forward(x, /*train=*/false);
       truncate_tensor(x, bits_);
+      if (tap_) tap_(x, static_cast<int>(l));
       continue;
     }
     // Verification runs on the pre-truncation output (truncation would add
@@ -174,6 +175,8 @@ Tensor QuantizedNetwork::forward(const Tensor& input, AbftCheck* abft) {
         }
       }
       truncate_tensor(x, bits_);
+      // The folded pair taps once, on the BN output, at the conv's index.
+      if (tap_) tap_(x, static_cast<int>(l));
       ++l;
       continue;
     }
@@ -190,6 +193,7 @@ Tensor QuantizedNetwork::forward(const Tensor& input, AbftCheck* abft) {
       }
     }
     truncate_tensor(x, bits_);
+    if (tap_) tap_(x, static_cast<int>(l));
   }
   return x;
 }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,19 @@ class QuantizedNetwork {
   /// Forward pass with per-layer activation truncation; returns logits.
   /// When `abft` is non-null the protected layers are verified into it.
   Tensor forward(const Tensor& input, AbftCheck* abft = nullptr);
+
+  /// Observation/corruption hook on the in-flight activation tensor, called
+  /// after each top-level layer's truncation with that layer's index. This
+  /// is the seam activation-resolution fault injection uses (see
+  /// fault/chaos.h): a corruption written here happens *between* layers, so
+  /// ABFT — which verifies each GEMM against its actual input — cannot see
+  /// it; only the MR vote (and the non-finite output check) stands between
+  /// it and the verdict. For a folded conv→BN pair the tap fires once, on
+  /// the BatchNorm output, with the pair's first (conv) layer index. An
+  /// empty function clears the tap. Not thread-safe against a concurrent
+  /// forward(); install before serving or under the runtime's swap lock.
+  using ForwardTap = std::function<void(Tensor& activation, int layer)>;
+  void set_forward_tap(ForwardTap tap) { tap_ = std::move(tap); }
 
   /// forward() followed by softmax — the layer-2 output PolygraphMR uses.
   Tensor probabilities(const Tensor& input, AbftCheck* abft = nullptr);
@@ -135,6 +149,7 @@ class QuantizedNetwork {
   /// Per-tensor chunked CRC snapshot (kCrcChunkElems floats per chunk),
   /// captured at the same blessings as golden_crcs_.
   std::vector<std::vector<std::uint32_t>> golden_chunk_crcs_;
+  ForwardTap tap_;
 };
 
 }  // namespace pgmr::quant

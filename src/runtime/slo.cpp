@@ -1,0 +1,91 @@
+#include "runtime/slo.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pgmr::runtime {
+
+SloTracker::SloTracker(std::int64_t window) : window_(window) {
+  if (window < 1) throw std::invalid_argument("slo: window must be >= 1");
+}
+
+void SloTracker::record(bool served, bool reliable, bool fp) {
+  ++submitted_;
+  ++current_.submitted;
+  if (served) {
+    ++served_;
+    ++current_.served;
+    if (reliable) {
+      ++reliable_;
+      ++current_.reliable;
+    }
+    if (fp) {
+      ++fp_;
+      ++current_.fp;
+    }
+  }
+  if (current_.submitted == window_) {
+    full_.push_back(current_);
+    current_ = Window{};
+  }
+}
+
+std::vector<SloTracker::Window> SloTracker::windows() const {
+  std::vector<Window> all = full_;
+  if (current_.submitted > 0) all.push_back(current_);
+  return all;
+}
+
+std::string SloReport::to_string() const {
+  std::ostringstream out;
+  out << "  availability        " << availability << " (worst window "
+      << worst_window_availability << ")  ["
+      << (availability_ok ? "ok" : "VIOLATION") << "]\n";
+  out << "  fp drift            " << fp_drift_pp << " pp (run " << fp_rate
+      << " vs reference " << reference_fp_rate << ")  ["
+      << (fp_drift_ok ? "ok" : "VIOLATION") << "]\n";
+  out << "  recovery            " << longest_impact_run
+      << " consecutive impacted window(s) of " << impacted_windows
+      << " impacted / " << windows << " total  ["
+      << (recovery_ok ? "ok" : "VIOLATION") << "]";
+  return out.str();
+}
+
+SloReport evaluate_slo(const SloTracker& tracker, double reference_fp_rate,
+                       const SloSpec& spec) {
+  SloReport report;
+  report.reference_fp_rate = reference_fp_rate;
+  report.availability =
+      tracker.submitted()
+          ? static_cast<double>(tracker.served()) /
+                static_cast<double>(tracker.submitted())
+          : 1.0;
+  report.fp_rate = tracker.served()
+                       ? static_cast<double>(tracker.fp()) /
+                             static_cast<double>(tracker.served())
+                       : 0.0;
+  report.fp_drift_pp = (report.fp_rate - reference_fp_rate) * 100.0;
+
+  std::int64_t run = 0;
+  for (const SloTracker::Window& w : tracker.windows()) {
+    ++report.windows;
+    report.worst_window_availability =
+        std::min(report.worst_window_availability, w.availability());
+    if (w.served < w.submitted) {
+      ++report.impacted_windows;
+      ++run;
+      report.longest_impact_run = std::max(report.longest_impact_run, run);
+    } else {
+      run = 0;
+    }
+  }
+
+  report.availability_ok =
+      report.worst_window_availability >= spec.availability_floor;
+  report.fp_drift_ok = report.fp_drift_pp <= spec.fp_drift_pp;
+  report.recovery_ok = report.longest_impact_run <= spec.recovery_windows;
+  return report;
+}
+
+}  // namespace pgmr::runtime

@@ -1,0 +1,98 @@
+// Windowed SLO accounting for long-running campaigns.
+//
+// A day-in-production campaign cannot gate on end-of-run averages alone: a
+// shard outage that blacks out ten minutes of traffic disappears into a
+// day-long mean. The tracker therefore buckets the request stream into
+// fixed-size windows (counted in requests, not wall time, so a replay of
+// the same trace produces the identical window series regardless of
+// machine speed) and the evaluator gates on:
+//   * worst-window availability — no window may dip below the floor the
+//     fleet's redundancy promises ((N-1)/N during a single-shard outage);
+//   * FP drift — the reliable-but-wrong rate may not drift more than a
+//     budgeted number of percentage points above the never-faulted
+//     reference run;
+//   * recovery window — an impact run (consecutive windows with any lost
+//     request) must end within a bounded number of windows: the breaker
+//     must detect, quarantine and re-route faster than the budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgmr::runtime {
+
+/// Gate thresholds for one campaign.
+struct SloSpec {
+  std::int64_t window = 64;          ///< requests per accounting window
+  double availability_floor = 0.75;  ///< min per-window served/submitted
+  double fp_drift_pp = 0.5;          ///< max FP drift vs reference, in pp
+  std::int64_t recovery_windows = 3; ///< max consecutive impacted windows
+};
+
+/// Accumulates per-request outcomes into fixed-size windows. Single
+/// threaded by design: the campaign driver owns the request loop.
+class SloTracker {
+ public:
+  explicit SloTracker(std::int64_t window);
+
+  /// Records one request. `served` = a verdict came back (false: shed,
+  /// refused, deadline-exceeded, fleet-unavailable). `reliable` and `fp`
+  /// only apply to served requests; `fp` marks a reliable-but-wrong
+  /// verdict (the paper's false positive).
+  void record(bool served, bool reliable, bool fp);
+
+  struct Window {
+    std::int64_t submitted = 0;
+    std::int64_t served = 0;
+    std::int64_t reliable = 0;
+    std::int64_t fp = 0;
+
+    double availability() const {
+      return submitted ? static_cast<double>(served) /
+                             static_cast<double>(submitted)
+                       : 1.0;
+    }
+  };
+
+  /// All windows so far, including the trailing partial one (if any).
+  std::vector<Window> windows() const;
+
+  std::int64_t submitted() const { return submitted_; }
+  std::int64_t served() const { return served_; }
+  std::int64_t reliable() const { return reliable_; }
+  std::int64_t fp() const { return fp_; }
+
+ private:
+  std::int64_t window_;
+  std::int64_t submitted_ = 0, served_ = 0, reliable_ = 0, fp_ = 0;
+  std::vector<Window> full_;
+  Window current_;
+};
+
+/// Evaluated gates plus the numbers behind them.
+struct SloReport {
+  double availability = 1.0;         ///< whole-run served/submitted
+  double worst_window_availability = 1.0;
+  double fp_rate = 0.0;              ///< fp/served over the whole run
+  double reference_fp_rate = 0.0;
+  double fp_drift_pp = 0.0;          ///< (fp_rate - reference) * 100
+  std::int64_t windows = 0;
+  std::int64_t impacted_windows = 0;   ///< windows with any lost request
+  std::int64_t longest_impact_run = 0; ///< consecutive impacted windows
+
+  bool availability_ok = true;
+  bool fp_drift_ok = true;
+  bool recovery_ok = true;
+  bool pass() const { return availability_ok && fp_drift_ok && recovery_ok; }
+
+  /// Multi-line gate table for bench output.
+  std::string to_string() const;
+};
+
+/// Evaluates `tracker` against `spec`, with `reference_fp_rate` measured
+/// on the never-faulted reference run of the same trace.
+SloReport evaluate_slo(const SloTracker& tracker, double reference_fp_rate,
+                       const SloSpec& spec);
+
+}  // namespace pgmr::runtime

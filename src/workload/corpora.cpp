@@ -1,0 +1,80 @@
+#include "workload/corpora.h"
+
+#include <stdexcept>
+
+#include "adv/fgsm.h"
+#include "data/synthetic.h"
+#include "tensor/random.h"
+
+namespace pgmr::workload {
+namespace {
+
+/// Drift = the benchmark's own generator family re-rendered with shifted
+/// statistics (same knobs as bench/ext_ood_detection's near-OOD probe).
+data::SyntheticSpec drift_spec(const zoo::Benchmark& bm, std::int64_t size,
+                               std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  if (bm.dataset_id == "smnist") {
+    spec = data::smnist_spec(size, seed);
+  } else if (bm.dataset_id == "scifar") {
+    spec = data::scifar_spec(size, seed);
+  } else if (bm.dataset_id == "simagenet") {
+    spec = data::simagenet_spec(size, seed);
+  } else {
+    throw std::invalid_argument("corpora: unknown dataset tier '" +
+                                bm.dataset_id + "'");
+  }
+  spec.name += "-drift";
+  spec.jitter *= 1.8F;
+  spec.brightness_jitter = 0.45F;
+  return spec;
+}
+
+}  // namespace
+
+Corpora build_corpora(const zoo::Benchmark& bm, std::int64_t size,
+                      std::uint64_t seed, nn::Network& victim, float epsilon) {
+  if (size < 1) throw std::invalid_argument("corpora: size must be >= 1");
+  const data::DatasetSplits splits = zoo::benchmark_splits(bm);
+  if (splits.test.size() < size) {
+    throw std::invalid_argument(
+        "corpora: test split smaller than requested corpus size");
+  }
+  Corpora corpora;
+  corpora.in_dist = splits.test.slice(0, size);
+
+  corpora.drift = data::generate_synthetic(drift_spec(bm, size, seed));
+
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);  // distinct stream from drift
+  corpora.ood.name = "ood-noise";
+  corpora.ood.num_classes = corpora.in_dist.num_classes;
+  corpora.ood.images =
+      Tensor(Shape{size, corpora.in_dist.channels(), corpora.in_dist.height(),
+                   corpora.in_dist.width()});
+  for (std::int64_t i = 0; i < corpora.ood.images.numel(); ++i) {
+    corpora.ood.images[i] = rng.uniform(0.0F, 1.0F);
+  }
+  // Noise has no true class; labels exist only so the Dataset is well
+  // formed (any verdict on these inputs counts toward flagged/FP stats by
+  // the caller's rules, never toward accuracy).
+  corpora.ood.labels.assign(static_cast<std::size_t>(size), 0);
+
+  corpora.adversarial.name = "adversarial-fgsm";
+  corpora.adversarial.num_classes = corpora.in_dist.num_classes;
+  corpora.adversarial.images = adv::fgsm_attack(
+      victim, corpora.in_dist.images, corpora.in_dist.labels, epsilon);
+  corpora.adversarial.labels = corpora.in_dist.labels;
+  return corpora;
+}
+
+const data::Dataset& corpus(const Corpora& corpora, InputClass cls) {
+  switch (cls) {
+    case InputClass::in_dist: return corpora.in_dist;
+    case InputClass::drift: return corpora.drift;
+    case InputClass::ood: return corpora.ood;
+    case InputClass::adversarial: return corpora.adversarial;
+  }
+  throw std::invalid_argument("corpora: unknown input class");
+}
+
+}  // namespace pgmr::workload

@@ -1,0 +1,45 @@
+// Input corpora backing the traffic generator's class mix.
+//
+// Reuses the ingredients the ext_ood_detection and ext_adversarial benches
+// established, packaged so a trace's (class, sample) pair resolves to a
+// concrete input tensor:
+//   * in_dist      — a slice of the benchmark's own test split;
+//   * drift        — the same generator family with shifted render
+//                    statistics (inflated jitter + brightness), the
+//                    near-OOD covariate-drift probe;
+//   * ood          — uniform noise of the benchmark's input shape;
+//   * adversarial  — FGSM perturbations of the in_dist slice against a
+//                    victim network.
+// Everything is seeded, so a (benchmark, seed, size) triple rebuilds
+// byte-identical corpora on every replay.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "workload/trace.h"
+#include "zoo/zoo.h"
+
+namespace pgmr::workload {
+
+/// The four corpora a trace draws from, all sized `size`.
+struct Corpora {
+  data::Dataset in_dist;
+  data::Dataset drift;
+  data::Dataset ood;
+  data::Dataset adversarial;
+};
+
+/// Builds all four corpora for `bm`. `victim` is the network FGSM attacks
+/// (typically the ensemble's ORG member); epsilon is the attack budget.
+/// Throws std::invalid_argument when the benchmark's test split is smaller
+/// than `size`.
+Corpora build_corpora(const zoo::Benchmark& bm, std::int64_t size,
+                      std::uint64_t seed, nn::Network& victim,
+                      float epsilon = 0.05F);
+
+/// The corpus a trace event of class `cls` samples from.
+const data::Dataset& corpus(const Corpora& corpora, InputClass cls);
+
+}  // namespace pgmr::workload

@@ -1,0 +1,132 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/random.h"
+
+namespace pgmr::workload {
+namespace {
+
+/// Drift share at virtual time `t`: linear ramp from 0 to 2x the day
+/// average (so the whole-day mean is drift_frac), clamped past the horizon.
+double drift_share_at(const WorkloadSpec& spec, double t) {
+  const double progress = std::min(t / spec.day_seconds, 1.0);
+  return 2.0 * spec.drift_frac * progress;
+}
+
+InputClass draw_class(const WorkloadSpec& spec, double t, Rng& rng) {
+  const double u = rng.uniform(0.0F, 1.0F);
+  double edge = drift_share_at(spec, t);
+  if (u < edge) return InputClass::drift;
+  edge += spec.ood_frac;
+  if (u < edge) return InputClass::ood;
+  edge += spec.adversarial_frac;
+  if (u < edge) return InputClass::adversarial;
+  return InputClass::in_dist;
+}
+
+void validate(const WorkloadSpec& spec) {
+  if (spec.requests < 1) throw std::invalid_argument("workload: no requests");
+  if (spec.day_seconds <= 0.0) {
+    throw std::invalid_argument("workload: day_seconds must be positive");
+  }
+  if (spec.diurnal_amplitude < 0.0 || spec.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument(
+        "workload: diurnal_amplitude must be in [0, 1)");
+  }
+  if (spec.burst_prob < 0.0 || spec.burst_prob > 1.0 || spec.burst_len < 1) {
+    throw std::invalid_argument("workload: bad burst knobs");
+  }
+  if (spec.drift_frac < 0.0 || spec.ood_frac < 0.0 ||
+      spec.adversarial_frac < 0.0 ||
+      2.0 * spec.drift_frac + spec.ood_frac + spec.adversarial_frac > 1.0) {
+    throw std::invalid_argument(
+        "workload: class fractions must be non-negative and leave room for "
+        "in-distribution traffic at the peak of the drift ramp");
+  }
+  if (spec.corpus_size < 1) {
+    throw std::invalid_argument("workload: corpus_size must be >= 1");
+  }
+}
+
+}  // namespace
+
+Trace generate_trace(const WorkloadSpec& spec) {
+  validate(spec);
+  Rng rng(spec.seed);
+  Trace trace;
+  trace.seed = spec.seed;
+  trace.events.reserve(static_cast<std::size_t>(spec.requests));
+
+  const double mean_rate =
+      static_cast<double>(spec.requests) / spec.day_seconds;
+  double t = 0.0;
+  auto emit = [&](double at, InputClass cls) {
+    TraceEvent e;
+    e.at_seconds = at;
+    e.key = rng.engine()();
+    e.sample = static_cast<std::int32_t>(rng.randint(0, spec.corpus_size - 1));
+    e.cls = cls;
+    trace.events.push_back(e);
+  };
+
+  while (static_cast<std::int64_t>(trace.events.size()) < spec.requests) {
+    // Instantaneous diurnal rate: trough at t = 0 (night), peak mid-day.
+    const double phase =
+        2.0 * std::numbers::pi * (t / spec.day_seconds) - std::numbers::pi / 2;
+    const double rate =
+        mean_rate * (1.0 + spec.diurnal_amplitude * std::sin(phase));
+    const double u = 1.0 - static_cast<double>(rng.uniform(0.0F, 1.0F));
+    t += -std::log(u) / rate;  // exponential inter-arrival gap at `rate`
+    const InputClass cls = draw_class(spec, t, rng);
+    emit(t, cls);
+    if (rng.bernoulli(spec.burst_prob)) {
+      // A burst inherits its trigger's timestamp and class: the retry storm
+      // hammers the same corpus the triggering request came from.
+      for (int b = 0; b < spec.burst_len &&
+                      static_cast<std::int64_t>(trace.events.size()) <
+                          spec.requests;
+           ++b) {
+        emit(t, cls);
+      }
+    }
+  }
+  return trace;
+}
+
+TraceSummary summarize(const Trace& trace) {
+  TraceSummary s;
+  s.total = static_cast<std::int64_t>(trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    switch (trace.events[i].cls) {
+      case InputClass::in_dist: ++s.in_dist; break;
+      case InputClass::drift: ++s.drift; break;
+      case InputClass::ood: ++s.ood; break;
+      case InputClass::adversarial: ++s.adversarial; break;
+    }
+    if (i > 0 &&
+        trace.events[i].at_seconds == trace.events[i - 1].at_seconds) {
+      ++s.burst_events;
+    }
+  }
+  s.duration_seconds = trace.duration_seconds();
+  s.mean_rps = s.duration_seconds > 0.0
+                   ? static_cast<double>(s.total) / s.duration_seconds
+                   : 0.0;
+  return s;
+}
+
+std::string to_string(const TraceSummary& s) {
+  std::ostringstream out;
+  out << s.total << " events over " << s.duration_seconds << "s ("
+      << s.mean_rps << " rps mean): " << s.in_dist << " in-dist, " << s.drift
+      << " drift, " << s.ood << " ood, " << s.adversarial << " adversarial, "
+      << s.burst_events << " in bursts";
+  return out.str();
+}
+
+}  // namespace pgmr::workload

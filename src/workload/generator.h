@@ -1,0 +1,64 @@
+// Seedable day-in-production traffic generator.
+//
+// Synthesizes a Trace whose arrival curve and input mix look like a
+// production day compressed into a virtual horizon:
+//   * diurnal arrivals — a non-homogeneous Poisson process whose rate
+//     follows a sinusoid over the day (trough at the start, peak mid-day),
+//     drawn by exponential inter-arrival gaps at the instantaneous rate;
+//   * bursts — each arrival can trigger a burst of back-to-back requests
+//     sharing its timestamp and input class (a retry storm or a scripted
+//     scraper), which is what stresses the batcher and the queue bound;
+//   * covariate drift that *ramps* — the drift probability grows linearly
+//     from 0 at the start of the day to 2x its configured average at the
+//     end, modeling a slowly rotting upstream feature, not a step change;
+//   * constant OOD and adversarial floors.
+// All randomness flows from WorkloadSpec::seed, so one printed seed
+// reproduces the identical trace (and therefore the identical campaign).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace pgmr::workload {
+
+/// Knobs of the generated day. Defaults describe a mild production day;
+/// benches override requests/day_seconds to compress it.
+struct WorkloadSpec {
+  std::uint64_t seed = 1;
+  std::int64_t requests = 2048;    ///< total events (bursts included)
+  double day_seconds = 86400.0;    ///< virtual horizon the events span
+  double diurnal_amplitude = 0.6;  ///< peak-vs-mean swing, 0 (flat) .. <1
+  double burst_prob = 0.01;        ///< chance an arrival triggers a burst
+  int burst_len = 8;               ///< extra same-timestamp events per burst
+  double drift_frac = 0.10;        ///< day-average drift share (ramps 0->2x)
+  double ood_frac = 0.03;          ///< constant far-OOD share
+  double adversarial_frac = 0.02;  ///< constant adversarial share
+  std::int64_t corpus_size = 256;  ///< samples per corpus (see corpora.h)
+};
+
+/// Generates the trace for `spec`. Deterministic in spec (bit-identical
+/// events for equal specs). Throws std::invalid_argument on nonsensical
+/// knobs (no requests, non-positive horizon, fraction sums > 1, ...).
+Trace generate_trace(const WorkloadSpec& spec);
+
+/// Per-class counts and shape stats of a trace, for bench headers and the
+/// `pgmr workload` subcommand.
+struct TraceSummary {
+  std::int64_t total = 0;
+  std::int64_t in_dist = 0;
+  std::int64_t drift = 0;
+  std::int64_t ood = 0;
+  std::int64_t adversarial = 0;
+  std::int64_t burst_events = 0;  ///< events sharing a timestamp with prior
+  double duration_seconds = 0.0;
+  double mean_rps = 0.0;
+};
+
+TraceSummary summarize(const Trace& trace);
+
+/// One-line rendering of a summary for logs.
+std::string to_string(const TraceSummary& summary);
+
+}  // namespace pgmr::workload

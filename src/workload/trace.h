@@ -1,0 +1,56 @@
+// Replayable traffic traces.
+//
+// A Trace is the unit of workload reproducibility: an ordered list of
+// request arrivals, each with a virtual timestamp, a routing key, an input
+// class and a sample index into that class's corpus. The generator
+// (generator.h) synthesizes traces from a seed; save/load round-trip them
+// through a small line-oriented text format so a campaign that failed in
+// CI can be replayed bit-for-bit from its recorded trace — or from just
+// the seed printed in the bench header, which regenerates the same trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgmr::workload {
+
+/// Which corpus a request's input is drawn from (see corpora.h).
+enum class InputClass {
+  in_dist,      ///< the benchmark's own test distribution
+  drift,        ///< covariate drift: same classes, shifted render stats
+  ood,          ///< far out-of-distribution (uniform noise)
+  adversarial,  ///< FGSM-perturbed in-distribution inputs
+};
+
+const char* to_string(InputClass cls);
+
+/// One request arrival.
+struct TraceEvent {
+  double at_seconds = 0.0;  ///< virtual arrival time from trace start
+  std::uint64_t key = 0;    ///< routing key (fleet rendezvous hashing)
+  std::int32_t sample = 0;  ///< index into the class's corpus
+  InputClass cls = InputClass::in_dist;
+};
+
+/// A full recorded workload. `seed` is provenance: the generator seed that
+/// produced (or would reproduce) these events.
+struct Trace {
+  std::uint64_t seed = 0;
+  std::vector<TraceEvent> events;
+
+  double duration_seconds() const {
+    return events.empty() ? 0.0 : events.back().at_seconds;
+  }
+};
+
+/// Writes `trace` as "pgmr-trace v1" text; throws std::runtime_error on
+/// I/O failure.
+void save_trace(const Trace& trace, const std::string& path);
+
+/// Reads a trace written by save_trace. Throws std::runtime_error on I/O
+/// failure or any malformed line (fail-stop: a rotted trace must never
+/// silently replay as a different workload).
+Trace load_trace(const std::string& path);
+
+}  // namespace pgmr::workload

@@ -1,4 +1,4 @@
-// ChaosInjector / chaos_wrap unit tests.
+// ChaosInjector / chaos_wrap / tap_activations unit tests.
 #include "fault/chaos.h"
 
 #include <gtest/gtest.h>
@@ -7,6 +7,13 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "nn/dense.h"
+#include "nn/network.h"
+#include "nn/pooling.h"
+#include "quant/quantized_network.h"
 
 namespace pgmr::fault {
 namespace {
@@ -51,6 +58,59 @@ TEST(ChaosInjectorTest, RejectsOutOfRangeMember) {
   ChaosInjector chaos(2);
   EXPECT_THROW(chaos.arm(2, ChaosFault::member_exception), std::out_of_range);
   EXPECT_THROW(chaos.fire(5, nullptr), std::out_of_range);
+  EXPECT_THROW(chaos.disarm(2), std::out_of_range);
+  EXPECT_THROW(chaos.fired(2), std::out_of_range);
+  EXPECT_THROW(chaos.arm_activation(2, ActivationCorrupt{}),
+               std::out_of_range);
+  EXPECT_THROW(chaos.fire_activation(2, 0, nullptr), std::out_of_range);
+  EXPECT_THROW(chaos.activation_fired(2), std::out_of_range);
+}
+
+TEST(ChaosInjectorTest, ArmRejectsActivationCorrupt) {
+  // activation_corrupt needs a region spec; the spec-less arm() refuses it
+  // so a plan can never fire with a default-constructed region by accident.
+  ChaosInjector chaos(1);
+  EXPECT_THROW(chaos.arm(0, ChaosFault::activation_corrupt),
+               std::invalid_argument);
+}
+
+TEST(ChaosInjectorTest, ActivationPlanFiresOnMatchingLayerOnly) {
+  ChaosInjector chaos(1);
+  ActivationCorrupt spec;
+  spec.layer = 2;
+  spec.offset = 7;
+  spec.elems = 3;
+  spec.value = -4.0F;
+  chaos.arm_activation(0, spec, /*count=*/2);
+
+  ActivationCorrupt out;
+  EXPECT_FALSE(chaos.fire_activation(0, 0, &out));
+  EXPECT_FALSE(chaos.fire_activation(0, 1, &out));
+  EXPECT_TRUE(chaos.fire_activation(0, 2, &out));
+  EXPECT_EQ(out.layer, 2);
+  EXPECT_EQ(out.offset, 7);
+  EXPECT_EQ(out.elems, 3);
+  EXPECT_EQ(out.value, -4.0F);
+  EXPECT_TRUE(chaos.fire_activation(0, 2, &out));
+  // count exhausted
+  EXPECT_FALSE(chaos.fire_activation(0, 2, &out));
+  EXPECT_EQ(chaos.activation_fired(0), 2U);
+  // The activation plan never leaks into the preprocessor-level path.
+  EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::none);
+  EXPECT_EQ(chaos.fired(0), 0U);
+}
+
+TEST(ChaosInjectorTest, NegativeLayerMatchesFirstTapAndDisarmClears) {
+  ChaosInjector chaos(1);
+  ActivationCorrupt spec;  // layer = -1: fire at the pass's first tap
+  chaos.arm_activation(0, spec, /*count=*/-1);
+  ActivationCorrupt out;
+  EXPECT_FALSE(chaos.fire_activation(0, 3, &out));
+  EXPECT_TRUE(chaos.fire_activation(0, 0, &out));
+  EXPECT_TRUE(chaos.fire_activation(0, 0, &out));
+  chaos.disarm(0);
+  EXPECT_FALSE(chaos.fire_activation(0, 0, &out));
+  EXPECT_EQ(chaos.activation_fired(0), 2U);
 }
 
 TEST(ChaosWrapTest, PassesThroughWhenUnarmed) {
@@ -109,6 +169,107 @@ TEST(ChaosFaultTest, ToStringCoversEveryFault) {
   EXPECT_STREQ(to_string(ChaosFault::member_exception), "member_exception");
   EXPECT_STREQ(to_string(ChaosFault::latency_spike), "latency_spike");
   EXPECT_STREQ(to_string(ChaosFault::nan_output), "nan_output");
+  EXPECT_STREQ(to_string(ChaosFault::activation_corrupt),
+               "activation_corrupt");
+}
+
+// Identity Flatten+Dense(2,2) network wrapped at full precision: the
+// quantized forward of input (a,b) yields logits (a,b), so tap-level
+// corruptions are exactly visible in the output.
+quant::QuantizedNetwork identity_qnet() {
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(std::make_unique<nn::Flatten>());
+  auto fc = std::make_unique<nn::Dense>(2, 2);
+  Tensor* w = fc->params()[0];
+  (*w)[0] = 1.0F;
+  (*w)[3] = 1.0F;
+  layers.push_back(std::move(fc));
+  return quant::QuantizedNetwork(
+      nn::Network("identity", std::move(layers)), /*bits=*/32,
+      nn::Protection::final_fc);
+}
+
+Tensor one_by_two(float a, float b) {
+  Tensor x(Shape{1, 1, 1, 2});
+  x[0] = a;
+  x[1] = b;
+  return x;
+}
+
+TEST(TapActivationsTest, CorruptsForwardBetweenLayersInvisiblyToAbft) {
+  quant::QuantizedNetwork net = identity_qnet();
+  auto chaos = std::make_shared<ChaosInjector>(1);
+  tap_activations(net, chaos, 0);
+
+  // Unarmed: identity behaviour.
+  quant::AbftCheck clean;
+  Tensor logits = net.forward(one_by_two(5.0F, 1.0F), &clean);
+  EXPECT_EQ(logits[0], 5.0F);
+  EXPECT_EQ(logits[1], 1.0F);
+  EXPECT_TRUE(clean.ok);
+
+  // Overwrite element 1 of the Flatten output (layer 0): the Dense layer
+  // consumes the corrupted activation, so the verdict flips — and ABFT
+  // still reports ok because the GEMM is verified against the input it
+  // actually saw. That invisibility is the reason the taxonomy needs the
+  // MR vote for the activation row.
+  ActivationCorrupt spec;
+  spec.layer = 0;
+  spec.offset = 1;
+  spec.elems = 1;
+  spec.value = 9.0F;
+  chaos->arm_activation(0, spec, /*count=*/1);
+  quant::AbftCheck faulted;
+  logits = net.forward(one_by_two(5.0F, 1.0F), &faulted);
+  EXPECT_EQ(logits[0], 5.0F);
+  EXPECT_EQ(logits[1], 9.0F);
+  EXPECT_TRUE(faulted.checked);
+  EXPECT_TRUE(faulted.ok);
+  EXPECT_EQ(chaos->activation_fired(0), 1U);
+
+  // Plan exhausted: clean again, and the weights were never touched.
+  logits = net.forward(one_by_two(5.0F, 1.0F));
+  EXPECT_EQ(logits[1], 1.0F);
+  EXPECT_TRUE(net.params_intact());
+}
+
+TEST(TapActivationsTest, RegionIsClampedToTheLiveTensor) {
+  quant::QuantizedNetwork net = identity_qnet();
+  auto chaos = std::make_shared<ChaosInjector>(1);
+  tap_activations(net, chaos, 0);
+
+  // Offset far past the 2-element activation, absurd length: the tap
+  // clamps to the last element instead of scribbling out of bounds.
+  ActivationCorrupt spec;
+  spec.layer = 0;
+  spec.offset = 1000;
+  spec.elems = 1 << 20;
+  spec.value = -3.0F;
+  chaos->arm_activation(0, spec, /*count=*/1);
+  const Tensor logits = net.forward(one_by_two(5.0F, 1.0F));
+  EXPECT_EQ(logits[0], 5.0F);
+  EXPECT_EQ(logits[1], -3.0F);
+}
+
+TEST(TapActivationsTest, RejectsBadInjectorOrMember) {
+  quant::QuantizedNetwork net = identity_qnet();
+  auto chaos = std::make_shared<ChaosInjector>(1);
+  EXPECT_THROW(tap_activations(net, nullptr, 0), std::invalid_argument);
+  EXPECT_THROW(tap_activations(net, chaos, 1), std::invalid_argument);
+}
+
+TEST(ChaosInjectorTest, ShardKillRefusalAndReviveLifecycle) {
+  ChaosInjector chaos(1);
+  EXPECT_FALSE(chaos.shard_down(3));
+  chaos.kill_shard(3);
+  EXPECT_TRUE(chaos.shard_down(3));
+  EXPECT_FALSE(chaos.shard_down(2));
+  chaos.on_shard_refused(3);
+  chaos.on_shard_refused(3);
+  EXPECT_EQ(chaos.shard_refusals(3), 2U);
+  chaos.revive_shard(3);
+  EXPECT_FALSE(chaos.shard_down(3));
+  EXPECT_EQ(chaos.shard_refusals(3), 2U);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <tuple>
 
@@ -235,6 +236,156 @@ TEST(InjectorTest, SampledSitesNeverRepeatASite) {
         << "duplicate site: param " << s.param_index << " element "
         << s.element << " bit " << s.bit;
   }
+}
+
+TEST(InjectorTest, StuckAtFaultsFollowBitSemantics) {
+  // 1.5F = 0x3FC00000: mantissa MSB (bit 22) set, sign (bit 31) clear.
+  nn::Network net = identity_net();
+  Tensor& w = *net.params()[0];
+  w[0] = 1.5F;
+
+  // stuck-at-one on an already-set bit is a no-op — masked by construction.
+  FaultSite site{0, 0, 22, FaultKind::stuck_at_one};
+  float original = inject(net, site);
+  EXPECT_EQ(original, 1.5F);
+  EXPECT_EQ(w[0], 1.5F);
+  restore(net, site, original);
+  EXPECT_EQ(w[0], 1.5F);
+
+  // stuck-at-zero clears bit 22: 1.5 -> 1.0; restore undoes it (an AND is
+  // not an involution, so the saved original is what makes undo possible).
+  site.kind = FaultKind::stuck_at_zero;
+  original = inject(net, site);
+  EXPECT_EQ(w[0], 1.0F);
+  restore(net, site, original);
+  EXPECT_EQ(w[0], 1.5F);
+
+  // stuck-at-one on the clear sign bit: 1.5 -> -1.5.
+  site = {0, 0, 31, FaultKind::stuck_at_one};
+  original = inject(net, site);
+  EXPECT_EQ(w[0], -1.5F);
+  restore(net, site, original);
+  EXPECT_EQ(w[0], 1.5F);
+}
+
+TEST(InjectorTest, ToStringCoversEveryFaultKind) {
+  EXPECT_STREQ(to_string(FaultKind::flip), "flip");
+  EXPECT_STREQ(to_string(FaultKind::stuck_at_one), "stuck_at_one");
+  EXPECT_STREQ(to_string(FaultKind::stuck_at_zero), "stuck_at_zero");
+}
+
+TEST(InjectorTest, BurstSitesAreAdjacentInsideOneTensor) {
+  nn::Network net = make_net(20);
+  Rng rng(21);
+  const auto groups = sample_burst_sites(net, 12, 5, rng, /*max_bit=*/22,
+                                         FaultKind::stuck_at_zero);
+  ASSERT_EQ(groups.size(), 12U);
+  const auto params = net.params();
+  for (const auto& group : groups) {
+    ASSERT_FALSE(group.empty());
+    const std::size_t tensor = group[0].param_index;
+    ASSERT_LT(tensor, params.size());
+    const std::int64_t numel = params[tensor]->numel();
+    // A burst never crosses a tensor boundary; it is clamped to tensors
+    // smaller than the requested length (the conv/dense bias vectors here).
+    EXPECT_EQ(static_cast<std::int64_t>(group.size()),
+              std::min<std::int64_t>(5, numel));
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      EXPECT_EQ(group[i].param_index, tensor);
+      EXPECT_EQ(group[i].bit, group[0].bit);
+      EXPECT_EQ(group[i].kind, FaultKind::stuck_at_zero);
+      EXPECT_EQ(group[i].element,
+                group[0].element + static_cast<std::int64_t>(i));
+    }
+    EXPECT_GE(group.front().element, 0);
+    EXPECT_LT(group.back().element, numel);
+    EXPECT_LE(group[0].bit, 22);
+  }
+  EXPECT_THROW(sample_burst_sites(net, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(sample_burst_sites(net, 1, 1, rng, 40),
+               std::invalid_argument);
+}
+
+TEST(InjectorTest, MultiFaultCampaignClassifiesRegionsAndRestores) {
+  // Same exactly-constructible setup as the single-fault boundary test,
+  // but each trial now injects a whole *group* of sites at once.
+  nn::Network net = identity_net();
+  Tensor images(Shape{4, 1, 1, 2});
+  images.at(0, 0, 0, 0) = 1.0F;
+  images.at(1, 0, 0, 1) = 1.0F;
+  images.at(2, 0, 0, 1) = 2.0F;
+  images.at(3, 0, 0, 1) = 3.0F;
+  const std::vector<std::int64_t> labels = {0, 1, 1, 1};
+
+  std::vector<float> snapshot;
+  for (Tensor* p : net.params()) {
+    snapshot.insert(snapshot.end(), p->values().begin(), p->values().end());
+  }
+
+  const std::vector<std::vector<FaultSite>> trials = {
+      // Both diagonal weights sign-flipped: every prediction breaks,
+      // accuracy 1.0 -> 0.0 — corrupted at any threshold < 1.
+      {{0, 0, 31}, {0, 3, 31}},
+      // Two mantissa-LSB flips: region injected, nothing observable.
+      {{0, 0, 0}, {0, 3, 0}},
+      // The same site twice in one group: the second flip undoes the
+      // first (masked), and reverse-order restore leaves the pristine
+      // value — the overlap case the restore ordering exists for.
+      {{0, 0, 31}, {0, 0, 31}},
+  };
+  const CampaignResult result =
+      run_campaign(net, images, labels, trials, 0.25);
+  EXPECT_EQ(result.trials, 3);
+  EXPECT_EQ(result.corrupted, 1);
+  EXPECT_EQ(result.masked, 2);
+  EXPECT_EQ(result.degraded, 0);
+
+  std::size_t k = 0;
+  for (Tensor* p : net.params()) {
+    for (std::int64_t i = 0; i < p->numel(); ++i, ++k) {
+      ASSERT_EQ((*p)[i], snapshot[k]) << "weight not restored at " << k;
+    }
+  }
+}
+
+TEST(InjectorTest, BurstCorruptsWhereSingleBitIsMasked) {
+  // Region resolution exists because adjacency compounds: one stuck-at-one
+  // exponent fault may be survivable, a whole burst of them across
+  // adjacent weights rarely is.
+  nn::Network net = make_net(22);
+  Rng rng(23);
+  Tensor images(Shape{20, 1, 6, 6});
+  std::vector<std::int64_t> labels(20);
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    images[i] = rng.uniform(0.0F, 1.0F);
+  }
+  for (auto& l : labels) l = rng.randint(0, 3);
+
+  // Pin every burst to stuck-at-one on the *sign* bit of the dense weight
+  // (tensor 2): a single such fault is masked whenever the weight was
+  // already negative (~half the sites), while a burst forces a whole run
+  // of 8 adjacent weights negative at once.
+  std::vector<std::vector<FaultSite>> bursts =
+      sample_burst_sites(net, 20, 8, rng, 31, FaultKind::stuck_at_one);
+  std::vector<std::vector<FaultSite>> singles;
+  const std::int64_t dense_numel = net.params()[2]->numel();
+  for (auto& group : bursts) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      group[i].param_index = 2;
+      group[i].bit = 31;
+      group[i].element = (group[0].element % dense_numel +
+                          static_cast<std::int64_t>(i)) %
+                         dense_numel;
+    }
+    singles.push_back({group[0]});
+  }
+  const CampaignResult burst_result =
+      run_campaign(net, images, labels, bursts);
+  const CampaignResult single_result =
+      run_campaign(net, images, labels, singles);
+  EXPECT_GE(burst_result.degraded + burst_result.corrupted,
+            single_result.degraded + single_result.corrupted);
+  EXPECT_GT(burst_result.degraded + burst_result.corrupted, 0);
 }
 
 TEST(InjectorTest, SamplingExhaustsSmallSiteSpaceExactly) {

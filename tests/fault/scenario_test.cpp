@@ -1,0 +1,139 @@
+// ScenarioSchedule tests: scripted, correlated fault plans keyed to the
+// request clock.
+#include "fault/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace pgmr::fault {
+namespace {
+
+TEST(ScenarioTest, ToStringCoversEveryAction) {
+  EXPECT_STREQ(to_string(ScenarioAction::arm_member), "arm_member");
+  EXPECT_STREQ(to_string(ScenarioAction::disarm_member), "disarm_member");
+  EXPECT_STREQ(to_string(ScenarioAction::arm_activation), "arm_activation");
+  EXPECT_STREQ(to_string(ScenarioAction::kill_shard), "kill_shard");
+  EXPECT_STREQ(to_string(ScenarioAction::revive_shard), "revive_shard");
+}
+
+TEST(ScenarioTest, EventsAreSortedByRequestIndexStably) {
+  // Authored out of order; the tie at request 4 must keep listed order
+  // (arm before disarm), which advance()'s net effect makes observable.
+  ScenarioEvent late;
+  late.at_request = 9;
+  ScenarioEvent arm_at_4;
+  arm_at_4.at_request = 4;
+  arm_at_4.action = ScenarioAction::arm_member;
+  arm_at_4.targets = {0};
+  ScenarioEvent disarm_at_4;
+  disarm_at_4.at_request = 4;
+  disarm_at_4.action = ScenarioAction::disarm_member;
+  disarm_at_4.targets = {0};
+  ScenarioSchedule schedule({late, arm_at_4, disarm_at_4});
+
+  ASSERT_EQ(schedule.events().size(), 3U);
+  EXPECT_EQ(schedule.events()[0].at_request, 4);
+  EXPECT_EQ(schedule.events()[0].action, ScenarioAction::arm_member);
+  EXPECT_EQ(schedule.events()[1].at_request, 4);
+  EXPECT_EQ(schedule.events()[1].action, ScenarioAction::disarm_member);
+  EXPECT_EQ(schedule.events()[2].at_request, 9);
+
+  ChaosInjector chaos(1);
+  EXPECT_EQ(schedule.advance(4, chaos), 2U);
+  // arm then disarm at the same tick: net effect is an unarmed member. If
+  // the sort were unstable and reversed the tie, the plan would still be
+  // armed here.
+  EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::none);
+}
+
+TEST(ScenarioTest, AdvanceAppliesEverythingUpToTheRequestClock) {
+  ScenarioEvent a;
+  a.at_request = 2;
+  a.targets = {0};
+  a.fault = ChaosFault::nan_output;
+  ScenarioEvent b;
+  b.at_request = 5;
+  b.targets = {1};
+  b.fault = ChaosFault::member_exception;
+  ScenarioSchedule schedule({a, b});
+  ChaosInjector chaos(2);
+
+  EXPECT_EQ(schedule.advance(1, chaos), 0U);
+  EXPECT_EQ(schedule.applied(), 0U);
+  EXPECT_FALSE(schedule.done());
+
+  // Skipping the clock straight past both events applies both, in order.
+  EXPECT_EQ(schedule.advance(7, chaos), 2U);
+  EXPECT_EQ(schedule.applied(), 2U);
+  EXPECT_TRUE(schedule.done());
+  EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::nan_output);
+  EXPECT_EQ(chaos.fire(1, nullptr), ChaosFault::member_exception);
+
+  // Idempotent once done.
+  EXPECT_EQ(schedule.advance(100, chaos), 0U);
+}
+
+TEST(ScenarioTest, MultiTargetEventArmsEveryListedMember) {
+  // One event, several targets — the correlated case the module exists
+  // for: both members fault at the same request tick.
+  ScenarioEvent ev;
+  ev.at_request = 0;
+  ev.targets = {0, 2};
+  ev.fault = ChaosFault::member_exception;
+  ev.count = 1;
+  ScenarioSchedule schedule({ev});
+  ChaosInjector chaos(3);
+  EXPECT_EQ(schedule.advance(0, chaos), 1U);
+  EXPECT_EQ(chaos.fire(0, nullptr), ChaosFault::member_exception);
+  EXPECT_EQ(chaos.fire(1, nullptr), ChaosFault::none);
+  EXPECT_EQ(chaos.fire(2, nullptr), ChaosFault::member_exception);
+}
+
+TEST(ScenarioTest, ShardAndActivationActionsDispatch) {
+  ScenarioEvent kill;
+  kill.at_request = 1;
+  kill.action = ScenarioAction::kill_shard;
+  kill.targets = {1, 3};
+  ScenarioEvent act;
+  act.at_request = 2;
+  act.action = ScenarioAction::arm_activation;
+  act.targets = {0};
+  act.activation.layer = 4;
+  act.activation.value = -7.0F;
+  act.count = 1;
+  ScenarioEvent revive;
+  revive.at_request = 3;
+  revive.action = ScenarioAction::revive_shard;
+  revive.targets = {1};
+  ScenarioSchedule schedule({kill, act, revive});
+  ChaosInjector chaos(1);
+
+  schedule.advance(1, chaos);
+  EXPECT_TRUE(chaos.shard_down(1));
+  EXPECT_TRUE(chaos.shard_down(3));
+
+  schedule.advance(2, chaos);
+  ActivationCorrupt out;
+  EXPECT_TRUE(chaos.fire_activation(0, 4, &out));
+  EXPECT_EQ(out.value, -7.0F);
+
+  schedule.advance(3, chaos);
+  EXPECT_FALSE(chaos.shard_down(1));
+  EXPECT_TRUE(chaos.shard_down(3));
+}
+
+TEST(ScenarioTest, OutOfRangeTargetSurfacesTheInjectorThrow) {
+  // Scenario scripts are authored by hand; a typo'd member index must
+  // fail loudly at apply time, not arm some other member.
+  ScenarioEvent ev;
+  ev.at_request = 0;
+  ev.targets = {5};
+  ScenarioSchedule schedule({ev});
+  ChaosInjector chaos(2);
+  EXPECT_THROW(schedule.advance(0, chaos), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pgmr::fault

@@ -1,0 +1,130 @@
+// Windowed SLO tracker / evaluator tests.
+#include "runtime/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace pgmr::runtime {
+namespace {
+
+// Records `n` requests: `lost` of them unserved, `fps` of the served ones
+// reliable-but-wrong, the rest reliable-and-right.
+void feed(SloTracker& t, int n, int lost = 0, int fps = 0) {
+  for (int i = 0; i < n; ++i) {
+    const bool served = i >= lost;
+    const bool fp = served && (i - lost) < fps;
+    t.record(served, served, fp);
+  }
+}
+
+TEST(SloTrackerTest, RejectsNonPositiveWindow) {
+  EXPECT_THROW(SloTracker(0), std::invalid_argument);
+  EXPECT_THROW(SloTracker(-4), std::invalid_argument);
+}
+
+TEST(SloTrackerTest, BucketsIntoWindowsIncludingPartialTail) {
+  SloTracker t(4);
+  feed(t, 10);
+  const auto windows = t.windows();
+  ASSERT_EQ(windows.size(), 3U);
+  EXPECT_EQ(windows[0].submitted, 4);
+  EXPECT_EQ(windows[1].submitted, 4);
+  EXPECT_EQ(windows[2].submitted, 2);  // trailing partial window
+  EXPECT_EQ(t.submitted(), 10);
+  EXPECT_EQ(t.served(), 10);
+}
+
+TEST(SloTrackerTest, EmptyWindowCountsAsFullyAvailable) {
+  SloTracker t(8);
+  EXPECT_TRUE(t.windows().empty());
+  const SloReport report = evaluate_slo(t, 0.0, SloSpec{});
+  EXPECT_EQ(report.windows, 0);
+  EXPECT_EQ(report.availability, 1.0);
+  EXPECT_TRUE(report.pass());
+}
+
+TEST(SloEvaluatorTest, WorstWindowGatesAvailabilityNotTheRunMean) {
+  // 3 windows of 4; one loses half its traffic. The run mean (10/12) sits
+  // above a 0.75 floor, but the worst window (0.5) is what must gate —
+  // that is the whole point of windowed accounting.
+  SloTracker t(4);
+  feed(t, 4);
+  feed(t, 4, /*lost=*/2);
+  feed(t, 4);
+  SloSpec spec;
+  spec.window = 4;
+  spec.availability_floor = 0.75;
+  const SloReport report = evaluate_slo(t, 0.0, spec);
+  EXPECT_NEAR(report.availability, 10.0 / 12.0, 1e-12);
+  EXPECT_NEAR(report.worst_window_availability, 0.5, 1e-12);
+  EXPECT_FALSE(report.availability_ok);
+  EXPECT_EQ(report.impacted_windows, 1);
+  EXPECT_FALSE(report.pass());
+
+  spec.availability_floor = 0.5;
+  EXPECT_TRUE(evaluate_slo(t, 0.0, spec).availability_ok);
+}
+
+TEST(SloEvaluatorTest, FpDriftIsMeasuredAgainstTheReference) {
+  SloTracker t(100);
+  feed(t, 200, /*lost=*/0, /*fps=*/4);  // run FP rate 2%
+  SloSpec spec;
+  spec.window = 100;
+  spec.fp_drift_pp = 0.5;
+  // Reference 1.8% -> drift 0.2pp: within budget.
+  SloReport report = evaluate_slo(t, 0.018, spec);
+  EXPECT_NEAR(report.fp_rate, 0.02, 1e-12);
+  EXPECT_NEAR(report.fp_drift_pp, 0.2, 1e-9);
+  EXPECT_TRUE(report.fp_drift_ok);
+  // Reference 1.0% -> drift 1.0pp: violation.
+  report = evaluate_slo(t, 0.010, spec);
+  EXPECT_NEAR(report.fp_drift_pp, 1.0, 1e-9);
+  EXPECT_FALSE(report.fp_drift_ok);
+  // Drift is a *ceiling*: a run cleaner than its reference never fails.
+  report = evaluate_slo(t, 0.05, spec);
+  EXPECT_LT(report.fp_drift_pp, 0.0);
+  EXPECT_TRUE(report.fp_drift_ok);
+}
+
+TEST(SloEvaluatorTest, RecoveryGateBoundsTheLongestImpactRun) {
+  // Impact pattern per window of 2: ok, ok, LOST, LOST, LOST, ok, LOST.
+  SloTracker t(2);
+  feed(t, 4);
+  feed(t, 2, 1);
+  feed(t, 2, 1);
+  feed(t, 2, 1);
+  feed(t, 2);
+  feed(t, 2, 1);
+  SloSpec spec;
+  spec.window = 2;
+  spec.availability_floor = 0.25;
+  spec.recovery_windows = 3;
+  SloReport report = evaluate_slo(t, 0.0, spec);
+  EXPECT_EQ(report.windows, 7);
+  EXPECT_EQ(report.impacted_windows, 4);
+  // The isolated later impact does not extend the run: consecutive only.
+  EXPECT_EQ(report.longest_impact_run, 3);
+  EXPECT_TRUE(report.recovery_ok);
+
+  spec.recovery_windows = 2;
+  report = evaluate_slo(t, 0.0, spec);
+  EXPECT_FALSE(report.recovery_ok);
+  EXPECT_FALSE(report.pass());
+}
+
+TEST(SloEvaluatorTest, GateTableRendersEveryVerdict) {
+  SloTracker t(2);
+  feed(t, 4, /*lost=*/3);
+  SloSpec spec;
+  spec.window = 2;
+  const std::string table = evaluate_slo(t, 0.0, spec).to_string();
+  EXPECT_NE(table.find("availability"), std::string::npos);
+  EXPECT_NE(table.find("fp drift"), std::string::npos);
+  EXPECT_NE(table.find("recovery"), std::string::npos);
+  EXPECT_NE(table.find("VIOLATION"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pgmr::runtime

@@ -1,0 +1,214 @@
+// Workload generator + trace round-trip tests.
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace pgmr::workload {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(GeneratorTest, EqualSpecsProduceBitIdenticalTraces) {
+  WorkloadSpec spec;
+  spec.seed = 42;
+  spec.requests = 500;
+  spec.day_seconds = 600.0;
+  const Trace a = generate_trace(spec);
+  const Trace b = generate_trace(spec);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.seed, 42U);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at_seconds, b.events[i].at_seconds);
+    EXPECT_EQ(a.events[i].key, b.events[i].key);
+    EXPECT_EQ(a.events[i].sample, b.events[i].sample);
+    EXPECT_EQ(a.events[i].cls, b.events[i].cls);
+  }
+  // A different seed must not replay the same day.
+  spec.seed = 43;
+  const Trace c = generate_trace(spec);
+  ASSERT_EQ(c.events.size(), a.events.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.events.size() && !any_diff; ++i) {
+    any_diff = a.events[i].key != c.events[i].key ||
+               a.events[i].at_seconds != c.events[i].at_seconds;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, TimestampsAreMonotonicAndSamplesInCorpusRange) {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  spec.requests = 1000;
+  spec.day_seconds = 600.0;
+  spec.corpus_size = 64;
+  const Trace trace = generate_trace(spec);
+  ASSERT_EQ(static_cast<std::int64_t>(trace.events.size()), spec.requests);
+  double prev = 0.0;
+  for (const TraceEvent& ev : trace.events) {
+    EXPECT_GE(ev.at_seconds, prev);
+    prev = ev.at_seconds;
+    EXPECT_GE(ev.sample, 0);
+    EXPECT_LT(ev.sample, spec.corpus_size);
+  }
+}
+
+TEST(GeneratorTest, ClassMixTracksTheConfiguredFractions) {
+  WorkloadSpec spec;
+  spec.seed = 11;
+  spec.requests = 4000;
+  spec.day_seconds = 3600.0;
+  spec.drift_frac = 0.10;
+  spec.ood_frac = 0.05;
+  spec.adversarial_frac = 0.04;
+  const TraceSummary s = summarize(generate_trace(spec));
+  EXPECT_EQ(s.total, 4000);
+  EXPECT_EQ(s.in_dist + s.drift + s.ood + s.adversarial, s.total);
+  const double n = static_cast<double>(s.total);
+  // Day-average shares; drift ramps 0 -> 2x but averages to drift_frac.
+  EXPECT_NEAR(static_cast<double>(s.drift) / n, 0.10, 0.03);
+  EXPECT_NEAR(static_cast<double>(s.ood) / n, 0.05, 0.02);
+  EXPECT_NEAR(static_cast<double>(s.adversarial) / n, 0.04, 0.02);
+  EXPECT_GT(s.in_dist, s.total / 2);
+}
+
+TEST(GeneratorTest, DriftShareRampsAcrossTheDay) {
+  WorkloadSpec spec;
+  spec.seed = 13;
+  spec.requests = 4000;
+  spec.day_seconds = 3600.0;
+  spec.drift_frac = 0.15;
+  const Trace trace = generate_trace(spec);
+  std::int64_t first_half = 0, second_half = 0;
+  const std::size_t mid = trace.events.size() / 2;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    if (trace.events[i].cls == InputClass::drift) {
+      (i < mid ? first_half : second_half)++;
+    }
+  }
+  // Linear 0 -> 2x ramp: the back half must clearly dominate.
+  EXPECT_GT(second_half, first_half + first_half / 2);
+}
+
+TEST(GeneratorTest, BurstEventsShareTimestampAndClass) {
+  WorkloadSpec spec;
+  spec.seed = 17;
+  spec.requests = 600;
+  spec.day_seconds = 600.0;
+  spec.burst_prob = 0.2;
+  spec.burst_len = 4;
+  const Trace trace = generate_trace(spec);
+  const TraceSummary s = summarize(trace);
+  EXPECT_GT(s.burst_events, 0);
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    if (trace.events[i].at_seconds == trace.events[i - 1].at_seconds) {
+      EXPECT_EQ(trace.events[i].cls, trace.events[i - 1].cls)
+          << "burst member " << i << " changed input class";
+    }
+  }
+}
+
+TEST(GeneratorTest, RejectsNonsensicalSpecs) {
+  WorkloadSpec bad;
+  bad.requests = 0;
+  EXPECT_THROW(generate_trace(bad), std::invalid_argument);
+  bad = WorkloadSpec{};
+  bad.day_seconds = 0.0;
+  EXPECT_THROW(generate_trace(bad), std::invalid_argument);
+  bad = WorkloadSpec{};
+  bad.diurnal_amplitude = 1.0;
+  EXPECT_THROW(generate_trace(bad), std::invalid_argument);
+  bad = WorkloadSpec{};
+  // 2*drift + ood + adversarial > 1: the end-of-day drift share (2x the
+  // average) would push the class probabilities past 1.
+  bad.drift_frac = 0.45;
+  bad.ood_frac = 0.08;
+  bad.adversarial_frac = 0.03;
+  EXPECT_THROW(generate_trace(bad), std::invalid_argument);
+  bad = WorkloadSpec{};
+  bad.burst_len = 0;
+  EXPECT_THROW(generate_trace(bad), std::invalid_argument);
+  bad = WorkloadSpec{};
+  bad.corpus_size = 0;
+  EXPECT_THROW(generate_trace(bad), std::invalid_argument);
+}
+
+TEST(TraceIoTest, SaveLoadRoundTripsBitExactly) {
+  WorkloadSpec spec;
+  spec.seed = 99;
+  spec.requests = 300;
+  spec.day_seconds = 300.0;
+  spec.burst_prob = 0.1;
+  const Trace trace = generate_trace(spec);
+  const std::string path = temp_path("roundtrip.trace");
+  save_trace(trace, path);
+  const Trace loaded = load_trace(path);
+  EXPECT_EQ(loaded.seed, trace.seed);
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i].at_seconds, trace.events[i].at_seconds);
+    EXPECT_EQ(loaded.events[i].key, trace.events[i].key);
+    EXPECT_EQ(loaded.events[i].sample, trace.events[i].sample);
+    EXPECT_EQ(loaded.events[i].cls, trace.events[i].cls);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, LoadFailStopsOnRottedTraces) {
+  const std::string path = temp_path("rotted.trace");
+  // Missing file.
+  std::remove(path.c_str());
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  // Wrong header.
+  {
+    std::ofstream out(path);
+    out << "not-a-trace v9 seed=1 events=0\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  // Unknown input class.
+  {
+    std::ofstream out(path);
+    out << "pgmr-trace v1 seed=1 events=1\n";
+    out << "0.5 12 3 marsian\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  // Event-count mismatch (truncated file).
+  {
+    std::ofstream out(path);
+    out << "pgmr-trace v1 seed=1 events=2\n";
+    out << "0.5 12 3 in_dist\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  // Non-monotonic timestamps — a corrupted splice, not a legal trace.
+  {
+    std::ofstream out(path);
+    out << "pgmr-trace v1 seed=1 events=2\n";
+    out << "0.5 12 3 in_dist\n";
+    out << "0.25 13 0 ood\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GeneratorTest, SummaryLineMentionsEveryClass) {
+  WorkloadSpec spec;
+  spec.seed = 3;
+  spec.requests = 200;
+  spec.day_seconds = 120.0;
+  const std::string line = to_string(summarize(generate_trace(spec)));
+  EXPECT_NE(line.find("in-dist"), std::string::npos);
+  EXPECT_NE(line.find("drift"), std::string::npos);
+  EXPECT_NE(line.find("ood"), std::string::npos);
+  EXPECT_NE(line.find("adversarial"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pgmr::workload

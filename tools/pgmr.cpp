@@ -5,6 +5,7 @@
 //   pgmr eval <config.cfg>                        test-split TP/FP report
 //   pgmr predict <config.cfg> <sample-index>      classify one test sample
 //   pgmr serve-bench <config.cfg> [flags]         serving-runtime load test
+//   pgmr workload <out.trace> [flags]             generate a traffic trace
 //   pgmr list                                     available benchmarks/preps
 #include <atomic>
 #include <chrono>
@@ -27,6 +28,8 @@
 #include "polygraph/config.h"
 #include "prep/preprocessor.h"
 #include "runtime/serving_runtime.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -517,6 +520,49 @@ int cmd_serve_bench(const std::string& config_path, int argc, char** argv) {
   return 0;
 }
 
+/// Generates a day-in-production traffic trace (workload/generator.h) and
+/// writes it in the replayable pgmr-trace text format. The printed summary
+/// plus the seed is everything needed to reproduce or inspect a campaign's
+/// input mix; feed the file to `day_in_production --trace <file>`.
+int cmd_workload(const std::string& out_path, int argc, char** argv) {
+  workload::WorkloadSpec spec;
+  for (int i = 0; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string arg = argv[i + 1];
+    if (flag == "--seed") {
+      spec.seed = std::strtoull(arg.c_str(), nullptr, 10);
+    } else if (flag == "--requests") {
+      spec.requests = std::atoll(arg.c_str());
+    } else if (flag == "--day-seconds") {
+      spec.day_seconds = std::atof(arg.c_str());
+    } else if (flag == "--diurnal-amplitude") {
+      spec.diurnal_amplitude = std::atof(arg.c_str());
+    } else if (flag == "--burst-prob") {
+      spec.burst_prob = std::atof(arg.c_str());
+    } else if (flag == "--burst-len") {
+      spec.burst_len = std::atoi(arg.c_str());
+    } else if (flag == "--drift-frac") {
+      spec.drift_frac = std::atof(arg.c_str());
+    } else if (flag == "--ood-frac") {
+      spec.ood_frac = std::atof(arg.c_str());
+    } else if (flag == "--adversarial-frac") {
+      spec.adversarial_frac = std::atof(arg.c_str());
+    } else if (flag == "--corpus-size") {
+      spec.corpus_size = std::atoll(arg.c_str());
+    } else {
+      std::fprintf(stderr, "workload: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  const workload::Trace trace = workload::generate_trace(spec);
+  workload::save_trace(trace, out_path);
+  std::printf("seed %llu: %s\nwrote %s\n",
+              static_cast<unsigned long long>(trace.seed),
+              workload::to_string(workload::summarize(trace)).c_str(),
+              out_path.c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -532,7 +578,11 @@ int usage() {
                " [--scrub-interval-ms S] [--scrub-max-tensors N]"
                " [--scrub-max-chunks N] [--scrub-max-hold-us H]"
                " [--replacement on|off]"
-               " [--training-threads N] [--training-nice L]\n");
+               " [--training-threads N] [--training-nice L]\n"
+               "  pgmr workload <out.trace> [--seed S] [--requests R]"
+               " [--day-seconds T] [--diurnal-amplitude A] [--burst-prob P]"
+               " [--burst-len L] [--drift-frac D] [--ood-frac O]"
+               " [--adversarial-frac V] [--corpus-size C]\n");
   return 2;
 }
 
@@ -555,6 +605,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "serve-bench" && argc >= 3) {
       return cmd_serve_bench(argv[2], argc - 3, argv + 3);
+    }
+    if (cmd == "workload" && argc >= 3) {
+      return cmd_workload(argv[2], argc - 3, argv + 3);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
